@@ -1,0 +1,120 @@
+// Experiment E4 — cycle breaking (the stabilization mechanism):
+//
+//   * steps to restore NC after seeding a priority cycle of length L;
+//   * sensitivity to over-estimating the threshold constant (a larger D
+//     means later detection: the depth must climb higher first);
+//   * ablation A2: without fixdepth the idle cycle is never broken.
+#include <benchmark/benchmark.h>
+
+#include "analysis/invariants.hpp"
+#include "core/diners_system.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::core::DinersConfig;
+using diners::core::DinersSystem;
+using P = diners::graph::NodeId;
+
+// Ring of n with the whole ring oriented into one directed cycle; everyone
+// idle (the hard case: only fixdepth/exit can break it).
+DinersSystem seeded_cycle(P n, DinersConfig cfg) {
+  DinersSystem s(diners::graph::make_ring(n), cfg);
+  for (P p = 0; p < n; ++p) {
+    s.set_needs(p, false);
+    s.set_priority(p, (p + 1) % n, p);
+  }
+  return s;
+}
+
+void BM_CycleBreakSteps(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  double steps_to_nc = 0;
+  for (auto _ : state) {
+    auto system = seeded_cycle(n, DinersConfig{});
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 64);
+    std::uint64_t steps = 0;
+    while (!diners::analysis::holds_nc(system) && steps < 500000) {
+      if (!engine.step()) break;
+      ++steps;
+    }
+    steps_to_nc = static_cast<double>(steps);
+  }
+  state.counters["steps_to_NC"] = steps_to_nc;
+  state.counters["cycle_len"] = static_cast<double>(n);
+}
+BENCHMARK(BM_CycleBreakSteps)
+    ->Arg(6)->Arg(12)->Arg(24)->Arg(48)->Arg(96)
+    ->ArgName("cycle_len")->Iterations(1);
+
+void BM_CycleBreakThresholdOverestimate(benchmark::State& state) {
+  // D multiplied by an overestimate factor: detection waits for the depth
+  // to climb past the larger constant, costing proportionally more steps.
+  const auto factor = static_cast<std::uint32_t>(state.range(0));
+  const P n = 24;
+  double steps_to_nc = 0;
+  for (auto _ : state) {
+    DinersConfig cfg;
+    cfg.diameter_override = (n / 2) * factor;
+    auto system = seeded_cycle(n, cfg);
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 64);
+    std::uint64_t steps = 0;
+    while (!diners::analysis::holds_nc(system) && steps < 1000000) {
+      if (!engine.step()) break;
+      ++steps;
+    }
+    steps_to_nc = static_cast<double>(steps);
+  }
+  state.counters["steps_to_NC"] = steps_to_nc;
+  state.counters["threshold"] = static_cast<double>((n / 2) * factor);
+}
+BENCHMARK(BM_CycleBreakThresholdOverestimate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->ArgName("factor")->Iterations(1);
+
+void BM_CycleBreakAblation(benchmark::State& state) {
+  // A2: cycle breaking disabled — NC is never restored (the run terminates
+  // with the cycle intact; we report 1 for "still cyclic").
+  double still_cyclic = 0;
+  for (auto _ : state) {
+    DinersConfig cfg;
+    cfg.enable_cycle_breaking = false;
+    auto system = seeded_cycle(24, cfg);
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 64);
+    engine.run(100000);
+    still_cyclic = diners::analysis::holds_nc(system) ? 0.0 : 1.0;
+  }
+  state.counters["still_cyclic"] = still_cyclic;
+}
+BENCHMARK(BM_CycleBreakAblation)->Iterations(1);
+
+// How much does a *live* workload accelerate cycle breaking? Hungry cycles
+// also heal through ordinary meals (exit reorients edges).
+void BM_CycleBreakWithAppetite(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  double steps_to_nc = 0;
+  for (auto _ : state) {
+    auto system = seeded_cycle(n, DinersConfig{});
+    for (P p = 0; p < n; ++p) {
+      system.set_needs(p, true);
+      system.set_state(p, diners::core::DinerState::kHungry);
+    }
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 64);
+    std::uint64_t steps = 0;
+    while (!diners::analysis::holds_nc(system) && steps < 500000) {
+      if (!engine.step()) break;
+      ++steps;
+    }
+    steps_to_nc = static_cast<double>(steps);
+  }
+  state.counters["steps_to_NC"] = steps_to_nc;
+}
+BENCHMARK(BM_CycleBreakWithAppetite)
+    ->Arg(6)->Arg(24)->Arg(96)->ArgName("cycle_len")->Iterations(1);
+
+}  // namespace

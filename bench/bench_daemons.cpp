@@ -1,0 +1,102 @@
+// Experiment E6 — daemon (scheduler) sensitivity: the paper's guarantees
+// quantify over every weakly fair computation; this bench measures how much
+// the choice of daemon moves throughput and convergence.
+//
+// Expected shape: round-robin is the friendliest; the adversarial-age
+// daemon pushes every action to the weak-fairness deadline, inflating both
+// metrics by roughly the fairness bound; random sits between.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/monitors.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::core::DinersSystem;
+
+const char* daemon_name(int i) {
+  switch (i) {
+    case 0: return "round-robin";
+    case 1: return "random";
+    case 2: return "adversarial-age";
+    default: return "biased";
+  }
+}
+
+void BM_DaemonThroughput(benchmark::State& state) {
+  const std::string daemon = daemon_name(static_cast<int>(state.range(0)));
+  double meals_per_1k = 0;
+  for (auto _ : state) {
+    DinersSystem system(diners::graph::make_grid(5, 5));
+    diners::sim::Engine engine(system, diners::sim::make_daemon(daemon, 3),
+                               64);
+    engine.run(2000);
+    const auto before = system.total_meals();
+    engine.run(20000);
+    meals_per_1k =
+        static_cast<double>(system.total_meals() - before) * 1000.0 / 20000.0;
+  }
+  state.SetLabel(daemon);
+  state.counters["meals_per_1k_steps"] = meals_per_1k;
+}
+BENCHMARK(BM_DaemonThroughput)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)->ArgName("daemon")->Iterations(1);
+
+void BM_DaemonConvergence(benchmark::State& state) {
+  const std::string daemon = daemon_name(static_cast<int>(state.range(0)));
+  double total = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  for (auto _ : state) {
+    diners::core::DinersConfig cfg;
+    cfg.diameter_override = 24;  // sound threshold, n = 25
+    DinersSystem system(diners::graph::make_grid(5, 5), cfg);
+    diners::util::Xoshiro256 rng(runs + 11);
+    diners::fault::corrupt_global_state(system, rng);
+    diners::sim::Engine engine(system,
+                               diners::sim::make_daemon(daemon, runs), 64);
+    const auto steps =
+        diners::analysis::steps_until_invariant(system, engine, 400000, 16);
+    if (steps) {
+      total += static_cast<double>(*steps);
+    } else {
+      ++failures;
+    }
+    ++runs;
+  }
+  state.SetLabel(daemon);
+  state.counters["mean_steps_to_I"] =
+      runs > failures ? total / static_cast<double>(runs - failures) : -1.0;
+  state.counters["non_converged"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_DaemonConvergence)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)->ArgName("daemon")->Iterations(3);
+
+// Fairness-bound sweep: the weak-fairness enforcement deadline is the only
+// "magic constant" in the engine; show its effect on liveness under the
+// adversarial daemon.
+void BM_FairnessBound(benchmark::State& state) {
+  const auto bound = static_cast<std::uint64_t>(state.range(0));
+  double meals_per_1k = 0;
+  for (auto _ : state) {
+    DinersSystem system(diners::graph::make_ring(16));
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("adversarial-age", 5), bound);
+    engine.run(2000);
+    const auto before = system.total_meals();
+    engine.run(20000);
+    meals_per_1k =
+        static_cast<double>(system.total_meals() - before) * 1000.0 / 20000.0;
+  }
+  state.counters["meals_per_1k_steps"] = meals_per_1k;
+}
+BENCHMARK(BM_FairnessBound)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->ArgName("bound")->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Experiment E9 (extension) — drinking philosophers layered on the
+// malicious-crash-tolerant diners: session throughput, bottle utilization
+// (the concurrency lost to the conservative drink-within-meal reduction),
+// and crash impact on the cellar.
+#include <benchmark/benchmark.h>
+
+#include "drinkers/drinking_system.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::drinkers::DrinkingSystem;
+using diners::drinkers::random_bottles;
+using P = diners::graph::NodeId;
+
+// Keeps every thinking philosopher thirsty with a random bottle subset.
+void top_up(DrinkingSystem& s, diners::util::Xoshiro256& rng) {
+  for (P p = 0; p < s.topology().num_nodes(); ++p) {
+    if (s.alive(p) &&
+        s.substrate().state(p) == diners::core::DinerState::kThinking) {
+      s.request_drink(p, random_bottles(s.topology(), p, rng));
+    }
+  }
+}
+
+void BM_DrinkingSessions(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  double sessions_per_1k = 0;
+  double utilization = 0;
+  for (auto _ : state) {
+    DrinkingSystem s(diners::graph::make_ring(n));
+    diners::util::Xoshiro256 rng(5);
+    diners::sim::Engine engine(
+        s, diners::sim::make_daemon("round-robin", 1), 64);
+    std::uint64_t steps = 0;
+    const std::uint64_t window = 20000;
+    while (steps < window) {
+      top_up(s, rng);
+      engine.run(100);
+      steps += 100;
+    }
+    sessions_per_1k = static_cast<double>(s.total_sessions()) * 1000.0 /
+                      static_cast<double>(window);
+    utilization = s.bottle_utilization();
+  }
+  state.counters["sessions_per_1k_steps"] = sessions_per_1k;
+  state.counters["bottle_utilization"] = utilization;
+}
+BENCHMARK(BM_DrinkingSessions)
+    ->Arg(8)->Arg(32)->ArgName("n")->Iterations(1);
+
+void BM_DrinkingUnderMaliciousCrash(benchmark::State& state) {
+  const auto malice = static_cast<std::uint32_t>(state.range(0));
+  double far_sessions = 0;
+  for (auto _ : state) {
+    DrinkingSystem s(diners::graph::make_path(10));
+    diners::util::Xoshiro256 rng(7);
+    diners::sim::Engine engine(
+        s, diners::sim::make_daemon("round-robin", 1), 64);
+    for (int r = 0; r < 20; ++r) {
+      top_up(s, rng);
+      engine.run(100);
+    }
+    s.substrate().set_state(0, diners::core::DinerState::kEating);
+    diners::fault::malicious_crash(s.substrate(), 0, malice, rng);
+    engine.reset_ages();
+    for (int r = 0; r < 30; ++r) {
+      top_up(s, rng);
+      engine.run(100);
+    }
+    std::uint64_t before = 0;
+    for (P p = 3; p < 10; ++p) before += s.sessions(p);
+    for (int r = 0; r < 60; ++r) {
+      top_up(s, rng);
+      engine.run(100);
+    }
+    std::uint64_t after = 0;
+    for (P p = 3; p < 10; ++p) after += s.sessions(p);
+    far_sessions = static_cast<double>(after - before);
+  }
+  state.counters["far_zone_sessions"] = far_sessions;
+}
+BENCHMARK(BM_DrinkingUnderMaliciousCrash)
+    ->Arg(0)->Arg(64)->ArgName("malice")->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Experiment E2 — failure locality, the paper's headline claim, measured
+// head-to-head:
+//
+//   Nesterenko-Arora (this paper)         -> radius <= 2 (optimal)
+//   NA without dynamic threshold (A1)     -> radius grows with n
+//   Chandy-Misra hygienic                 -> radius grows with n
+//   Ordered-resource (Dijkstra)           -> radius grows along the order
+//
+// Scenario: a hungry chain on a path of n processes; the head crashes while
+// eating; after the system hardens, count starving processes and the max
+// distance from a starving process to the dead one.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/chandy_misra.hpp"
+#include "algorithms/ordered_resource.hpp"
+#include "analysis/harness.hpp"
+#include "core/diners_system.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::core::DinerState;
+using diners::core::DinersConfig;
+using diners::core::DinersSystem;
+using P = diners::graph::NodeId;
+
+void report(benchmark::State& state,
+            const diners::analysis::StarvationReport& r) {
+  state.counters["starved"] = static_cast<double>(r.starved.size());
+  state.counters["locality_radius"] =
+      r.locality_radius == diners::graph::kUnreachable
+          ? -1.0
+          : static_cast<double>(r.locality_radius);
+  state.counters["meals_in_window"] =
+      static_cast<double>(r.meals_in_window);
+}
+
+// Drives any PhilosopherProgram to the "head eats, then dies" state.
+template <typename System>
+void crash_head_mid_meal(System& system, diners::sim::Engine& engine) {
+  engine.run(20000, [&] {
+    return system.state(0) == DinerState::kEating;
+  });
+  system.crash(0);
+  engine.reset_ages();
+}
+
+void BM_LocalityNesterenkoArora(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  diners::analysis::StarvationReport last;
+  for (auto _ : state) {
+    DinersSystem system(diners::graph::make_path(n));
+    for (P p = 1; p < n; ++p) {
+      system.set_state(p, DinerState::kHungry);
+    }
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 64);
+    crash_head_mid_meal(system, engine);
+    engine.run(4 * static_cast<std::uint64_t>(n) * 100);
+    last = diners::analysis::measure_starvation(
+        system, engine, 8 * static_cast<std::uint64_t>(n) * 100);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_LocalityNesterenkoArora)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(1);
+
+void BM_LocalityNoDynamicThreshold(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  diners::analysis::StarvationReport last;
+  for (auto _ : state) {
+    DinersConfig cfg;
+    cfg.enable_dynamic_threshold = false;
+    DinersSystem system(diners::graph::make_path(n), cfg);
+    for (P p = 1; p < n; ++p) {
+      system.set_state(p, DinerState::kHungry);
+    }
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 64);
+    crash_head_mid_meal(system, engine);
+    engine.run(4 * static_cast<std::uint64_t>(n) * 100);
+    last = diners::analysis::measure_starvation(
+        system, engine, 8 * static_cast<std::uint64_t>(n) * 100);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_LocalityNoDynamicThreshold)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(1);
+
+void BM_LocalityChandyMisra(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  diners::analysis::StarvationReport last;
+  for (auto _ : state) {
+    diners::algorithms::ChandyMisraSystem system(diners::graph::make_path(n));
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 128);
+    crash_head_mid_meal(system, engine);
+    // The CM starvation cascade takes one "meal round" per hop; allow the
+    // chain to harden before measuring.
+    engine.run(20 * static_cast<std::uint64_t>(n) * 100);
+    last = diners::analysis::measure_starvation(
+        system, engine, 20 * static_cast<std::uint64_t>(n) * 100);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_LocalityChandyMisra)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(1);
+
+void BM_LocalityOrderedResource(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  diners::analysis::StarvationReport last;
+  for (auto _ : state) {
+    diners::algorithms::OrderedResourceSystem system(
+        diners::graph::make_path(n));
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 128);
+    // Crash a mid-chain eater: the ordered discipline stalls the low side.
+    engine.run(20000, [&] {
+      return system.state(n / 2) == DinerState::kEating;
+    });
+    system.crash(n / 2);
+    engine.reset_ages();
+    engine.run(10 * static_cast<std::uint64_t>(n) * 100);
+    last = diners::analysis::measure_starvation(
+        system, engine, 10 * static_cast<std::uint64_t>(n) * 100);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_LocalityOrderedResource)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(1);
+
+// Multiple well-separated crashes on a 2-D grid: the paper's claim is per
+// dead process; radius must still be <= 2 with several simultaneous faults.
+void BM_LocalityMultipleCrashes(benchmark::State& state) {
+  const auto crashes = static_cast<std::uint32_t>(state.range(0));
+  diners::analysis::StarvationReport last;
+  for (auto _ : state) {
+    DinersSystem system(diners::graph::make_grid(8, 8));
+    diners::util::Xoshiro256 rng(7);
+    auto plan = diners::fault::CrashPlan::spread(
+        system.topology(), crashes, /*at_step=*/500, /*malicious_steps=*/16,
+        /*min_separation=*/4, rng);
+    diners::analysis::HarnessOptions options;
+    options.seed = 7;
+    diners::analysis::ExperimentHarness harness(
+        system, std::make_unique<diners::fault::SaturationWorkload>(),
+        std::move(plan), options);
+    harness.run(60000);
+    last = diners::analysis::measure_starvation(harness, 60000);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_LocalityMultipleCrashes)
+    ->Arg(1)->Arg(2)->Arg(3)->ArgName("crashes")->Iterations(1);
+
+}  // namespace

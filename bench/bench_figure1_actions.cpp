@@ -1,0 +1,69 @@
+// Experiment F1 — the Figure 1 algorithm as executable code.
+//
+// Micro-costs of the five actions' guards and of a full engine step, plus
+// end-to-end step throughput scaling with system size. The paper reports no
+// numbers here; this bench establishes the cost of the implementation.
+//
+// Rows reported:
+//   guard_eval/<action>        — one guard evaluation (ring of 64)
+//   engine_step/<n>            — one weakly-fair engine step, steps/s
+//   meals_throughput/<n>       — meals per second of simulated execution
+#include <benchmark/benchmark.h>
+
+#include "core/diners_system.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::core::DinersSystem;
+using diners::graph::make_ring;
+
+void BM_GuardEval(benchmark::State& state) {
+  const auto action = static_cast<diners::sim::ActionIndex>(state.range(0));
+  DinersSystem system(make_ring(64));
+  // Mid-ring process with both an ancestor and a descendant.
+  const DinersSystem::ProcessId p = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.enabled(p, action));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GuardEval)
+    ->Arg(DinersSystem::kJoin)
+    ->Arg(DinersSystem::kLeave)
+    ->Arg(DinersSystem::kEnter)
+    ->Arg(DinersSystem::kExit)
+    ->Arg(DinersSystem::kFixDepth)
+    ->ArgName("action");
+
+void BM_EngineStep(benchmark::State& state) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  DinersSystem system(make_ring(n));
+  diners::sim::Engine engine(system, diners::sim::make_daemon("round-robin", 1),
+                             256);
+  for (auto _ : state) {
+    if (!engine.step()) state.SkipWithError("program terminated");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineStep)->Arg(8)->Arg(32)->Arg(128)->ArgName("n");
+
+void BM_MealsThroughput(benchmark::State& state) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  DinersSystem system(make_ring(n));
+  diners::sim::Engine engine(system, diners::sim::make_daemon("round-robin", 1),
+                             256);
+  std::uint64_t meals_before = 0;
+  for (auto _ : state) {
+    engine.run(1000);
+  }
+  const std::uint64_t meals = system.total_meals() - meals_before;
+  state.counters["meals"] = static_cast<double>(meals);
+  state.counters["meals_per_1k_steps"] =
+      static_cast<double>(meals) /
+      (static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_MealsThroughput)->Arg(8)->Arg(32)->Arg(128)->ArgName("n");
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Experiment F2 — the Figure 2 example, end to end.
+//
+// Measures the recovery of the reconstructed Figure 2 scenario: steps until
+// the dynamic threshold fires (d yields), until the priority cycle e-f-g is
+// broken, and until e eats — the three narrated events — plus the steady
+// state meal distribution, under the paper's D and the sound threshold.
+#include <benchmark/benchmark.h>
+
+#include "core/figure2.hpp"
+#include "graph/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/trace.hpp"
+
+namespace {
+
+using diners::core::DinersSystem;
+using diners::core::Figure2;
+using diners::core::make_figure2_system;
+
+void BM_Figure2Recovery(benchmark::State& state) {
+  std::uint64_t cycle_broken_at = 0;
+  std::uint64_t d_yield_at = 0;
+  std::uint64_t e_eats_at = 0;
+  for (auto _ : state) {
+    auto system = make_figure2_system();
+    diners::sim::Engine engine(system,
+                               diners::sim::make_daemon("round-robin", 1), 64);
+    diners::sim::TraceRecorder trace;
+    trace.attach(engine);
+    bool cycle_was_broken = false;
+    while (engine.steps() < 2000) {
+      if (!cycle_was_broken &&
+          !diners::graph::has_directed_cycle(system.orientation(),
+                                             system.alive_fn())) {
+        cycle_was_broken = true;
+        cycle_broken_at = engine.steps();
+      }
+      if (system.meals(Figure2::e) > 0) break;
+      if (!engine.step()) break;
+    }
+    d_yield_at = trace.first(Figure2::d, "leave");
+    e_eats_at = trace.first(Figure2::e, "enter");
+  }
+  state.counters["d_yield_step"] = static_cast<double>(d_yield_at);
+  state.counters["cycle_broken_step"] = static_cast<double>(cycle_broken_at);
+  state.counters["e_eats_step"] = static_cast<double>(e_eats_at);
+}
+BENCHMARK(BM_Figure2Recovery);
+
+void BM_Figure2SteadyState(benchmark::State& state) {
+  const bool sound_threshold = state.range(0) != 0;
+  std::uint64_t meals_d = 0;
+  std::uint64_t meals_green = 0;
+  std::uint64_t spurious_b_exit = 0;
+  for (auto _ : state) {
+    auto reference = make_figure2_system();
+    diners::core::DinersConfig cfg;
+    if (sound_threshold) cfg.diameter_override = 6;
+    DinersSystem system(diners::graph::make_figure2_topology(), cfg);
+    for (DinersSystem::ProcessId p = 0; p < 7; ++p) {
+      system.set_state(p, reference.state(p));
+      system.set_needs(p, reference.needs(p));
+      if (!sound_threshold) system.set_depth(p, reference.depth(p));
+    }
+    for (const auto& e : system.topology().edges()) {
+      system.set_priority(e.u, e.v, reference.priority(e.u, e.v));
+    }
+    system.crash(Figure2::a);
+    diners::sim::Engine engine(system,
+                               diners::sim::make_daemon("round-robin", 1), 64);
+    diners::sim::TraceRecorder trace;
+    trace.attach(engine);
+    engine.run(20000);
+    meals_d = system.meals(Figure2::d);
+    meals_green = system.meals(Figure2::e) + system.meals(Figure2::g);
+    spurious_b_exit = trace.count(Figure2::b, "exit");
+  }
+  state.counters["meals_d"] = static_cast<double>(meals_d);
+  state.counters["meals_e_plus_g"] = static_cast<double>(meals_green);
+  state.counters["b_spurious_exits"] = static_cast<double>(spurious_b_exit);
+}
+// 0 = paper threshold D = 3 (d eventually released by b's spurious exit),
+// 1 = sound threshold n-1 = 6 (d stays sacrificed, as narrated).
+BENCHMARK(BM_Figure2SteadyState)->Arg(0)->Arg(1)->ArgName("sound");
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Experiment E3 — the cost of malice: recovery effort after a malicious
+// crash as a function of the number of arbitrary pre-halt steps, compared
+// with a benign crash (budget 0) and a pure transient fault (no crash).
+//
+// Expected shape: recovery steps grow only mildly with the malice budget
+// (the victim can only poison its own variables and incident edges, so the
+// damage is bounded by its neighborhood regardless of budget), supporting
+// the paper's thesis that malicious crashes are cheap to tolerate.
+#include <benchmark/benchmark.h>
+
+#include "analysis/invariants.hpp"
+#include "analysis/monitors.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::core::DinersSystem;
+
+void BM_MaliciousRecoverySteps(benchmark::State& state) {
+  const auto malice = static_cast<std::uint32_t>(state.range(0));
+  double total = 0;
+  double worst = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  for (auto _ : state) {
+    diners::core::DinersConfig cfg;
+    cfg.diameter_override = 23;  // sound threshold for n = 24
+    DinersSystem system(diners::graph::make_connected_gnp(24, 0.12, 5), cfg);
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", runs), 64);
+    engine.run(3000);  // reach steady state
+    diners::util::Xoshiro256 rng(runs + 1);
+    diners::fault::malicious_crash(
+        system, static_cast<diners::graph::NodeId>(rng.below(24)), malice,
+        rng);
+    engine.reset_ages();
+    const auto steps =
+        diners::analysis::steps_until_invariant(system, engine, 200000, 8);
+    if (steps) {
+      total += static_cast<double>(*steps);
+      worst = std::max(worst, static_cast<double>(*steps));
+    } else {
+      ++failures;
+    }
+    ++runs;
+  }
+  state.counters["mean_recovery_steps"] =
+      runs > failures ? total / static_cast<double>(runs - failures) : -1.0;
+  state.counters["worst_recovery_steps"] = worst;
+  state.counters["non_converged"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_MaliciousRecoverySteps)
+    ->Arg(0)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->ArgName("malice")->Iterations(5);
+
+// Reference point: a full transient fault (every variable in the system
+// corrupted, nobody crashes) — strictly more damage than any malicious
+// crash can do.
+void BM_TransientRecoverySteps(benchmark::State& state) {
+  double total = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    diners::core::DinersConfig cfg;
+    cfg.diameter_override = 23;
+    DinersSystem system(diners::graph::make_connected_gnp(24, 0.12, 5), cfg);
+    diners::util::Xoshiro256 rng(runs + 1);
+    diners::fault::corrupt_global_state(system, rng);
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", runs), 64);
+    const auto steps =
+        diners::analysis::steps_until_invariant(system, engine, 200000, 8);
+    total += steps ? static_cast<double>(*steps) : 200000.0;
+    ++runs;
+  }
+  state.counters["mean_recovery_steps"] = total / static_cast<double>(runs);
+}
+BENCHMARK(BM_TransientRecoverySteps)->Iterations(5);
+
+// Meals lost to a malicious crash: throughput of the green region before
+// and after, as a function of malice budget.
+void BM_MaliciousThroughputDip(benchmark::State& state) {
+  const auto malice = static_cast<std::uint32_t>(state.range(0));
+  double before_rate = 0;
+  double after_rate = 0;
+  for (auto _ : state) {
+    DinersSystem system(diners::graph::make_grid(6, 6));
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 3), 64);
+    engine.run(5000);
+    const auto meals_a = system.total_meals();
+    engine.run(10000);
+    before_rate = static_cast<double>(system.total_meals() - meals_a) / 10.0;
+    diners::util::Xoshiro256 rng(9);
+    diners::fault::malicious_crash(system, 14 /* interior node */, malice,
+                                   rng);
+    engine.reset_ages();
+    engine.run(5000);  // absorb
+    const auto meals_b = system.total_meals();
+    engine.run(10000);
+    after_rate = static_cast<double>(system.total_meals() - meals_b) / 10.0;
+  }
+  state.counters["meals_per_1k_before"] = before_rate;
+  state.counters["meals_per_1k_after"] = after_rate;
+}
+BENCHMARK(BM_MaliciousThroughputDip)
+    ->Arg(0)->Arg(16)->Arg(128)->ArgName("malice")->Iterations(1);
+
+}  // namespace

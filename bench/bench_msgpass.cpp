@@ -1,0 +1,147 @@
+// Experiment E8 — the message-passing transformation (paper §4): messages
+// per meal, meal throughput per scheduler step, and the recovery cost of a
+// corrupted network, versus the shared-memory original.
+//
+// Expected shape: the handshake costs a small constant number of messages
+// per edge per protocol phase; meals per step drop relative to shared
+// memory (each composite step becomes a handshake round trip).
+#include <benchmark/benchmark.h>
+
+#include "core/diners_system.hpp"
+#include "graph/generators.hpp"
+#include "lowatomic/rw_diners.hpp"
+#include "msgpass/mp_diners.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::msgpass::MessagePassingDiners;
+using P = diners::graph::NodeId;
+
+void BM_MpThroughput(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  double meals_per_1k = 0;
+  double msgs_per_meal = 0;
+  for (auto _ : state) {
+    MessagePassingDiners system(diners::graph::make_ring(n));
+    system.run(5000);  // warmup
+    const auto meals_before = system.total_meals();
+    const auto msgs_before = system.messages_delivered();
+    const std::uint64_t window = 50000;
+    system.run(window);
+    const auto meals = system.total_meals() - meals_before;
+    const auto msgs = system.messages_delivered() - msgs_before;
+    meals_per_1k = static_cast<double>(meals) * 1000.0 /
+                   static_cast<double>(window);
+    msgs_per_meal = meals > 0 ? static_cast<double>(msgs) /
+                                    static_cast<double>(meals)
+                              : -1.0;
+  }
+  state.counters["meals_per_1k_steps"] = meals_per_1k;
+  state.counters["msgs_per_meal"] = msgs_per_meal;
+}
+BENCHMARK(BM_MpThroughput)
+    ->Arg(6)->Arg(12)->Arg(24)->ArgName("n")->Iterations(1);
+
+// Shared-memory reference on the same topology and step budget.
+void BM_SharedMemoryReference(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  double meals_per_1k = 0;
+  for (auto _ : state) {
+    diners::core::DinersSystem system(diners::graph::make_ring(n));
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 128);
+    engine.run(5000);
+    const auto before = system.total_meals();
+    engine.run(50000);
+    meals_per_1k =
+        static_cast<double>(system.total_meals() - before) * 1000.0 / 50000.0;
+  }
+  state.counters["meals_per_1k_steps"] = meals_per_1k;
+}
+BENCHMARK(BM_SharedMemoryReference)
+    ->Arg(6)->Arg(12)->Arg(24)->ArgName("n")->Iterations(1);
+
+void BM_MpCorruptionRecovery(benchmark::State& state) {
+  // Steps until meals resume after full local + channel corruption.
+  double steps_to_first_meal = 0;
+  for (auto _ : state) {
+    MessagePassingDiners system(diners::graph::make_ring(12));
+    diners::util::Xoshiro256 rng(17);
+    system.corrupt(rng);
+    const auto meals_before = system.total_meals();
+    std::uint64_t steps = 0;
+    while (system.total_meals() == meals_before && steps < 500000) {
+      system.step();
+      ++steps;
+    }
+    steps_to_first_meal = static_cast<double>(steps);
+  }
+  state.counters["steps_to_first_meal"] = steps_to_first_meal;
+}
+BENCHMARK(BM_MpCorruptionRecovery)->Iterations(1);
+
+void BM_MpCrashLocalityThroughput(benchmark::State& state) {
+  // Meal throughput of the far side of a path after the head crashes.
+  double after_rate = 0;
+  for (auto _ : state) {
+    MessagePassingDiners system(diners::graph::make_path(10));
+    system.run(20000);
+    system.crash(0);
+    system.run(20000);  // absorb
+    const auto before = system.total_meals();
+    system.run(50000);
+    after_rate =
+        static_cast<double>(system.total_meals() - before) * 1000.0 / 50000.0;
+  }
+  state.counters["meals_per_1k_after_crash"] = after_rate;
+}
+BENCHMARK(BM_MpCrashLocalityThroughput)->Iterations(1);
+
+// E10 — why the handshake exists: violation rate of the naive read/write
+// refinement vs the handshake-based runtime, same topology and budget.
+void BM_NaiveRwViolationRate(benchmark::State& state) {
+  double violations_per_1k_meals = 0;
+  for (auto _ : state) {
+    std::uint64_t violations = 0;
+    std::uint64_t meals = 0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      diners::lowatomic::NaiveRwDiners s(diners::graph::make_ring(8));
+      diners::sim::Engine engine(
+          s, diners::sim::make_daemon("random", seed), 256);
+      engine.run(40000);
+      violations += s.violations_entered();
+      meals += s.total_meals();
+    }
+    violations_per_1k_meals =
+        meals ? 1000.0 * static_cast<double>(violations) /
+                    static_cast<double>(meals)
+              : 0.0;
+  }
+  state.counters["violations_per_1k_meals"] = violations_per_1k_meals;
+}
+BENCHMARK(BM_NaiveRwViolationRate)->Iterations(1);
+
+void BM_HandshakeViolationRate(benchmark::State& state) {
+  double violations = 0;
+  for (auto _ : state) {
+    std::uint64_t seen = 0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      diners::msgpass::MpOptions options;
+      options.seed = seed;
+      MessagePassingDiners s(diners::graph::make_ring(8), {}, options);
+      std::size_t last = 0;
+      for (int i = 0; i < 40000; ++i) {
+        s.step();
+        const std::size_t now = s.eating_violations();
+        if (now > last) seen += now - last;
+        last = now;
+      }
+    }
+    violations = static_cast<double>(seen);
+  }
+  state.counters["violations_entered"] = violations;
+}
+BENCHMARK(BM_HandshakeViolationRate)->Iterations(1);
+
+}  // namespace

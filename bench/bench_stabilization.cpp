@@ -1,0 +1,109 @@
+// Experiment E1 — Theorem 1 quantified: steps to converge to the invariant
+// I = NC ∧ ST ∧ E from a uniformly random state, versus system size and
+// topology. Uses the sound cycle threshold n-1 (see DESIGN.md §7) so that
+// convergence is well defined on every topology.
+//
+// Expected shape: convergence cost grows roughly linearly with n on sparse
+// topologies (depth propagation + one spurious exit per poisoned chain) and
+// is dominated by cycle breaking on cyclic ones.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/monitors.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::core::DinersConfig;
+using diners::core::DinersSystem;
+using diners::graph::Graph;
+
+Graph topology(const std::string& kind, diners::graph::NodeId n,
+               std::uint64_t seed) {
+  if (kind == "ring") return diners::graph::make_ring(n);
+  if (kind == "path") return diners::graph::make_path(n);
+  if (kind == "grid") return diners::graph::make_grid(n / 4, 4);
+  if (kind == "tree") return diners::graph::make_random_tree(n, seed);
+  return diners::graph::make_connected_gnp(n, 0.1, seed);
+}
+
+void run_case(benchmark::State& state, const std::string& kind) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  double total_steps = 0;
+  double worst = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const std::uint64_t seed = 1000 + runs;
+    auto g = topology(kind, n, seed);
+    DinersConfig cfg;
+    cfg.diameter_override = g.num_nodes() - 1;
+    DinersSystem system(std::move(g), cfg);
+    diners::util::Xoshiro256 rng(seed);
+    diners::fault::corrupt_global_state(system, rng);
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", seed), 64);
+    const auto steps =
+        diners::analysis::steps_until_invariant(system, engine, 500000, 16);
+    if (steps) {
+      total_steps += static_cast<double>(*steps);
+      worst = std::max(worst, static_cast<double>(*steps));
+    } else {
+      ++failures;
+    }
+    ++runs;
+  }
+  state.counters["mean_steps_to_I"] = total_steps / static_cast<double>(runs);
+  state.counters["worst_steps_to_I"] = worst;
+  state.counters["non_converged"] = static_cast<double>(failures);
+}
+
+void BM_StabilizeRing(benchmark::State& state) { run_case(state, "ring"); }
+void BM_StabilizePath(benchmark::State& state) { run_case(state, "path"); }
+void BM_StabilizeGrid(benchmark::State& state) { run_case(state, "grid"); }
+void BM_StabilizeTree(benchmark::State& state) { run_case(state, "tree"); }
+void BM_StabilizeGnp(benchmark::State& state) { run_case(state, "gnp"); }
+
+BENCHMARK(BM_StabilizeRing)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(5);
+BENCHMARK(BM_StabilizePath)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(5);
+BENCHMARK(BM_StabilizeGrid)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(5);
+BENCHMARK(BM_StabilizeTree)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(5);
+BENCHMARK(BM_StabilizeGnp)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(5);
+
+// The erratum, measured: with the paper's D = diameter, complete graphs
+// never reach ST (perpetual spurious-exit churn), while the sound threshold
+// converges promptly.
+void BM_ThresholdErratum(benchmark::State& state) {
+  const bool sound = state.range(0) != 0;
+  std::uint64_t failures = 0;
+  std::uint64_t runs = 0;
+  double total_steps = 0;
+  for (auto _ : state) {
+    DinersConfig cfg;
+    if (sound) cfg.diameter_override = 7;  // n - 1
+    DinersSystem system(diners::graph::make_complete(8), cfg);
+    diners::util::Xoshiro256 rng(42 + runs);
+    diners::fault::corrupt_global_state(system, rng);
+    diners::sim::Engine engine(system,
+                               diners::sim::make_daemon("round-robin", 1), 64);
+    const auto steps =
+        diners::analysis::steps_until_invariant(system, engine, 60000, 16);
+    if (steps) {
+      total_steps += static_cast<double>(*steps);
+    } else {
+      ++failures;
+    }
+    ++runs;
+  }
+  state.counters["non_converged"] = static_cast<double>(failures);
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["mean_steps_to_I"] =
+      failures == runs ? -1.0 : total_steps / static_cast<double>(runs - failures);
+}
+BENCHMARK(BM_ThresholdErratum)->Arg(0)->Arg(1)->ArgName("sound")->Iterations(3);
+
+}  // namespace

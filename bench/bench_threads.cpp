@@ -1,0 +1,85 @@
+// Experiment E7 — the real-thread substrate: wall-clock meal throughput of
+// the threaded implementation as philosophers scale, fault-free and with a
+// live malicious crash mid-run.
+//
+// Expected shape: on a ring, meals/second grows with n (independent meals
+// overlap) until core contention saturates; a malicious crash costs only
+// the victim's neighborhood.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+
+#include "graph/generators.hpp"
+#include "threads/threaded_diners.hpp"
+
+namespace {
+
+using diners::threads::ThreadedDiners;
+using diners::threads::ThreadedOptions;
+
+void BM_ThreadedMealRate(benchmark::State& state) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  double meals_per_sec = 0;
+  for (auto _ : state) {
+    ThreadedDiners t(diners::graph::make_ring(n), {},
+                     ThreadedOptions{.eat_us = 0, .idle_us = 5, .seed = 1});
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));  // warmup
+    const auto before = t.total_meals();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    meals_per_sec =
+        static_cast<double>(t.total_meals() - before) / elapsed;
+    t.stop();
+  }
+  state.counters["meals_per_sec"] = meals_per_sec;
+}
+BENCHMARK(BM_ThreadedMealRate)
+    ->Arg(3)->Arg(4)->Arg(8)->Arg(16)
+    ->ArgName("philosophers")->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedMaliciousCrashImpact(benchmark::State& state) {
+  const auto malice = static_cast<std::uint32_t>(state.range(0));
+  double before_rate = 0;
+  double after_rate = 0;
+  for (auto _ : state) {
+    ThreadedDiners t(diners::graph::make_ring(12), {},
+                     ThreadedOptions{.eat_us = 0, .idle_us = 5, .seed = 2});
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto window = [&](double& rate) {
+      const auto before = t.total_meals();
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      rate = static_cast<double>(t.total_meals() - before) / 0.25;
+    };
+    window(before_rate);
+    t.malicious_crash(4, malice);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));  // absorb
+    window(after_rate);
+    t.stop();
+  }
+  state.counters["meals_per_sec_before"] = before_rate;
+  state.counters["meals_per_sec_after"] = after_rate;
+}
+BENCHMARK(BM_ThreadedMaliciousCrashImpact)
+    ->Arg(0)->Arg(64)->ArgName("malice")->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedSnapshotCost(benchmark::State& state) {
+  ThreadedDiners t(diners::graph::make_ring(16), {},
+                   ThreadedOptions{.eat_us = 0, .idle_us = 5, .seed = 3});
+  t.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.snapshot());
+  }
+  t.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadedSnapshotCost);
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Experiment E5 — the fault-free performance price of malicious-crash
+// tolerance: meals per 1000 scheduler steps and hungry->eat latency for the
+// paper's algorithm vs. the classic baselines, across size and topology.
+//
+// Expected shape: Chandy-Misra and ordered-resource move tokens/forks and so
+// pay several steps per meal; the paper's algorithm pays guard evaluations
+// plus the leave/join churn of the dynamic threshold. None of them should
+// collapse with n (meals scale with independent sets, not 1/n).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "algorithms/chandy_misra.hpp"
+#include "algorithms/ordered_resource.hpp"
+#include "analysis/monitors.hpp"
+#include "core/diners_system.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using diners::graph::Graph;
+using P = diners::graph::NodeId;
+
+Graph topo(const std::string& kind, P n) {
+  if (kind == "ring") return diners::graph::make_ring(n);
+  if (kind == "grid") return diners::graph::make_grid(n / 4, 4);
+  return diners::graph::make_star(n);
+}
+
+template <typename System>
+void run_throughput(benchmark::State& state, const std::string& kind) {
+  const auto n = static_cast<P>(state.range(0));
+  double meals_per_1k = 0;
+  double latency_p50 = 0;
+  for (auto _ : state) {
+    System system(topo(kind, n));
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 128);
+    diners::analysis::MealLatencyMonitor latency(system, engine);
+    engine.run(2000);  // warmup
+    const auto before = system.total_meals();
+    const std::uint64_t window = 20000;
+    engine.run(window);
+    meals_per_1k = static_cast<double>(system.total_meals() - before) *
+                   1000.0 / static_cast<double>(window);
+    latency_p50 = latency.summary().p50;
+  }
+  state.counters["meals_per_1k_steps"] = meals_per_1k;
+  state.counters["latency_p50_steps"] = latency_p50;
+}
+
+void BM_ThroughputNAOnRing(benchmark::State& state) {
+  run_throughput<diners::core::DinersSystem>(state, "ring");
+}
+void BM_ThroughputCMOnRing(benchmark::State& state) {
+  run_throughput<diners::algorithms::ChandyMisraSystem>(state, "ring");
+}
+void BM_ThroughputOROnRing(benchmark::State& state) {
+  run_throughput<diners::algorithms::OrderedResourceSystem>(state, "ring");
+}
+void BM_ThroughputNAOnGrid(benchmark::State& state) {
+  run_throughput<diners::core::DinersSystem>(state, "grid");
+}
+void BM_ThroughputCMOnGrid(benchmark::State& state) {
+  run_throughput<diners::algorithms::ChandyMisraSystem>(state, "grid");
+}
+void BM_ThroughputOROnGrid(benchmark::State& state) {
+  run_throughput<diners::algorithms::OrderedResourceSystem>(state, "grid");
+}
+
+BENCHMARK(BM_ThroughputNAOnRing)
+    ->Arg(8)->Arg(32)->Arg(128)->ArgName("n")->Iterations(1);
+BENCHMARK(BM_ThroughputCMOnRing)
+    ->Arg(8)->Arg(32)->Arg(128)->ArgName("n")->Iterations(1);
+BENCHMARK(BM_ThroughputOROnRing)
+    ->Arg(8)->Arg(32)->Arg(128)->ArgName("n")->Iterations(1);
+BENCHMARK(BM_ThroughputNAOnGrid)
+    ->Arg(16)->Arg(64)->ArgName("n")->Iterations(1);
+BENCHMARK(BM_ThroughputCMOnGrid)
+    ->Arg(16)->Arg(64)->ArgName("n")->Iterations(1);
+BENCHMARK(BM_ThroughputOROnGrid)
+    ->Arg(16)->Arg(64)->ArgName("n")->Iterations(1);
+
+// Ablation: what does the dynamic threshold cost fault-free? `leave`
+// causes extra yield/rejoin churn under contention; measure NA with and
+// without it (both are correct fault-free; only locality differs).
+void BM_AblationNoThresholdRing(benchmark::State& state) {
+  const auto n = static_cast<P>(state.range(0));
+  double meals_per_1k = 0;
+  for (auto _ : state) {
+    diners::core::DinersConfig cfg;
+    cfg.enable_dynamic_threshold = false;
+    diners::core::DinersSystem system(topo("ring", n), cfg);
+    diners::sim::Engine engine(
+        system, diners::sim::make_daemon("round-robin", 1), 128);
+    engine.run(2000);
+    const auto before = system.total_meals();
+    engine.run(20000);
+    meals_per_1k =
+        static_cast<double>(system.total_meals() - before) * 1000.0 / 20000.0;
+  }
+  state.counters["meals_per_1k_steps"] = meals_per_1k;
+}
+BENCHMARK(BM_AblationNoThresholdRing)
+    ->Arg(8)->Arg(32)->Arg(128)->ArgName("n")->Iterations(1);
+
+// Contention sweep: a star is the worst case (the hub conflicts with
+// everyone). Reported per algorithm at fixed size.
+void BM_ContentionStarNA(benchmark::State& state) {
+  run_throughput<diners::core::DinersSystem>(state, "star");
+}
+void BM_ContentionStarCM(benchmark::State& state) {
+  run_throughput<diners::algorithms::ChandyMisraSystem>(state, "star");
+}
+BENCHMARK(BM_ContentionStarNA)
+    ->Arg(8)->Arg(32)->ArgName("n")->Iterations(1);
+BENCHMARK(BM_ContentionStarCM)
+    ->Arg(8)->Arg(32)->ArgName("n")->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Domain scenario: a storage cluster's lock manager built on the paper's
+// algorithm.
+//
+// Interpretation: each node of a storage cluster periodically needs an
+// exclusive maintenance window (compaction) that conflicts with the nodes it
+// shares replicas with — "eating" = holding the compaction lock, the
+// conflict graph = the diners topology. Nodes fail by *malicious crash*:
+// before a failing node goes silent, its last writes may be garbage
+// (exactly the paper's fault model for a corrupted node).
+//
+// The demo builds a replica-overlap conflict graph (a torus: each node
+// conflicts with 4 neighbors), runs a sporadic compaction workload, kills
+// two nodes maliciously, and reports lock throughput plus which nodes lost
+// service — expected: only nodes within distance 2 of a corpse.
+//
+// Run: ./cluster_lock_manager [--rows=6 --cols=6 --malice=48 --seed=3]
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/harness.hpp"
+#include "analysis/invariants.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "fault/workload.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  diners::util::Flags flags;
+  flags.define("rows", "6", "torus rows")
+      .define("cols", "6", "torus cols")
+      .define("malice", "48", "garbage writes per failing node")
+      .define("seed", "3", "rng seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto rows = static_cast<diners::graph::NodeId>(flags.i64("rows"));
+  const auto cols = static_cast<diners::graph::NodeId>(flags.i64("cols"));
+  const auto malice = static_cast<std::uint32_t>(flags.i64("malice"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+
+  diners::core::DinersSystem cluster(diners::graph::make_torus(rows, cols));
+  const auto n = cluster.topology().num_nodes();
+  std::cout << "cluster: " << rows << "x" << cols
+            << " torus, every node conflicts with its 4 replica peers\n";
+
+  // Sporadic compaction demand: nodes want the lock now and then.
+  diners::analysis::HarnessOptions options;
+  options.daemon = "random";
+  options.seed = seed;
+  diners::util::Xoshiro256 rng(seed);
+  auto plan = diners::fault::CrashPlan::spread(
+      cluster.topology(), /*count=*/2, /*at_step=*/8000, malice,
+      /*min_separation=*/4, rng);
+  const auto victims = plan.victims();
+  diners::analysis::ExperimentHarness harness(
+      cluster,
+      std::make_unique<diners::fault::RandomToggleWorkload>(0.3, 0.02, seed),
+      std::move(plan), options);
+
+  // Phase 1: healthy cluster.
+  harness.run(8000);
+  const auto healthy_meals = cluster.total_meals();
+  std::cout << "phase 1 (healthy, 8k steps): " << healthy_meals
+            << " compaction windows granted\n";
+
+  // Phase 2: the two victims flame out mid-run (the harness fires the plan),
+  // then the cluster keeps operating.
+  harness.run(12000);
+  std::cout << "phase 2: nodes";
+  for (auto v : victims) std::cout << ' ' << v;
+  std::cout << " failed maliciously (" << malice
+            << " garbage writes each), cluster kept running\n";
+
+  // Phase 3: measure service per node.
+  cluster.reset_meals();
+  harness.run(30000);
+
+  std::vector<diners::graph::NodeId> dead = cluster.dead_processes();
+  const auto dist = diners::graph::distances_to_set(
+      cluster.topology(), std::span<const diners::graph::NodeId>(dead));
+
+  std::uint64_t meals_far = 0;
+  std::uint64_t nodes_far = 0;
+  std::uint64_t starved_near = 0;
+  std::uint64_t starved_far = 0;
+  for (diners::graph::NodeId p = 0; p < n; ++p) {
+    if (!cluster.alive(p)) continue;
+    if (dist[p] >= 3) {
+      ++nodes_far;
+      meals_far += cluster.meals(p);
+      if (cluster.meals(p) == 0 && cluster.needs(p)) ++starved_far;
+    } else if (cluster.meals(p) == 0 && cluster.needs(p)) {
+      ++starved_near;
+    }
+  }
+
+  diners::util::Table table({"zone", "nodes", "observation"});
+  table.add_row({std::string("corpses"),
+                 static_cast<std::int64_t>(dead.size()),
+                 std::string("silent, garbage absorbed")});
+  table.add_row(
+      {std::string("blast radius (dist <= 2)"),
+       static_cast<std::int64_t>(
+           std::count_if(dist.begin(), dist.end(),
+                         [](std::uint32_t d) { return d > 0 && d <= 2; })),
+       std::string(std::to_string(starved_near) +
+                   " node(s) lost lock service")});
+  table.add_row({std::string("healthy zone (dist >= 3)"),
+                 static_cast<std::int64_t>(nodes_far),
+                 std::string(std::to_string(meals_far) +
+                             " windows granted, " +
+                             std::to_string(starved_far) + " starved")});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::cout << "\ninvariant I holds after recovery: "
+            << (diners::analysis::holds_invariant(cluster) ? "yes" : "no")
+            << "\n";
+  std::cout << (starved_far == 0
+                    ? "SUCCESS: damage contained within distance 2.\n"
+                    : "UNEXPECTED: a distant node starved.\n");
+  return starved_far == 0 ? 0 : 1;
+}

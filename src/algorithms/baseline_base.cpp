@@ -1,0 +1,21 @@
+#include "algorithms/baseline_base.hpp"
+
+namespace diners::algorithms {
+
+BaselineBase::BaselineBase(graph::Graph g) : graph_(std::move(g)) {
+  const auto n = graph_.num_nodes();
+  states_.assign(n, core::DinerState::kThinking);
+  needs_.assign(n, 1);
+  alive_.assign(n, 1);
+  meals_.assign(n, 0);
+}
+
+std::vector<BaselineBase::ProcessId> BaselineBase::dead_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < graph_.num_nodes(); ++p) {
+    if (!alive_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace diners::algorithms

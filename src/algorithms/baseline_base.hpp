@@ -1,0 +1,54 @@
+// Shared plumbing for the baseline philosopher programs: topology, T/H/E
+// states, appetite, liveness flags, and meal accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/philosopher_program.hpp"
+#include "graph/graph.hpp"
+
+namespace diners::algorithms {
+
+class BaselineBase : public core::PhilosopherProgram {
+ public:
+  explicit BaselineBase(graph::Graph g);
+
+  const graph::Graph& topology() const override { return graph_; }
+  bool alive(ProcessId p) const override { return alive_.at(p) != 0; }
+
+  [[nodiscard]] core::DinerState state(ProcessId p) const override {
+    return states_.at(p);
+  }
+  void set_needs(ProcessId p, bool wants) override {
+    needs_.at(p) = wants ? 1 : 0;
+  }
+  [[nodiscard]] bool needs(ProcessId p) const override {
+    return needs_.at(p) != 0;
+  }
+  void crash(ProcessId p) override { alive_.at(p) = 0; }
+  [[nodiscard]] std::vector<ProcessId> dead_processes() const override;
+  [[nodiscard]] std::uint64_t meals(ProcessId p) const override {
+    return meals_.at(p);
+  }
+  [[nodiscard]] std::uint64_t total_meals() const override {
+    return total_meals_;
+  }
+
+ protected:
+  void record_meal(ProcessId p) {
+    ++meals_[p];
+    ++total_meals_;
+  }
+
+  graph::Graph graph_;
+  std::vector<core::DinerState> states_;
+  std::vector<std::uint8_t> needs_;
+  std::vector<std::uint8_t> alive_;
+
+ private:
+  std::vector<std::uint64_t> meals_;
+  std::uint64_t total_meals_ = 0;
+};
+
+}  // namespace diners::algorithms

@@ -1,0 +1,126 @@
+#include "algorithms/chandy_misra.hpp"
+
+#include <stdexcept>
+
+namespace diners::algorithms {
+
+using core::DinerState;
+
+ChandyMisraSystem::ChandyMisraSystem(graph::Graph g)
+    : BaselineBase(std::move(g)) {
+  edges_.reserve(graph_.num_edges());
+  for (const auto& e : graph_.edges()) {
+    // Dirty fork at the lower id, token opposite: acyclic precedence.
+    edges_.push_back(EdgeVars{e.u, e.v, /*dirty=*/true});
+  }
+}
+
+sim::ActionIndex ChandyMisraSystem::num_actions(ProcessId p) const {
+  return kPerEdgeBase +
+         static_cast<sim::ActionIndex>(2 * graph_.degree(p));
+}
+
+std::pair<std::size_t, bool> ChandyMisraSystem::decode(sim::ActionIndex a) {
+  const auto rel = a - kPerEdgeBase;
+  return {rel / 2, rel % 2 == 0};  // even = request, odd = grant
+}
+
+std::string_view ChandyMisraSystem::action_name(ProcessId p,
+                                                sim::ActionIndex a) const {
+  switch (a) {
+    case kJoin: return "join";
+    case kEnter: return "enter";
+    case kExit: return "exit";
+    default: {
+      if (a >= num_actions(p)) throw std::out_of_range("action_name");
+      return decode(a).second ? "request" : "grant";
+    }
+  }
+}
+
+const ChandyMisraSystem::EdgeVars& ChandyMisraSystem::vars(ProcessId p,
+                                                           ProcessId q) const {
+  const auto e = graph_.edge_index(p, q);
+  if (e == graph::kNoEdge) {
+    throw std::invalid_argument("ChandyMisraSystem: not neighbors");
+  }
+  return edges_[e];
+}
+
+ChandyMisraSystem::ProcessId ChandyMisraSystem::fork_at(ProcessId p,
+                                                        ProcessId q) const {
+  return vars(p, q).fork_at;
+}
+
+bool ChandyMisraSystem::fork_dirty(ProcessId p, ProcessId q) const {
+  return vars(p, q).dirty;
+}
+
+ChandyMisraSystem::ProcessId ChandyMisraSystem::token_at(ProcessId p,
+                                                         ProcessId q) const {
+  return vars(p, q).token_at;
+}
+
+bool ChandyMisraSystem::holds_all_forks(ProcessId p) const {
+  for (graph::EdgeId e : graph_.incident_edges(p)) {
+    if (edges_[e].fork_at != p) return false;
+  }
+  return true;
+}
+
+bool ChandyMisraSystem::enabled(ProcessId p, sim::ActionIndex a) const {
+  switch (a) {
+    case kJoin:
+      return needs_[p] != 0 && states_[p] == DinerState::kThinking;
+    case kEnter:
+      return states_[p] == DinerState::kHungry && holds_all_forks(p);
+    case kExit:
+      return states_[p] == DinerState::kEating;
+    default: {
+      if (a >= num_actions(p)) throw std::out_of_range("enabled");
+      const auto [slot, is_request] = decode(a);
+      const graph::EdgeId e = graph_.incident_edges(p)[slot];
+      const EdgeVars& v = edges_[e];
+      if (is_request) {
+        // Hungry, fork elsewhere, I hold the request token.
+        return states_[p] == DinerState::kHungry && v.fork_at != p &&
+               v.token_at == p;
+      }
+      // Grant: requested (token here), fork here and dirty, not eating.
+      return v.fork_at == p && v.dirty && v.token_at == p &&
+             states_[p] != DinerState::kEating;
+    }
+  }
+}
+
+void ChandyMisraSystem::execute(ProcessId p, sim::ActionIndex a) {
+  if (!enabled(p, a)) throw std::logic_error("execute: not enabled");
+  switch (a) {
+    case kJoin:
+      states_[p] = DinerState::kHungry;
+      break;
+    case kEnter:
+      states_[p] = DinerState::kEating;
+      for (graph::EdgeId e : graph_.incident_edges(p)) edges_[e].dirty = true;
+      record_meal(p);
+      break;
+    case kExit:
+      states_[p] = DinerState::kThinking;
+      break;
+    default: {
+      const auto [slot, is_request] = decode(a);
+      const graph::EdgeId e = graph_.incident_edges(p)[slot];
+      const ProcessId q = graph_.neighbors(p)[slot];
+      EdgeVars& v = edges_[e];
+      if (is_request) {
+        v.token_at = q;  // ask the holder
+      } else {
+        v.fork_at = q;  // yield the dirty fork, wiped clean
+        v.dirty = false;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace diners::algorithms

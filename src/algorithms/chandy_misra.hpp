@@ -1,0 +1,66 @@
+// Chandy & Misra's hygienic dining philosophers (ACM TOPLAS 1984), rendered
+// in the shared-memory guarded-command model so the same engine executes it.
+//
+// Per edge {p, q} three shared variables: which endpoint holds the fork,
+// whether the fork is dirty, and which endpoint holds the request token.
+// Rules (per process p, for each incident edge to q):
+//
+//   join:      needs(p) ∧ T → H
+//   request_q: H ∧ fork at q ∧ token at p        → token moves to q
+//   grant_q:   fork at p ∧ dirty ∧ token at p ∧ state ≠ E
+//                                                → fork moves to q, clean
+//   enter:     H ∧ every incident fork at p      → E, all incident forks dirty
+//   exit:      E → T
+//
+// Hygiene: a hungry process keeps clean forks; dirty requested forks must be
+// yielded unless eating. The initial placement (forks dirty at the lower id,
+// tokens at the higher id) makes the precedence graph acyclic.
+//
+// This is the paper's comparison point: a classic fault-intolerant diners
+// algorithm. A crashed fork holder starves its neighbors, which then retain
+// clean forks forever, starving *their* neighbors — waiting chains of
+// unbounded length (failure locality Θ(diameter), not 2), which experiment
+// E2 measures.
+#pragma once
+
+#include <cstdint>
+
+#include "algorithms/baseline_base.hpp"
+
+namespace diners::algorithms {
+
+class ChandyMisraSystem final : public BaselineBase {
+ public:
+  /// Action layout: kJoin, kEnter, kExit, then per incident-edge slot i
+  /// (aligned with topology().neighbors(p)): request_i, grant_i.
+  enum Action : sim::ActionIndex { kJoin = 0, kEnter = 1, kExit = 2 };
+  static constexpr sim::ActionIndex kPerEdgeBase = 3;
+
+  explicit ChandyMisraSystem(graph::Graph g);
+
+  sim::ActionIndex num_actions(ProcessId p) const override;
+  std::string_view action_name(ProcessId p, sim::ActionIndex a) const override;
+  bool enabled(ProcessId p, sim::ActionIndex a) const override;
+  void execute(ProcessId p, sim::ActionIndex a) override;
+
+  // --- introspection for tests -------------------------------------------
+  [[nodiscard]] ProcessId fork_at(ProcessId p, ProcessId q) const;
+  [[nodiscard]] bool fork_dirty(ProcessId p, ProcessId q) const;
+  [[nodiscard]] ProcessId token_at(ProcessId p, ProcessId q) const;
+  [[nodiscard]] bool holds_all_forks(ProcessId p) const;
+
+ private:
+  struct EdgeVars {
+    ProcessId fork_at;
+    ProcessId token_at;
+    bool dirty;
+  };
+
+  [[nodiscard]] const EdgeVars& vars(ProcessId p, ProcessId q) const;
+  /// Decodes a per-edge action: slot index and whether it is a request.
+  [[nodiscard]] static std::pair<std::size_t, bool> decode(sim::ActionIndex a);
+
+  std::vector<EdgeVars> edges_;
+};
+
+}  // namespace diners::algorithms

@@ -1,0 +1,94 @@
+#include "algorithms/ordered_resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diners::algorithms {
+
+using core::DinerState;
+
+OrderedResourceSystem::OrderedResourceSystem(graph::Graph g)
+    : BaselineBase(std::move(g)) {
+  holder_.assign(graph_.num_edges(), graph::kNoNode);
+}
+
+std::string_view OrderedResourceSystem::action_name(ProcessId,
+                                                    sim::ActionIndex a) const {
+  switch (a) {
+    case kJoin: return "join";
+    case kAcquire: return "acquire";
+    case kEnter: return "enter";
+    case kExit: return "exit";
+    default: throw std::out_of_range("action_name");
+  }
+}
+
+graph::EdgeId OrderedResourceSystem::next_missing_fork(ProcessId p) const {
+  graph::EdgeId best = graph::kNoEdge;
+  for (graph::EdgeId e : graph_.incident_edges(p)) {
+    if (holder_[e] != p) best = std::min(best == graph::kNoEdge ? e : best, e);
+  }
+  return best;
+}
+
+OrderedResourceSystem::ProcessId OrderedResourceSystem::fork_holder(
+    ProcessId p, ProcessId q) const {
+  const auto e = graph_.edge_index(p, q);
+  if (e == graph::kNoEdge) {
+    throw std::invalid_argument("OrderedResourceSystem: not neighbors");
+  }
+  return holder_[e];
+}
+
+std::size_t OrderedResourceSystem::forks_held(ProcessId p) const {
+  std::size_t count = 0;
+  for (graph::EdgeId e : graph_.incident_edges(p)) {
+    if (holder_[e] == p) ++count;
+  }
+  return count;
+}
+
+bool OrderedResourceSystem::enabled(ProcessId p, sim::ActionIndex a) const {
+  switch (a) {
+    case kJoin:
+      return needs_[p] != 0 && states_[p] == DinerState::kThinking;
+    case kAcquire: {
+      if (states_[p] != DinerState::kHungry) return false;
+      const graph::EdgeId e = next_missing_fork(p);
+      return e != graph::kNoEdge && holder_[e] == graph::kNoNode;
+    }
+    case kEnter:
+      return states_[p] == DinerState::kHungry &&
+             next_missing_fork(p) == graph::kNoEdge;
+    case kExit:
+      return states_[p] == DinerState::kEating;
+    default:
+      throw std::out_of_range("enabled");
+  }
+}
+
+void OrderedResourceSystem::execute(ProcessId p, sim::ActionIndex a) {
+  if (!enabled(p, a)) throw std::logic_error("execute: not enabled");
+  switch (a) {
+    case kJoin:
+      states_[p] = DinerState::kHungry;
+      break;
+    case kAcquire:
+      holder_[next_missing_fork(p)] = p;
+      break;
+    case kEnter:
+      states_[p] = DinerState::kEating;
+      record_meal(p);
+      break;
+    case kExit:
+      states_[p] = DinerState::kThinking;
+      for (graph::EdgeId e : graph_.incident_edges(p)) {
+        if (holder_[e] == p) holder_[e] = graph::kNoNode;
+      }
+      break;
+    default:
+      throw std::out_of_range("execute");
+  }
+}
+
+}  // namespace diners::algorithms

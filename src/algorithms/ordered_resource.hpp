@@ -1,0 +1,43 @@
+// The ordered-resource (total-order fork acquisition) baseline, after
+// Dijkstra's hierarchical ordering: a hungry process acquires its incident
+// forks one at a time in increasing global edge-id order, holding earlier
+// forks while waiting for later ones. Deadlock-free because the acquisition
+// order is a total order; fault-intolerant because a crash while holding
+// forks blocks neighbors, which keep holding *their* earlier forks — again
+// unbounded waiting chains.
+#pragma once
+
+#include "algorithms/baseline_base.hpp"
+
+namespace diners::algorithms {
+
+class OrderedResourceSystem final : public BaselineBase {
+ public:
+  enum Action : sim::ActionIndex {
+    kJoin = 0,
+    kAcquire = 1,  ///< take the smallest missing incident fork if free
+    kEnter = 2,
+    kExit = 3,
+    kNumActions = 4,
+  };
+
+  explicit OrderedResourceSystem(graph::Graph g);
+
+  sim::ActionIndex num_actions(ProcessId) const override { return kNumActions; }
+  std::string_view action_name(ProcessId p, sim::ActionIndex a) const override;
+  bool enabled(ProcessId p, sim::ActionIndex a) const override;
+  void execute(ProcessId p, sim::ActionIndex a) override;
+
+  /// Holder of the fork on edge {p, q}; graph::kNoNode when free.
+  [[nodiscard]] ProcessId fork_holder(ProcessId p, ProcessId q) const;
+  [[nodiscard]] std::size_t forks_held(ProcessId p) const;
+
+ private:
+  /// Smallest incident edge id whose fork p does not hold; kNoEdge if p
+  /// holds all of them.
+  [[nodiscard]] graph::EdgeId next_missing_fork(ProcessId p) const;
+
+  std::vector<ProcessId> holder_;  ///< per edge id; kNoNode = free
+};
+
+}  // namespace diners::algorithms

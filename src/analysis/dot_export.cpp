@@ -1,0 +1,42 @@
+#include "analysis/dot_export.hpp"
+
+#include <sstream>
+
+#include "analysis/red_green.hpp"
+
+namespace diners::analysis {
+
+std::string to_dot(const core::DinersSystem& system,
+                   const DotOptions& options) {
+  using P = core::DinersSystem::ProcessId;
+  std::vector<bool> red;
+  if (options.classify) red = red_processes(system);
+
+  std::ostringstream os;
+  os << "digraph priority {\n";
+  os << "  rankdir=TB;\n  node [shape=circle, style=filled];\n";
+  for (P p = 0; p < system.topology().num_nodes(); ++p) {
+    os << "  p" << p << " [label=\"" << p << "\\n"
+       << core::to_string(system.state(p));
+    if (options.show_depths) os << " d=" << system.depth(p);
+    os << "\"";
+    if (!system.alive(p)) {
+      os << ", fillcolor=gray, fontcolor=white";
+    } else if (options.classify && red[p]) {
+      os << ", fillcolor=lightcoral";
+    } else {
+      os << ", fillcolor=palegreen";
+    }
+    os << "];\n";
+  }
+  for (const auto& e : system.topology().edges()) {
+    // The held id is the ancestor endpoint: draw ancestor -> descendant.
+    const P owner = system.priority(e.u, e.v);
+    const P other = owner == e.u ? e.v : e.u;
+    os << "  p" << owner << " -> p" << other << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace diners::analysis

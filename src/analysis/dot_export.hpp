@@ -1,0 +1,23 @@
+// Graphviz export of a system's priority graph: nodes labeled with state
+// and depth, colored by liveness/red-green classification; edges directed
+// ancestor -> descendant. Handy for debugging and for papers/slides.
+#pragma once
+
+#include <string>
+
+#include "core/diners_system.hpp"
+
+namespace diners::analysis {
+
+struct DotOptions {
+  /// Color green/red per the RD classification (slower: runs the fixpoint).
+  bool classify = true;
+  /// Include depth values in the node labels.
+  bool show_depths = true;
+};
+
+/// Renders the current priority graph as a `digraph` in DOT syntax.
+[[nodiscard]] std::string to_dot(const core::DinersSystem& system,
+                                 const DotOptions& options = {});
+
+}  // namespace diners::analysis

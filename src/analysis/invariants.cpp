@@ -1,0 +1,114 @@
+#include "analysis/invariants.hpp"
+
+#include <deque>
+
+#include "graph/algorithms.hpp"
+
+namespace diners::analysis {
+
+using core::DinerState;
+using core::DinersSystem;
+using ProcessId = DinersSystem::ProcessId;
+
+bool holds_nc(const DinersSystem& system) {
+  return !graph::has_directed_cycle(system.orientation(), system.alive_fn());
+}
+
+std::vector<bool> shallow_processes(const DinersSystem& system) {
+  const auto n = system.topology().num_nodes();
+  const auto orientation = system.orientation();
+  const auto chain = graph::longest_live_ancestor_chain(orientation,
+                                                        system.alive_fn());
+  const auto d = static_cast<std::int64_t>(system.diameter_constant());
+  std::vector<bool> shallow(n, false);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!system.alive(p)) {
+      shallow[p] = true;  // first disjunct of SH:p
+      continue;
+    }
+    if (system.depth(p) > d) continue;
+    // l:p; kUnreachable means the live ancestor chain is unbounded (cycle),
+    // in which case depth:q + l:p <= D can never hold.
+    const bool chain_bounded = chain[p] != graph::kUnreachable;
+    const auto lp = static_cast<std::int64_t>(chain[p]);
+    bool ok = true;
+    for (ProcessId q : system.direct_descendants(p)) {
+      const std::int64_t dq = system.depth(q);
+      const bool cannot_overflow = chain_bounded && dq + lp <= d;
+      const bool fixdepth_disabled = dq + 1 <= system.depth(p);
+      if (!cannot_overflow && !fixdepth_disabled) {
+        ok = false;
+        break;
+      }
+    }
+    shallow[p] = ok;
+  }
+  return shallow;
+}
+
+std::vector<bool> stably_shallow_processes(const DinersSystem& system) {
+  const auto n = system.topology().num_nodes();
+  const auto shallow = shallow_processes(system);
+  // A live process is stably shallow iff it is shallow and every live
+  // process reachable from it along descendant edges is shallow. Compute
+  // the set of processes that can reach a live deep process, by BFS from
+  // live deep processes along ancestor edges (reverse of descendant
+  // reachability).
+  std::vector<bool> reaches_deep(n, false);
+  std::deque<ProcessId> queue;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (system.alive(p) && !shallow[p]) {
+      reaches_deep[p] = true;
+      queue.push_back(p);
+    }
+  }
+  while (!queue.empty()) {
+    const ProcessId q = queue.front();
+    queue.pop_front();
+    // Everyone with q as a direct descendant (i.e. q's direct ancestors)
+    // has a descendant reaching a deep process.
+    for (ProcessId anc : system.direct_ancestors(q)) {
+      if (!reaches_deep[anc]) {
+        reaches_deep[anc] = true;
+        queue.push_back(anc);
+      }
+    }
+  }
+  std::vector<bool> stable(n, false);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!system.alive(p)) {
+      stable[p] = true;  // dead processes are stably shallow by definition
+    } else {
+      stable[p] = shallow[p] && !reaches_deep[p];
+    }
+  }
+  return stable;
+}
+
+bool holds_st(const DinersSystem& system) {
+  const auto stable = stably_shallow_processes(system);
+  for (bool s : stable) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+bool holds_e(const DinersSystem& system) {
+  return eating_violation_count(system) == 0;
+}
+
+std::size_t eating_violation_count(const DinersSystem& system) {
+  std::size_t count = 0;
+  for (const auto& e : system.topology().edges()) {
+    const bool both_eating = system.state(e.u) == DinerState::kEating &&
+                             system.state(e.v) == DinerState::kEating;
+    if (both_eating && (system.alive(e.u) || system.alive(e.v))) ++count;
+  }
+  return count;
+}
+
+bool holds_invariant(const DinersSystem& system) {
+  return holds_nc(system) && holds_st(system) && holds_e(system);
+}
+
+}  // namespace diners::analysis

@@ -1,0 +1,55 @@
+// Executable versions of the paper's correctness predicates (Section 3.1):
+//
+//   NC — "if the priority graph contains a cycle, at least one process in
+//        the cycle is dead" (Lemma 1);
+//   ST — "all processes in the system are stably shallow" (Lemma 3);
+//   E  — "two neighbors are eating in the same state only if they are both
+//        dead" (Lemma 4);
+//   I  =  NC ∧ ST ∧ E — the program invariant (Theorem 1: the program
+//        stabilizes to I).
+//
+// These are used by tests (closure/convergence properties) and by the
+// stabilization experiments (steps-to-I measurements).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/diners_system.hpp"
+
+namespace diners::analysis {
+
+/// NC: no directed cycle among live processes in the priority graph.
+[[nodiscard]] bool holds_nc(const core::DinersSystem& system);
+
+/// Per-process shallowness SH:p —
+///   p dead, or
+///   depth:p <= D and for every direct descendant q:
+///     depth:q + l:p <= D   (q's depth cannot push p's chain past D), or
+///     depth:q + 1 <= depth:p  (p's fixdepth is disabled for q).
+/// where l:p is the longest all-live ancestor chain including p.
+[[nodiscard]] std::vector<bool> shallow_processes(
+    const core::DinersSystem& system);
+
+/// Stably shallow: p is shallow and is dead or all its live descendants
+/// (reachability in the priority graph) are shallow.
+[[nodiscard]] std::vector<bool> stably_shallow_processes(
+    const core::DinersSystem& system);
+
+/// ST: every process is stably shallow.
+[[nodiscard]] bool holds_st(const core::DinersSystem& system);
+
+/// E: no two live-or-half-live neighbors eat simultaneously — for each edge,
+/// both endpoints eating implies both endpoints dead.
+[[nodiscard]] bool holds_e(const core::DinersSystem& system);
+
+/// The invariant I = NC ∧ ST ∧ E.
+[[nodiscard]] bool holds_invariant(const core::DinersSystem& system);
+
+/// Count of edges whose endpoints are simultaneously eating with at least
+/// one endpoint live (Theorem 3's measure: this count never increases, and
+/// is zero under I).
+[[nodiscard]] std::size_t eating_violation_count(
+    const core::DinersSystem& system);
+
+}  // namespace diners::analysis

@@ -1,0 +1,71 @@
+#include "analysis/monitors.hpp"
+
+#include <algorithm>
+
+#include "analysis/invariants.hpp"
+
+namespace diners::analysis {
+
+using core::DinerState;
+using core::DinersSystem;
+
+SafetyMonitor::SafetyMonitor(const DinersSystem& system, sim::Engine& engine)
+    : system_(system),
+      last_(eating_violation_count(system)),
+      max_(last_) {
+  engine.add_observer([this](const sim::StepRecord&) {
+    const std::size_t now = eating_violation_count(system_);
+    if (now > last_) increased_ = true;
+    max_ = std::max(max_, now);
+    last_ = now;
+  });
+}
+
+void SafetyMonitor::rebaseline() {
+  last_ = eating_violation_count(system_);
+  max_ = std::max(max_, last_);
+}
+
+MealLatencyMonitor::MealLatencyMonitor(const core::PhilosopherProgram& program,
+                                       sim::Engine& engine)
+    : hungry_since_(program.topology().num_nodes(),
+                    static_cast<std::uint64_t>(-1)) {
+  engine.add_observer([this](const sim::StepRecord& record) {
+    const auto p = record.process;
+    if (record.action_name == "join") {
+      hungry_since_[p] = record.step;
+    } else if (record.action_name == "enter") {
+      if (hungry_since_[p] != static_cast<std::uint64_t>(-1)) {
+        latencies_.push_back(
+            static_cast<double>(record.step - hungry_since_[p]));
+        hungry_since_[p] = static_cast<std::uint64_t>(-1);
+      }
+    } else if (record.action_name == "leave" ||
+               record.action_name == "exit") {
+      // Yielding (dynamic threshold) or a spurious exit abandons the wait;
+      // the interrupted wait does not produce a latency sample.
+      hungry_since_[p] = static_cast<std::uint64_t>(-1);
+    }
+  });
+}
+
+std::optional<std::uint64_t> steps_until_invariant(DinersSystem& system,
+                                                   sim::Engine& engine,
+                                                   std::uint64_t max_steps,
+                                                   std::uint64_t check_every) {
+  if (check_every == 0) check_every = 1;
+  if (holds_invariant(system)) return 0;
+  std::uint64_t executed = 0;
+  while (executed < max_steps) {
+    const std::uint64_t burst =
+        std::min<std::uint64_t>(check_every, max_steps - executed);
+    std::uint64_t done = 0;
+    while (done < burst && engine.step()) ++done;
+    executed += done;
+    if (holds_invariant(system)) return executed;
+    if (done < burst) return std::nullopt;  // terminated without converging
+  }
+  return std::nullopt;
+}
+
+}  // namespace diners::analysis

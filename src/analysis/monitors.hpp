@@ -1,0 +1,64 @@
+// Run-time monitors attached to an engine: safety (Theorem 3), meal latency,
+// and convergence-to-invariant detection (Theorem 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/diners_system.hpp"
+#include "core/philosopher_program.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::analysis {
+
+/// Watches Theorem 3's measure: the number of edges with two simultaneously
+/// eating endpoints (at least one live). Records the maximum observed and
+/// whether the count ever increased between consecutive steps.
+class SafetyMonitor {
+ public:
+  /// Attaches to `engine`; evaluates after every step. The monitor must
+  /// outlive the engine's stepping.
+  SafetyMonitor(const core::DinersSystem& system, sim::Engine& engine);
+
+  [[nodiscard]] std::size_t max_violations() const noexcept { return max_; }
+  [[nodiscard]] bool ever_increased() const noexcept { return increased_; }
+  /// Re-baselines (use right after fault injection, which may legitimately
+  /// raise the count).
+  void rebaseline();
+
+ private:
+  const core::DinersSystem& system_;
+  std::size_t last_;
+  std::size_t max_;
+  bool increased_ = false;
+};
+
+/// Records hungry -> eating latency (in engine steps) per meal, by watching
+/// join/enter/leave/exit transitions (matched by action name, so it works
+/// for the paper's algorithm and all baselines).
+class MealLatencyMonitor {
+ public:
+  MealLatencyMonitor(const core::PhilosopherProgram& program,
+                     sim::Engine& engine);
+
+  /// All completed hungry->eating latencies, in steps.
+  [[nodiscard]] const std::vector<double>& latencies() const noexcept {
+    return latencies_;
+  }
+  [[nodiscard]] Summary summary() const { return summarize(latencies_); }
+
+ private:
+  std::vector<std::uint64_t> hungry_since_;  ///< sentinel -1 = not waiting
+  std::vector<double> latencies_;
+};
+
+/// Runs the engine until the invariant I holds (checked every `check_every`
+/// steps and at step 0), or `max_steps` elapse. Returns the number of steps
+/// executed before I held, or nullopt on timeout.
+[[nodiscard]] std::optional<std::uint64_t> steps_until_invariant(
+    core::DinersSystem& system, sim::Engine& engine, std::uint64_t max_steps,
+    std::uint64_t check_every = 1);
+
+}  // namespace diners::analysis

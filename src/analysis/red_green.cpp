@@ -1,0 +1,91 @@
+#include "analysis/red_green.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace diners::analysis {
+
+using core::DinerState;
+using core::DinersSystem;
+using ProcessId = DinersSystem::ProcessId;
+
+std::vector<bool> red_processes(const DinersSystem& system) {
+  const auto n = system.topology().num_nodes();
+  std::vector<bool> red(n, false);
+  for (ProcessId p = 0; p < n; ++p) red[p] = !system.alive(p);
+
+  // RD is monotone in the red set, so naive iteration to fixpoint converges
+  // in at most n rounds.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      if (red[p]) continue;
+      bool becomes_red = false;
+      switch (system.state(p)) {
+        case DinerState::kThinking: {
+          for (ProcessId q : system.direct_ancestors(p)) {
+            if (red[q] && system.state(q) != DinerState::kThinking) {
+              becomes_red = true;
+              break;
+            }
+          }
+          break;
+        }
+        case DinerState::kHungry: {
+          bool all_ancestors_red_thinking = true;
+          for (ProcessId q : system.direct_ancestors(p)) {
+            if (!red[q] || system.state(q) != DinerState::kThinking) {
+              all_ancestors_red_thinking = false;
+              break;
+            }
+          }
+          if (all_ancestors_red_thinking) {
+            for (ProcessId q : system.direct_descendants(p)) {
+              if (red[q] && system.state(q) == DinerState::kEating) {
+                becomes_red = true;
+                break;
+              }
+            }
+          }
+          break;
+        }
+        case DinerState::kEating:
+          // A live eating process has exit enabled: never red.
+          break;
+      }
+      if (becomes_red) {
+        red[p] = true;
+        changed = true;
+      }
+    }
+  }
+  return red;
+}
+
+std::vector<ProcessId> green_processes(const DinersSystem& system) {
+  const auto red = red_processes(system);
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < system.topology().num_nodes(); ++p) {
+    if (!red[p]) out.push_back(p);
+  }
+  return out;
+}
+
+std::uint32_t red_radius(const DinersSystem& system) {
+  const auto red = red_processes(system);
+  const auto dead = system.dead_processes();
+  if (dead.empty()) return 0;
+  const auto dist = graph::distances_to_set(
+      system.topology(), std::span<const graph::NodeId>(dead));
+  std::uint32_t radius = 0;
+  for (ProcessId p = 0; p < system.topology().num_nodes(); ++p) {
+    if (red[p] && dist[p] != graph::kUnreachable) {
+      radius = std::max(radius, dist[p]);
+    }
+  }
+  return radius;
+}
+
+}  // namespace diners::analysis

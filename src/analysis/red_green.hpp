@@ -1,0 +1,39 @@
+// The paper's red/green classification (Section 3.2).
+//
+// Red processes are the ones sacrificed to failure locality; green processes
+// are guaranteed liveness (Theorem 2). RD is a monotone predicate, well
+// founded in the dead processes, so the red set is the least fixpoint of:
+//
+//   RD:p ≡ p is dead
+//        ∨ (state:p = T ∧ ∃ direct ancestor q: RD:q ∧ state:q ≠ T)
+//        ∨ (state:p = H ∧ (∀ direct ancestor q: RD:q ∧ state:q = T)
+//                       ∧ (∃ direct descendant q: RD:q ∧ state:q = E))
+//
+// Intuition: a thinking process with a permanently non-thinking red ancestor
+// can never join; a hungry process whose ancestors are all frozen-thinking
+// and that has a permanently-eating red descendant can never enter (and its
+// leave is disabled). Everything else can make progress.
+//
+// A consequence the tests verify: red processes lie within distance 2 of a
+// dead process — the red set IS the failure locality ball.
+#pragma once
+
+#include <vector>
+
+#include "core/diners_system.hpp"
+
+namespace diners::analysis {
+
+/// Least fixpoint of RD at the system's current state.
+[[nodiscard]] std::vector<bool> red_processes(const core::DinersSystem& system);
+
+/// Convenience: ids of green (non-red) live processes.
+[[nodiscard]] std::vector<core::DinersSystem::ProcessId> green_processes(
+    const core::DinersSystem& system);
+
+/// Max graph distance from any red process to its nearest dead process;
+/// 0 if the red set is empty or contains only dead processes. This is the
+/// empirical failure-locality radius implied by the analysis.
+[[nodiscard]] std::uint32_t red_radius(const core::DinersSystem& system);
+
+}  // namespace diners::analysis

@@ -1,0 +1,32 @@
+#include "analysis/replay.hpp"
+
+namespace diners::analysis {
+
+ReplayResult replay_trace(sim::Program& program,
+                          std::span<const sim::TraceEvent> events) {
+  ReplayResult result;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (e.process >= program.topology().num_nodes()) {
+      return {false, i, "process id out of range"};
+    }
+    if (e.action >= program.num_actions(e.process)) {
+      return {false, i, "action index out of range"};
+    }
+    if (!program.alive(e.process)) {
+      return {false, i, "dead process executed an action"};
+    }
+    if (program.action_name(e.process, e.action) != e.action_name) {
+      return {false, i, "action name mismatch"};
+    }
+    if (!program.enabled(e.process, e.action)) {
+      return {false, i,
+              "guard of '" + e.action_name + "' was false at process " +
+                  std::to_string(e.process)};
+    }
+    program.execute(e.process, e.action);
+  }
+  return result;
+}
+
+}  // namespace diners::analysis

@@ -1,0 +1,29 @@
+// Trace replay validation: checks that a recorded computation is a legal
+// computation of a given program — every recorded action was enabled when
+// executed. Used to sanity-check recorded traces (e.g. the Figure 2
+// fragment) and as a debugging aid for daemon/engine changes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "runtime/program.hpp"
+#include "runtime/trace.hpp"
+
+namespace diners::analysis {
+
+struct ReplayResult {
+  bool valid = true;
+  /// Index into the trace of the first illegal event (if !valid).
+  std::size_t failed_index = 0;
+  std::string reason;
+};
+
+/// Replays `events` against `program`, which must be in the trace's initial
+/// state (including any pre-crashed processes). Each event's action is
+/// checked enabled, then executed. Stops at the first violation.
+[[nodiscard]] ReplayResult replay_trace(
+    sim::Program& program, std::span<const sim::TraceEvent> events);
+
+}  // namespace diners::analysis

@@ -1,0 +1,33 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diners::analysis {
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.count = xs.size();
+  s.min = xs.front();
+  s.max = xs.back();
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double sq = 0.0;
+  for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  auto rank = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(xs.size()))) ;
+    return xs[idx == 0 ? 0 : std::min(idx - 1, xs.size() - 1)];
+  };
+  s.p50 = rank(0.50);
+  s.p95 = rank(0.95);
+  return s;
+}
+
+}  // namespace diners::analysis

@@ -1,0 +1,23 @@
+// Small descriptive-statistics helper for experiment outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace diners::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max/median/p95 of `xs`. Empty input yields
+/// an all-zero summary. Percentiles use the nearest-rank method.
+[[nodiscard]] Summary summarize(std::vector<double> xs);
+
+}  // namespace diners::analysis

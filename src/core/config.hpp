@@ -1,0 +1,31 @@
+// Configuration of the core algorithm, including the ablation switches used
+// by the experiments in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace diners::core {
+
+struct DinersConfig {
+  /// The constant D of Figure 1 ("the diameter of the system is known to
+  /// every process"). If unset, the true topology diameter is used. Setting
+  /// it larger models a conservative overestimate (correct but slower cycle
+  /// breaking); setting it smaller than the true diameter violates the
+  /// algorithm's premise (used only by negative experiments).
+  std::optional<std::uint32_t> diameter_override;
+
+  /// Ablation A1: when false the `leave` action is removed (no dynamic
+  /// threshold). The algorithm is still a correct diners solution in
+  /// fault-free runs but loses failure locality 2: waiting chains behind a
+  /// crashed process grow without bound.
+  bool enable_dynamic_threshold = true;
+
+  /// Ablation A2: when false the `fixdepth` action and the `depth > D`
+  /// disjunct of `exit` are removed (no cycle breaking). The algorithm is no
+  /// longer stabilizing: a transient fault that creates a priority cycle
+  /// deadlocks the cycle forever.
+  bool enable_cycle_breaking = true;
+};
+
+}  // namespace diners::core

@@ -1,0 +1,231 @@
+#include "core/diners_system.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace diners::core {
+
+namespace {
+constexpr std::string_view kActionNames[DinersSystem::kNumActions] = {
+    "join", "leave", "enter", "exit", "fixdepth"};
+}  // namespace
+
+DinersSystem::DinersSystem(graph::Graph g, DinersConfig config)
+    : graph_(std::move(g)), config_(config) {
+  if (!graph::is_connected(graph_)) {
+    throw std::invalid_argument(
+        "DinersSystem: topology must be connected (D is the diameter)");
+  }
+  d_ = config_.diameter_override ? *config_.diameter_override
+                                 : graph::diameter(graph_);
+  const auto n = graph_.num_nodes();
+  states_.assign(n, DinerState::kThinking);
+  depths_.assign(n, 0);
+  needs_.assign(n, 1);
+  alive_.assign(n, 1);
+  meals_.assign(n, 0);
+  // Legitimate initial orientation: the held (ancestor) endpoint is the
+  // lower id, which yields an acyclic priority graph.
+  priority_.reserve(graph_.num_edges());
+  for (const auto& e : graph_.edges()) priority_.push_back(e.u);
+}
+
+std::string_view DinersSystem::action_name(ProcessId,
+                                           sim::ActionIndex a) const {
+  if (a >= kNumActions) throw std::out_of_range("action_name: bad index");
+  return kActionNames[a];
+}
+
+DinersSystem::ProcessId DinersSystem::priority(ProcessId p, ProcessId q) const {
+  const auto e = graph_.edge_index(p, q);
+  if (e == graph::kNoEdge) {
+    throw std::invalid_argument("priority: processes are not neighbors");
+  }
+  return priority_[e];
+}
+
+bool DinersSystem::is_direct_ancestor(ProcessId q, ProcessId p) const {
+  return priority(p, q) == q;
+}
+
+std::vector<DinersSystem::ProcessId> DinersSystem::direct_ancestors(
+    ProcessId p) const {
+  std::vector<ProcessId> out;
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == nbrs[i]) out.push_back(nbrs[i]);
+  }
+  return out;
+}
+
+std::vector<DinersSystem::ProcessId> DinersSystem::direct_descendants(
+    ProcessId p) const {
+  std::vector<ProcessId> out;
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == p) out.push_back(nbrs[i]);
+  }
+  return out;
+}
+
+graph::Orientation DinersSystem::orientation() const {
+  graph::Orientation o;
+  o.ancestors.resize(graph_.num_nodes());
+  for (ProcessId p = 0; p < graph_.num_nodes(); ++p) {
+    o.ancestors[p] = direct_ancestors(p);
+  }
+  return o;
+}
+
+graph::AliveFn DinersSystem::alive_fn() const {
+  return [this](graph::NodeId p) { return alive_[p] != 0; };
+}
+
+std::vector<DinersSystem::ProcessId> DinersSystem::dead_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < graph_.num_nodes(); ++p) {
+    if (!alive_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+bool DinersSystem::all_direct_ancestors_thinking(ProcessId p) const {
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == nbrs[i] &&
+        states_[nbrs[i]] != DinerState::kThinking) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DinersSystem::some_direct_ancestor_not_thinking(ProcessId p) const {
+  return !all_direct_ancestors_thinking(p);
+}
+
+bool DinersSystem::some_direct_descendant_eating(ProcessId p) const {
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == p && states_[nbrs[i]] == DinerState::kEating) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t DinersSystem::max_descendant_depth(ProcessId p) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::min();
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == p) best = std::max(best, depths_[nbrs[i]]);
+  }
+  return best;
+}
+
+bool DinersSystem::enabled(ProcessId p, sim::ActionIndex a) const {
+  if (p >= graph_.num_nodes()) throw std::out_of_range("enabled: bad process");
+  switch (a) {
+    case kJoin:
+      return needs_[p] != 0 && states_[p] == DinerState::kThinking &&
+             all_direct_ancestors_thinking(p);
+    case kLeave:
+      return config_.enable_dynamic_threshold &&
+             states_[p] == DinerState::kHungry &&
+             some_direct_ancestor_not_thinking(p);
+    case kEnter:
+      return states_[p] == DinerState::kHungry &&
+             all_direct_ancestors_thinking(p) &&
+             !some_direct_descendant_eating(p);
+    case kExit:
+      return states_[p] == DinerState::kEating ||
+             (config_.enable_cycle_breaking &&
+              depths_[p] > static_cast<std::int64_t>(d_));
+    case kFixDepth: {
+      if (!config_.enable_cycle_breaking) return false;
+      const std::int64_t m = max_descendant_depth(p);
+      return m != std::numeric_limits<std::int64_t>::min() &&
+             depths_[p] < m + 1;
+    }
+    default:
+      throw std::out_of_range("enabled: bad action index");
+  }
+}
+
+void DinersSystem::execute(ProcessId p, sim::ActionIndex a) {
+  if (!enabled(p, a)) {
+    throw std::logic_error("execute: action is not enabled");
+  }
+  switch (a) {
+    case kJoin:
+      states_[p] = DinerState::kHungry;
+      break;
+    case kLeave:
+      states_[p] = DinerState::kThinking;
+      break;
+    case kEnter:
+      states_[p] = DinerState::kEating;
+      ++meals_[p];
+      ++total_meals_;
+      break;
+    case kExit: {
+      states_[p] = DinerState::kThinking;
+      depths_[p] = 0;
+      const auto& inc = graph_.incident_edges(p);
+      const auto& nbrs = graph_.neighbors(p);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        priority_[inc[i]] = nbrs[i];  // every neighbor becomes an ancestor
+      }
+      break;
+    }
+    case kFixDepth:
+      // The guard guarantees some descendant violates the bound; taking the
+      // max is one of the nondeterministic choices the paper's action
+      // permits (pick q = argmax).
+      depths_[p] = max_descendant_depth(p) + 1;
+      break;
+    default:
+      throw std::out_of_range("execute: bad action index");
+  }
+}
+
+void DinersSystem::set_needs(ProcessId p, bool wants) {
+  needs_.at(p) = wants ? 1 : 0;
+}
+
+void DinersSystem::set_state(ProcessId p, DinerState s) { states_.at(p) = s; }
+
+void DinersSystem::set_depth(ProcessId p, std::int64_t depth) {
+  depths_.at(p) = depth;
+}
+
+void DinersSystem::set_priority(ProcessId p, ProcessId q, ProcessId owner) {
+  const auto e = graph_.edge_index(p, q);
+  if (e == graph::kNoEdge) {
+    throw std::invalid_argument("set_priority: processes are not neighbors");
+  }
+  if (owner != p && owner != q) {
+    throw std::invalid_argument("set_priority: owner must be an endpoint");
+  }
+  priority_[e] = owner;
+}
+
+void DinersSystem::crash(ProcessId p) {
+  if (alive_.at(p)) {
+    alive_[p] = 0;
+    ++dead_count_;
+  }
+}
+
+void DinersSystem::reset_meals() {
+  std::fill(meals_.begin(), meals_.end(), 0);
+  total_meals_ = 0;
+}
+
+}  // namespace diners::core

@@ -1,0 +1,45 @@
+#include "core/figure2.hpp"
+
+#include "graph/generators.hpp"
+
+namespace diners::core {
+
+DinersSystem make_figure2_system() {
+  DinersSystem system(graph::make_figure2_topology());
+  using F = Figure2;
+
+  // States of the first frame.
+  system.set_state(F::a, DinerState::kEating);
+  system.set_state(F::b, DinerState::kHungry);
+  system.set_state(F::c, DinerState::kThinking);
+  system.set_state(F::d, DinerState::kHungry);
+  system.set_state(F::e, DinerState::kHungry);
+  system.set_state(F::f, DinerState::kThinking);
+  system.set_state(F::g, DinerState::kHungry);
+
+  // Priorities (held id = ancestor endpoint): b->a, a->c, b->d, d->e, c->e,
+  // e->f, f->g, g->e.
+  system.set_priority(F::a, F::b, F::b);
+  system.set_priority(F::a, F::c, F::a);
+  system.set_priority(F::b, F::d, F::b);
+  system.set_priority(F::d, F::e, F::d);
+  system.set_priority(F::c, F::e, F::c);
+  system.set_priority(F::e, F::f, F::e);
+  system.set_priority(F::f, F::g, F::f);
+  system.set_priority(F::g, F::e, F::g);
+
+  // Depths as drawn on the cycle.
+  system.set_depth(F::e, 2);
+  system.set_depth(F::f, 3);
+  system.set_depth(F::g, 4);
+
+  // Appetite: the figure keeps c and f thinking throughout.
+  system.set_needs(F::c, false);
+  system.set_needs(F::f, false);
+
+  // a has crashed while eating (the malicious-crash victim).
+  system.crash(F::a);
+  return system;
+}
+
+}  // namespace diners::core

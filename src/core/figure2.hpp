@@ -1,0 +1,46 @@
+// The Figure 2 scenario of the paper, reconstructed (see DESIGN.md §2).
+//
+// Seven processes a..g (ids 0..6) on the topology of
+// graph::make_figure2_topology() (diameter 3). Initial state of the figure's
+// first frame:
+//
+//   a: eating, CRASHED (the malicious-crash victim, frozen at the table)
+//   b: hungry   — blocked: its descendant a eats forever
+//   c: thinking — blocked: its ancestor a never leaves the table
+//   d: hungry   — has hungry ancestor b, so dynamic threshold makes it yield
+//   e: hungry   — on the priority cycle e->f->g->e
+//   f: thinking — on the cycle, depth 3
+//   g: hungry   — on the cycle, depth 4 > D = 3: detects the cycle
+//
+// Initial priorities: b->a, a->c, b->d, d->e, c->e, e->f, f->g, g->e.
+// Initial depths: e = 2, f = 3, g = 4 (as drawn), everyone else 0.
+//
+// The narrated events, all of which tests assert:
+//   1. d executes leave (yields to its descendant e) — dynamic threshold;
+//   2. g executes exit because depth:g = 4 > D — cycle broken;
+//   3. e executes enter (eats);
+//   4. b and c never eat (inside failure locality 2 of a), while every
+//      process at distance >= 3 from a that wants to eat does eat.
+#pragma once
+
+#include "core/diners_system.hpp"
+
+namespace diners::core {
+
+/// Node ids of the scenario, for readable tests.
+struct Figure2 {
+  static constexpr DinersSystem::ProcessId a = 0;
+  static constexpr DinersSystem::ProcessId b = 1;
+  static constexpr DinersSystem::ProcessId c = 2;
+  static constexpr DinersSystem::ProcessId d = 3;
+  static constexpr DinersSystem::ProcessId e = 4;
+  static constexpr DinersSystem::ProcessId f = 5;
+  static constexpr DinersSystem::ProcessId g = 6;
+};
+
+/// Builds the system in the first frame of Figure 2 (a already crashed
+/// while eating). Appetite: everyone wants to eat except c and f (matching
+/// the drawn states; both are blocked or idle in the figure).
+[[nodiscard]] DinersSystem make_figure2_system();
+
+}  // namespace diners::core

@@ -1,0 +1,36 @@
+// Common interface for dining-philosophers programs (the paper's algorithm
+// and the baseline algorithms), so the analysis and benchmark code measures
+// them uniformly: appetite control, crash injection, meal accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/state.hpp"
+#include "runtime/program.hpp"
+
+namespace diners::core {
+
+class PhilosopherProgram : public sim::Program {
+ public:
+  using ProcessId = sim::ProcessId;
+
+  /// Current philosopher state of p (T/H/E).
+  [[nodiscard]] virtual DinerState state(ProcessId p) const = 0;
+
+  /// Environment input needs():p.
+  virtual void set_needs(ProcessId p, bool wants) = 0;
+  [[nodiscard]] virtual bool needs(ProcessId p) const = 0;
+
+  /// Benign crash: p silently stops executing actions. Idempotent.
+  virtual void crash(ProcessId p) = 0;
+
+  [[nodiscard]] virtual std::vector<ProcessId> dead_processes() const = 0;
+
+  /// Meals started (transitions into eating via the protocol) per process
+  /// and in total.
+  [[nodiscard]] virtual std::uint64_t meals(ProcessId p) const = 0;
+  [[nodiscard]] virtual std::uint64_t total_meals() const = 0;
+};
+
+}  // namespace diners::core

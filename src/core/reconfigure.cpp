@@ -1,0 +1,72 @@
+#include "core/reconfigure.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace diners::core {
+
+std::vector<ReconfiguredComponent> reconfigure_fail_stop(
+    const DinersSystem& old_system) {
+  using P = DinersSystem::ProcessId;
+  const auto& g = old_system.topology();
+  const auto n = g.num_nodes();
+
+  // Label live components: BFS over the live subgraph.
+  constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> component(n, kNone);
+  std::uint32_t num_components = 0;
+  for (P start = 0; start < n; ++start) {
+    if (!old_system.alive(start) || component[start] != kNone) continue;
+    const std::uint32_t label = num_components++;
+    std::vector<P> stack = {start};
+    component[start] = label;
+    while (!stack.empty()) {
+      const P u = stack.back();
+      stack.pop_back();
+      for (P v : g.neighbors(u)) {
+        if (old_system.alive(v) && component[v] == kNone) {
+          component[v] = label;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  std::vector<ReconfiguredComponent> out;
+  out.reserve(num_components);
+  for (std::uint32_t label = 0; label < num_components; ++label) {
+    // Collect members (ascending old id) and the old->new map.
+    std::vector<P> members;
+    for (P p = 0; p < n; ++p) {
+      if (component[p] == label) members.push_back(p);
+    }
+    std::vector<P> new_id(n, graph::kNoNode);
+    for (P i = 0; i < members.size(); ++i) new_id[members[i]] = i;
+
+    graph::Graph::Builder builder(static_cast<P>(members.size()));
+    for (const auto& e : g.edges()) {
+      if (new_id[e.u] != graph::kNoNode && new_id[e.v] != graph::kNoNode) {
+        builder.add_edge(new_id[e.u], new_id[e.v]);
+      }
+    }
+    DinersSystem fresh(std::move(builder).build(), old_system.config());
+    for (P i = 0; i < members.size(); ++i) {
+      const P old = members[i];
+      fresh.set_state(i, old_system.state(old));
+      fresh.set_depth(i, old_system.depth(old));
+      fresh.set_needs(i, old_system.needs(old));
+    }
+    for (const auto& e : g.edges()) {
+      if (new_id[e.u] == graph::kNoNode || new_id[e.v] == graph::kNoNode) {
+        continue;
+      }
+      const P owner = old_system.priority(e.u, e.v);
+      fresh.set_priority(new_id[e.u], new_id[e.v], new_id[owner]);
+    }
+    out.push_back(ReconfiguredComponent{std::move(fresh), std::move(members)});
+  }
+  return out;
+}
+
+}  // namespace diners::core

@@ -1,0 +1,38 @@
+// Fail-stop reconfiguration.
+//
+// The paper's related-work section draws the classical distinction: a
+// *fail-stop* failure is detectable, so "such a failure is treated as a
+// system topology update from which the system stabilizes" — no process
+// need be sacrificed, unlike an undetectable crash whose locality-2 ball is
+// lost. This module implements that topology update: given a system with
+// dead processes, it rebuilds fresh DinersSystem instances over the live
+// subgraph (one per connected component), carrying over every surviving
+// process's protocol state. Stabilization then absorbs whatever
+// inconsistency the cut left behind (e.g. depth values that referred to
+// removed descendants).
+#pragma once
+
+#include <vector>
+
+#include "core/diners_system.hpp"
+
+namespace diners::core {
+
+/// One component of the reconfigured system.
+struct ReconfiguredComponent {
+  DinersSystem system;
+  /// old-id of each new process: original_id[new_id] -> id in the old
+  /// system.
+  std::vector<DinersSystem::ProcessId> original_id;
+};
+
+/// Removes the dead processes of `old_system` as a fail-stop topology
+/// update. Components of size 1 (isolated survivors) are included; their
+/// lone philosopher trivially eats whenever it wants... except that a
+/// 1-node graph has no edges, which DinersSystem supports via a single
+/// node. Carried over per process: state, depth, needs. Carried over per
+/// surviving edge: the priority direction. Meal counters restart.
+[[nodiscard]] std::vector<ReconfiguredComponent> reconfigure_fail_stop(
+    const DinersSystem& old_system);
+
+}  // namespace diners::core

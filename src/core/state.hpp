@@ -1,0 +1,28 @@
+// The philosopher state domain of the paper: thinking, hungry, eating.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace diners::core {
+
+enum class DinerState : std::uint8_t {
+  kThinking = 0,  ///< T
+  kHungry = 1,    ///< H
+  kEating = 2,    ///< E
+};
+
+constexpr std::string_view to_string(DinerState s) noexcept {
+  switch (s) {
+    case DinerState::kThinking: return "T";
+    case DinerState::kHungry: return "H";
+    case DinerState::kEating: return "E";
+  }
+  return "?";
+}
+
+/// All values of the domain, for exhaustive sweeps and random corruption.
+inline constexpr DinerState kAllDinerStates[] = {
+    DinerState::kThinking, DinerState::kHungry, DinerState::kEating};
+
+}  // namespace diners::core

@@ -1,0 +1,110 @@
+#include "drinkers/drinking_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diners::drinkers {
+
+using core::DinerState;
+using core::DinersSystem;
+
+DrinkingSystem::DrinkingSystem(graph::Graph g, core::DinersConfig config)
+    : diners_(std::move(g), config),
+      wanted_(diners_.topology().num_nodes()),
+      holding_(diners_.topology().num_nodes()),
+      sessions_(diners_.topology().num_nodes(), 0) {
+  // Nobody is thirsty until a drink is requested.
+  for (ProcessId p = 0; p < diners_.topology().num_nodes(); ++p) {
+    diners_.set_needs(p, false);
+  }
+}
+
+const graph::Graph& DrinkingSystem::topology() const {
+  return diners_.topology();
+}
+
+sim::ActionIndex DrinkingSystem::num_actions(ProcessId p) const {
+  return diners_.num_actions(p);
+}
+
+std::string_view DrinkingSystem::action_name(ProcessId p,
+                                             sim::ActionIndex a) const {
+  return diners_.action_name(p, a);
+}
+
+bool DrinkingSystem::enabled(ProcessId p, sim::ActionIndex a) const {
+  return diners_.enabled(p, a);
+}
+
+void DrinkingSystem::execute(ProcessId p, sim::ActionIndex a) {
+  // The drink rides inside the meal: entering the table starts the session
+  // with the requested bottles; leaving it ends the session.
+  const bool was_eating = diners_.state(p) == DinerState::kEating;
+  diners_.execute(p, a);
+  const bool now_eating = diners_.state(p) == DinerState::kEating;
+  if (!was_eating && now_eating) {
+    holding_[p] = wanted_[p];
+    ++sessions_[p];
+    ++total_sessions_;
+    bottles_used_ += holding_[p].size();
+    bottles_locked_ += diners_.topology().degree(p);
+    // The session satisfies this request; the philosopher is quenched until
+    // the environment asks again.
+    wanted_[p].clear();
+    diners_.set_needs(p, false);
+  } else if (was_eating && !now_eating) {
+    holding_[p].clear();
+  }
+}
+
+bool DrinkingSystem::alive(ProcessId p) const { return diners_.alive(p); }
+
+void DrinkingSystem::request_drink(ProcessId p, BottleSet bottles) {
+  const auto& inc = diners_.topology().incident_edges(p);
+  for (graph::EdgeId b : bottles) {
+    if (std::find(inc.begin(), inc.end(), b) == inc.end()) {
+      throw std::invalid_argument(
+          "request_drink: bottle not incident to the process");
+    }
+  }
+  wanted_.at(p) = std::move(bottles);
+  diners_.set_needs(p, !wanted_[p].empty());
+}
+
+bool DrinkingSystem::drinking(ProcessId p) const {
+  return diners_.state(p) == DinerState::kEating && !holding_.at(p).empty();
+}
+
+double DrinkingSystem::bottle_utilization() const {
+  return bottles_locked_ == 0
+             ? 0.0
+             : static_cast<double>(bottles_used_) /
+                   static_cast<double>(bottles_locked_);
+}
+
+std::size_t DrinkingSystem::bottle_conflicts() const {
+  std::vector<std::uint8_t> claimed(diners_.topology().num_edges(), 0);
+  std::size_t conflicts = 0;
+  for (ProcessId p = 0; p < diners_.topology().num_nodes(); ++p) {
+    if (!drinking(p) || !diners_.alive(p)) continue;
+    for (graph::EdgeId b : holding_[p]) {
+      if (claimed[b]++) ++conflicts;
+    }
+  }
+  return conflicts;
+}
+
+void DrinkingSystem::crash(ProcessId p) { diners_.crash(p); }
+
+BottleSet random_bottles(const graph::Graph& g, graph::NodeId p,
+                         util::Xoshiro256& rng) {
+  const auto& inc = g.incident_edges(p);
+  BottleSet out;
+  for (graph::EdgeId e : inc) {
+    if (rng.chance(0.5)) out.push_back(e);
+  }
+  if (out.empty()) out.push_back(inc[rng.below(inc.size())]);
+  return out;
+}
+
+}  // namespace diners::drinkers

@@ -1,0 +1,99 @@
+// Drinking philosophers layered on the malicious-crash-tolerant diners.
+//
+// Chandy & Misra's drinking-philosophers problem (the paper's reference [5])
+// generalizes diners: each session ("drink") needs only a *subset* of the
+// incident bottles (edge resources), and sessions needing disjoint bottles
+// may overlap even between neighbors.
+//
+// This module implements the classic conservative reduction: a thirsty
+// process becomes hungry in an underlying diners instance; while it eats it
+// holds every incident bottle, so it can serve any bottle subset; the drink
+// completes within the meal. Safety (no two concurrent sessions share a
+// bottle) is inherited from diners' exclusion; liveness from diners'
+// liveness; and — the point of building it on THIS diners — tolerance to
+// malicious crashes with failure locality 2 is inherited too, which the
+// tests verify directly.
+//
+// The reduction trades concurrency for simplicity (neighboring sessions
+// with disjoint bottles are serialized); `bottle_utilization()` quantifies
+// that loss, and the E5 bench compares it against the theoretical optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/diners_system.hpp"
+#include "graph/graph.hpp"
+#include "runtime/program.hpp"
+#include "util/rng.hpp"
+
+namespace diners::drinkers {
+
+/// A drink request: which incident bottles (edge ids) the next session
+/// needs. Empty = not thirsty.
+using BottleSet = std::vector<graph::EdgeId>;
+
+class DrinkingSystem final : public sim::Program {
+ public:
+  using ProcessId = graph::NodeId;
+
+  explicit DrinkingSystem(graph::Graph g, core::DinersConfig config = {});
+
+  // --- sim::Program (delegates to the underlying diners; the drink happens
+  // inside the meal) --------------------------------------------------------
+  const graph::Graph& topology() const override;
+  sim::ActionIndex num_actions(ProcessId p) const override;
+  std::string_view action_name(ProcessId p, sim::ActionIndex a) const override;
+  bool enabled(ProcessId p, sim::ActionIndex a) const override;
+  void execute(ProcessId p, sim::ActionIndex a) override;
+  bool alive(ProcessId p) const override;
+
+  // --- drinking interface ---------------------------------------------------
+  /// Declares the bottle subset p's next session needs. Every id must be an
+  /// edge incident to p (throws otherwise). An empty set quenches p.
+  void request_drink(ProcessId p, BottleSet bottles);
+
+  /// True while p holds its requested bottles (i.e. the underlying
+  /// philosopher is eating).
+  [[nodiscard]] bool drinking(ProcessId p) const;
+
+  [[nodiscard]] std::uint64_t sessions(ProcessId p) const {
+    return sessions_.at(p);
+  }
+  [[nodiscard]] std::uint64_t total_sessions() const noexcept {
+    return total_sessions_;
+  }
+
+  /// Bottles actually used per session / bottles locked per session (1.0
+  /// would be a reduction with no concurrency loss).
+  [[nodiscard]] double bottle_utilization() const;
+
+  /// Count of bottles currently claimed by two live drinkers at once (must
+  /// be 0; exported for tests).
+  [[nodiscard]] std::size_t bottle_conflicts() const;
+
+  // --- faults (forwarded) ----------------------------------------------------
+  void crash(ProcessId p);
+  [[nodiscard]] core::DinersSystem& substrate() noexcept { return diners_; }
+  [[nodiscard]] const core::DinersSystem& substrate() const noexcept {
+    return diners_;
+  }
+
+ private:
+  core::DinersSystem diners_;
+  std::vector<BottleSet> wanted_;           ///< requested bottles per process
+  std::vector<BottleSet> holding_;          ///< bottles of the active session
+  std::vector<std::uint64_t> sessions_;
+  std::uint64_t total_sessions_ = 0;
+  std::uint64_t bottles_used_ = 0;
+  std::uint64_t bottles_locked_ = 0;
+};
+
+/// Workload helper: draws a uniformly random non-empty subset of p's
+/// incident bottles.
+[[nodiscard]] BottleSet random_bottles(const graph::Graph& g,
+                                       graph::NodeId p,
+                                       util::Xoshiro256& rng);
+
+}  // namespace diners::drinkers

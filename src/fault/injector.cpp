@@ -1,0 +1,157 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace diners::fault {
+
+namespace {
+
+using core::DinerState;
+using core::DinersSystem;
+using ProcessId = DinersSystem::ProcessId;
+
+DinerState random_state(util::Xoshiro256& rng) {
+  return core::kAllDinerStates[rng.below(3)];
+}
+
+std::int64_t random_depth(const DinersSystem& system, util::Xoshiro256& rng,
+                          const CorruptionOptions& options) {
+  const auto d = static_cast<std::int64_t>(system.diameter_constant());
+  return rng.between(-options.depth_slack, d + options.depth_slack);
+}
+
+// One arbitrary write by (or to) process p: state, depth, or an incident
+// shared priority variable.
+void random_write(DinersSystem& system, ProcessId p, util::Xoshiro256& rng,
+                  const CorruptionOptions& options) {
+  const auto& nbrs = system.topology().neighbors(p);
+  // Variable slots: 0 = state, 1 = depth, 2.. = incident edges.
+  const std::uint64_t slots = 2 + nbrs.size();
+  const std::uint64_t pick = rng.below(slots);
+  if (pick == 0) {
+    system.set_state(p, random_state(rng));
+  } else if (pick == 1) {
+    system.set_depth(p, random_depth(system, rng, options));
+  } else {
+    const ProcessId q = nbrs[pick - 2];
+    system.set_priority(p, q, rng.chance(0.5) ? p : q);
+  }
+}
+
+}  // namespace
+
+void corrupt_process_state(DinersSystem& system, ProcessId p,
+                           util::Xoshiro256& rng,
+                           const CorruptionOptions& options) {
+  if (options.corrupt_states) system.set_state(p, random_state(rng));
+  if (options.corrupt_depths) {
+    system.set_depth(p, random_depth(system, rng, options));
+  }
+  if (options.corrupt_priorities) {
+    for (ProcessId q : system.topology().neighbors(p)) {
+      system.set_priority(p, q, rng.chance(0.5) ? p : q);
+    }
+  }
+  if (options.corrupt_needs) system.set_needs(p, rng.chance(0.5));
+}
+
+void corrupt_global_state(DinersSystem& system, util::Xoshiro256& rng,
+                          const CorruptionOptions& options) {
+  const auto n = system.topology().num_nodes();
+  for (ProcessId p = 0; p < n; ++p) {
+    if (options.corrupt_states) system.set_state(p, random_state(rng));
+    if (options.corrupt_depths) {
+      system.set_depth(p, random_depth(system, rng, options));
+    }
+    if (options.corrupt_needs) system.set_needs(p, rng.chance(0.5));
+  }
+  if (options.corrupt_priorities) {
+    for (const auto& e : system.topology().edges()) {
+      system.set_priority(e.u, e.v, rng.chance(0.5) ? e.u : e.v);
+    }
+  }
+}
+
+void malicious_crash(DinersSystem& system, ProcessId p,
+                     std::uint32_t arbitrary_steps, util::Xoshiro256& rng,
+                     const CorruptionOptions& options) {
+  for (std::uint32_t i = 0; i < arbitrary_steps; ++i) {
+    random_write(system, p, rng, options);
+  }
+  system.crash(p);
+}
+
+CrashPlan::CrashPlan(std::vector<CrashEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) {
+                     return a.at_step < b.at_step;
+                   });
+}
+
+CrashPlan CrashPlan::random(std::uint32_t num_processes, std::uint32_t count,
+                            std::uint64_t at_step,
+                            std::uint32_t malicious_steps,
+                            util::Xoshiro256& rng) {
+  if (count > num_processes) {
+    throw std::invalid_argument("CrashPlan::random: more victims than processes");
+  }
+  std::vector<CrashEvent> events;
+  for (std::size_t v : rng.sample_indices(num_processes, count)) {
+    events.push_back(
+        CrashEvent{at_step, static_cast<ProcessId>(v), malicious_steps});
+  }
+  return CrashPlan(std::move(events));
+}
+
+CrashPlan CrashPlan::spread(const graph::Graph& g, std::uint32_t count,
+                            std::uint64_t at_step,
+                            std::uint32_t malicious_steps,
+                            std::uint32_t min_separation,
+                            util::Xoshiro256& rng) {
+  std::vector<ProcessId> order(g.num_nodes());
+  for (ProcessId p = 0; p < g.num_nodes(); ++p) order[p] = p;
+  rng.shuffle(std::span<ProcessId>(order));
+  std::vector<ProcessId> chosen;
+  for (ProcessId candidate : order) {
+    if (chosen.size() >= count) break;
+    bool far_enough = true;
+    for (ProcessId prior : chosen) {
+      if (graph::distance(g, candidate, prior) <= min_separation) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) chosen.push_back(candidate);
+  }
+  std::vector<CrashEvent> events;
+  events.reserve(chosen.size());
+  for (ProcessId v : chosen) {
+    events.push_back(CrashEvent{at_step, v, malicious_steps});
+  }
+  return CrashPlan(std::move(events));
+}
+
+std::size_t CrashPlan::apply_due(DinersSystem& system, std::uint64_t now,
+                                 util::Xoshiro256& rng,
+                                 const CorruptionOptions& options) {
+  std::size_t fired = 0;
+  while (next_ < events_.size() && events_[next_].at_step <= now) {
+    const CrashEvent& e = events_[next_++];
+    malicious_crash(system, e.process, e.malicious_steps, rng, options);
+    ++fired;
+  }
+  return fired;
+}
+
+std::vector<ProcessId> CrashPlan::victims() const {
+  std::vector<ProcessId> out;
+  out.reserve(events_.size());
+  for (const auto& e : events_) out.push_back(e.process);
+  return out;
+}
+
+}  // namespace diners::fault

@@ -1,0 +1,102 @@
+// Fault injection implementing the paper's fault model:
+//
+//  * transient faults — the whole system state is perturbed arbitrarily
+//    (stabilization must recover);
+//  * benign crashes — a process silently stops (failure locality must
+//    contain the damage);
+//  * malicious crashes — a finite number of arbitrary steps, then a silent
+//    stop (the combination must be tolerated);
+//  * initially dead processes.
+//
+// All injectors write through DinersSystem's environment mutators and are
+// deterministic given the RNG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/diners_system.hpp"
+#include "util/rng.hpp"
+
+namespace diners::fault {
+
+/// Bounds for corrupted values. `depth` corruption draws from
+/// [-depth_slack, D + depth_slack] to exercise both illegal-low and
+/// beyond-diameter values.
+struct CorruptionOptions {
+  std::int64_t depth_slack = 8;
+  bool corrupt_states = true;
+  bool corrupt_depths = true;
+  bool corrupt_priorities = true;
+  bool corrupt_needs = false;  ///< needs() is environment input, not state
+};
+
+/// Transient fault: every variable of every process (and every shared edge
+/// variable) is set to a uniformly random value of its domain.
+void corrupt_global_state(core::DinersSystem& system, util::Xoshiro256& rng,
+                          const CorruptionOptions& options = {});
+
+/// Corrupts only process p's own variables and its incident edge variables.
+void corrupt_process_state(core::DinersSystem& system,
+                           core::DinersSystem::ProcessId p,
+                           util::Xoshiro256& rng,
+                           const CorruptionOptions& options = {});
+
+/// Malicious crash: p performs `arbitrary_steps` random writes — each to a
+/// uniformly chosen variable p can write (its state, its depth, or an
+/// incident shared priority variable) — and then crashes silently. With
+/// arbitrary_steps == 0 this is exactly a benign crash.
+void malicious_crash(core::DinersSystem& system,
+                     core::DinersSystem::ProcessId p,
+                     std::uint32_t arbitrary_steps, util::Xoshiro256& rng,
+                     const CorruptionOptions& options = {});
+
+/// One scheduled fault event of a run.
+struct CrashEvent {
+  std::uint64_t at_step = 0;  ///< engine step count at which to fire
+  core::DinersSystem::ProcessId process = graph::kNoNode;
+  std::uint32_t malicious_steps = 0;  ///< 0 = benign crash
+};
+
+/// A deterministic schedule of crash events, sorted by at_step.
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+  explicit CrashPlan(std::vector<CrashEvent> events);
+
+  /// Picks `count` distinct victims uniformly at random, crashing each at
+  /// `at_step` with the given malicious step budget.
+  static CrashPlan random(std::uint32_t num_processes, std::uint32_t count,
+                          std::uint64_t at_step, std::uint32_t malicious_steps,
+                          util::Xoshiro256& rng);
+
+  /// Picks victims pairwise at graph distance > `min_separation`, so their
+  /// failure-locality balls do not merge (best effort; stops early if no
+  /// such victim exists). Useful for clean locality measurements.
+  static CrashPlan spread(const graph::Graph& g, std::uint32_t count,
+                          std::uint64_t at_step, std::uint32_t malicious_steps,
+                          std::uint32_t min_separation, util::Xoshiro256& rng);
+
+  [[nodiscard]] const std::vector<CrashEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Fires every event with at_step <= now that has not fired yet. Returns
+  /// the number fired.
+  std::size_t apply_due(core::DinersSystem& system, std::uint64_t now,
+                        util::Xoshiro256& rng,
+                        const CorruptionOptions& options = {});
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return next_ >= events_.size();
+  }
+
+  /// All victim process ids in the plan.
+  [[nodiscard]] std::vector<core::DinersSystem::ProcessId> victims() const;
+
+ private:
+  std::vector<CrashEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace diners::fault

@@ -1,0 +1,58 @@
+#include "fault/workload.hpp"
+
+#include <stdexcept>
+
+namespace diners::fault {
+
+void SaturationWorkload::prime(core::DinersSystem& system) {
+  for (graph::NodeId p = 0; p < system.topology().num_nodes(); ++p) {
+    system.set_needs(p, true);
+  }
+}
+
+RandomToggleWorkload::RandomToggleWorkload(double p_on, double p_off,
+                                           std::uint64_t seed)
+    : p_on_(p_on), p_off_(p_off), rng_(seed) {
+  if (p_on < 0 || p_on > 1 || p_off < 0 || p_off > 1) {
+    throw std::invalid_argument("RandomToggleWorkload: probability out of range");
+  }
+}
+
+void RandomToggleWorkload::prime(core::DinersSystem& system) {
+  for (graph::NodeId p = 0; p < system.topology().num_nodes(); ++p) {
+    system.set_needs(p, rng_.chance(0.5));
+  }
+}
+
+void RandomToggleWorkload::tick(core::DinersSystem& system, std::uint64_t) {
+  for (graph::NodeId p = 0; p < system.topology().num_nodes(); ++p) {
+    if (system.state(p) != core::DinerState::kThinking) continue;
+    if (system.needs(p)) {
+      if (rng_.chance(p_off_)) system.set_needs(p, false);
+    } else if (rng_.chance(p_on_)) {
+      system.set_needs(p, true);
+    }
+  }
+}
+
+SubsetWorkload::SubsetWorkload(
+    std::vector<core::DinersSystem::ProcessId> hungry)
+    : hungry_(std::move(hungry)) {}
+
+void SubsetWorkload::prime(core::DinersSystem& system) {
+  for (graph::NodeId p = 0; p < system.topology().num_nodes(); ++p) {
+    system.set_needs(p, false);
+  }
+  for (auto p : hungry_) system.set_needs(p, true);
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        std::uint64_t seed) {
+  if (name == "saturation") return std::make_unique<SaturationWorkload>();
+  if (name == "random-toggle") {
+    return std::make_unique<RandomToggleWorkload>(0.2, 0.05, seed);
+  }
+  throw std::invalid_argument("make_workload: unknown workload '" + name + "'");
+}
+
+}  // namespace diners::fault

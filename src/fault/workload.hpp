@@ -1,0 +1,71 @@
+// Workloads drive the environment input needs():p — "the function evaluates
+// to true arbitrarily" (Figure 1). A workload is polled between engine steps
+// and may flip each process's appetite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/diners_system.hpp"
+#include "util/rng.hpp"
+
+namespace diners::fault {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Called once before the run starts.
+  virtual void prime(core::DinersSystem& system) = 0;
+
+  /// Called after every engine step; may call system.set_needs.
+  virtual void tick(core::DinersSystem& system, std::uint64_t step) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Everybody always wants to eat — the saturation workload (maximum
+/// contention; the liveness theorems quantify over exactly this case).
+class SaturationWorkload final : public Workload {
+ public:
+  void prime(core::DinersSystem& system) override;
+  void tick(core::DinersSystem&, std::uint64_t) override {}
+  std::string name() const override { return "saturation"; }
+};
+
+/// Each process independently toggles appetite: a thinking non-hungry
+/// process gains appetite with probability p_on per step; appetite is
+/// withdrawn with probability p_off per step while the process is thinking.
+/// Models sporadic demand.
+class RandomToggleWorkload final : public Workload {
+ public:
+  RandomToggleWorkload(double p_on, double p_off, std::uint64_t seed);
+  void prime(core::DinersSystem& system) override;
+  void tick(core::DinersSystem& system, std::uint64_t step) override;
+  std::string name() const override { return "random-toggle"; }
+
+ private:
+  double p_on_;
+  double p_off_;
+  util::Xoshiro256 rng_;
+};
+
+/// Only a fixed subset wants to eat; everyone else never does. Models
+/// localized contention (e.g. the Figure 2 scenario).
+class SubsetWorkload final : public Workload {
+ public:
+  explicit SubsetWorkload(std::vector<core::DinersSystem::ProcessId> hungry);
+  void prime(core::DinersSystem& system) override;
+  void tick(core::DinersSystem&, std::uint64_t) override {}
+  std::string name() const override { return "subset"; }
+
+ private:
+  std::vector<core::DinersSystem::ProcessId> hungry_;
+};
+
+/// Factory: "saturation", "random-toggle" (uses p_on/p_off defaults 0.2/0.05).
+[[nodiscard]] std::unique_ptr<Workload> make_workload(const std::string& name,
+                                                      std::uint64_t seed);
+
+}  // namespace diners::fault

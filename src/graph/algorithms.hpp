@@ -1,0 +1,75 @@
+// Graph algorithms used across the library: BFS distances, diameter (the
+// constant D every process knows), connectivity, and directed-cycle checks
+// on priority orientations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace diners::graph {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS hop distances from `source` to every node (kUnreachable if none).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId source);
+
+/// Hop distance between two nodes; kUnreachable if disconnected.
+[[nodiscard]] std::uint32_t distance(const Graph& g, NodeId a, NodeId b);
+
+/// For every node, the hop distance to the nearest node in `sources`
+/// (multi-source BFS). Nodes in `sources` get 0. Empty `sources` yields all
+/// kUnreachable.
+[[nodiscard]] std::vector<std::uint32_t> distances_to_set(
+    const Graph& g, std::span<const NodeId> sources);
+
+/// True iff the graph is connected (n >= 1).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Component label per node, labels dense in [0, num components).
+[[nodiscard]] std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Eccentricity of `source`: max finite BFS distance. Throws
+/// std::invalid_argument if the graph is disconnected.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId source);
+
+/// Diameter = max eccentricity. This is the constant D of Figure 1. Throws
+/// std::invalid_argument if the graph is disconnected.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// A directed orientation of (a subset of) the graph's edges, given as
+/// "direct ancestors" adjacency: ancestors[p] lists nodes q such that the
+/// edge q->p exists (q has priority over p). Used for cycle analysis of
+/// priority graphs.
+struct Orientation {
+  std::vector<std::vector<NodeId>> ancestors;
+};
+
+/// Node-liveness predicate; an empty function means "all nodes alive".
+using AliveFn = std::function<bool(NodeId)>;
+
+/// True iff the directed graph restricted to live nodes contains a directed
+/// cycle. This implements the paper's predicate NC ("if the priority graph
+/// contains a cycle, at least one process in the cycle is dead") as: no
+/// cycle among live nodes.
+[[nodiscard]] bool has_directed_cycle(const Orientation& o,
+                                      const AliveFn& alive = {});
+
+/// If a directed cycle among live nodes exists, returns one such cycle as a
+/// node sequence (first node repeated at the end is NOT included).
+[[nodiscard]] std::optional<std::vector<NodeId>> find_directed_cycle(
+    const Orientation& o, const AliveFn& alive = {});
+
+/// The paper's l:p — the number of nodes in the longest all-live chain of
+/// ancestors of p including p itself (so l >= 1 for live p). Dead nodes get
+/// 0; nodes whose ancestor chain reaches a live cycle get kUnreachable
+/// (unbounded). Used by the stably-shallow analysis.
+[[nodiscard]] std::vector<std::uint32_t> longest_live_ancestor_chain(
+    const Orientation& o, const AliveFn& alive = {});
+
+}  // namespace diners::graph

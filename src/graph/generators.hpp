@@ -1,0 +1,68 @@
+// Topology generators for experiments. All generators produce connected
+// graphs and are deterministic given their arguments (and seed, where one is
+// taken).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace diners::graph {
+
+/// Path 0-1-2-...-(n-1). n >= 1.
+[[nodiscard]] Graph make_path(NodeId n);
+
+/// Cycle 0-1-...-(n-1)-0. n >= 3.
+[[nodiscard]] Graph make_ring(NodeId n);
+
+/// Star with center 0 and leaves 1..n-1. n >= 2.
+[[nodiscard]] Graph make_star(NodeId n);
+
+/// Complete graph K_n. n >= 2.
+[[nodiscard]] Graph make_complete(NodeId n);
+
+/// rows x cols grid, node (r, c) = r * cols + c. rows, cols >= 1,
+/// rows * cols >= 2.
+[[nodiscard]] Graph make_grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (grid with wraparound). rows, cols >= 3.
+[[nodiscard]] Graph make_torus(NodeId rows, NodeId cols);
+
+/// Complete binary tree with n nodes (heap indexing: children of i are
+/// 2i+1, 2i+2). n >= 1.
+[[nodiscard]] Graph make_binary_tree(NodeId n);
+
+/// Uniform random labelled tree on n nodes (random attachment). n >= 1.
+[[nodiscard]] Graph make_random_tree(NodeId n, std::uint64_t seed);
+
+/// Connected Erdos-Renyi-style graph: a random spanning tree plus each
+/// remaining pair independently with probability p. n >= 1, p in [0, 1].
+[[nodiscard]] Graph make_connected_gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Worst-case-ish topology for waiting chains. spine >= 1.
+[[nodiscard]] Graph make_caterpillar(NodeId spine, NodeId legs);
+
+/// d-dimensional hypercube (2^d nodes). d in [1, 20].
+[[nodiscard]] Graph make_hypercube(std::uint32_t dimension);
+
+/// Wheel: a hub (node 0) connected to every node of an outer ring 1..n-1.
+/// n >= 4.
+[[nodiscard]] Graph make_wheel(NodeId n);
+
+/// Barbell: two cliques of size k joined by a path of `bridge` intermediate
+/// nodes. Locality experiments use it to show a crash in one clique leaving
+/// the other untouched. k >= 2. Node layout: [0, k) left clique,
+/// [k, k+bridge) path, [k+bridge, 2k+bridge) right clique.
+[[nodiscard]] Graph make_barbell(NodeId k, NodeId bridge);
+
+/// The 7-process topology reconstructed from Figure 2 of the paper.
+/// Nodes a..g are 0..6; edges {a-b, a-c, b-d, d-e, c-e, e-f, e-g, f-g};
+/// diameter is exactly 3 (the D used in the figure).
+[[nodiscard]] Graph make_figure2_topology();
+
+/// Node name helper for the Figure 2 topology: 0->"a" ... 6->"g".
+[[nodiscard]] const char* figure2_name(NodeId p);
+
+}  // namespace diners::graph

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diners::graph {
+
+Graph::Builder::Builder(NodeId num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {
+  if (num_nodes == 0) throw std::invalid_argument("Graph: zero nodes");
+}
+
+Graph::Builder& Graph::Builder::add_edge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("Graph: edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph: self-loop");
+  if (has_edge(u, v)) throw std::invalid_argument("Graph: duplicate edge");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v});
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  return *this;
+}
+
+bool Graph::Builder::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  const auto& adj = adjacency_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+Graph Graph::Builder::build() && {
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+  // Normalize edge order (lexicographic) so edge ids are independent of
+  // insertion order; generators then produce identical graphs regardless of
+  // how they enumerate edges.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return Graph(std::move(edges_), std::move(adjacency_));
+}
+
+Graph::Graph(std::vector<Edge> edges, std::vector<std::vector<NodeId>> adjacency)
+    : edges_(std::move(edges)), adjacency_(std::move(adjacency)) {
+  // edges_ arrives sorted from Builder::build, so edge_index is usable here.
+  incident_.resize(adjacency_.size());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    incident_[u].reserve(adjacency_[u].size());
+    for (NodeId v : adjacency_[u]) incident_[u].push_back(edge_index(u, v));
+  }
+}
+
+EdgeId Graph::edge_index(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return kNoEdge;
+  if (u > v) std::swap(u, v);
+  // Binary search over the sorted edge list.
+  auto it = std::lower_bound(
+      edges_.begin(), edges_.end(), Edge{u, v},
+      [](const Edge& a, const Edge& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      });
+  if (it == edges_.end() || it->u != u || it->v != v) return kNoEdge;
+  return static_cast<EdgeId>(it - edges_.begin());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return edge_index(u, v) != kNoEdge;
+}
+
+std::string Graph::describe() const {
+  return "Graph(n=" + std::to_string(num_nodes()) +
+         ", m=" + std::to_string(num_edges()) + ")";
+}
+
+}  // namespace diners::graph

@@ -1,0 +1,100 @@
+// Undirected simple graphs: the neighbor relation N of the paper's model.
+//
+// Nodes are dense ids [0, n). Each undirected edge additionally carries a
+// dense edge id, which the diners runtimes use to address the shared
+// `priority` variable that each pair of neighbors maintains.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace diners::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge; endpoints are stored with u < v.
+struct Edge {
+  NodeId u;
+  NodeId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable-after-build undirected simple graph.
+///
+/// Built via Builder (or the generators in generators.hpp). Self-loops and
+/// parallel edges are rejected. Neighbor lists are sorted by node id, which
+/// makes iteration deterministic everywhere downstream.
+class Graph {
+ public:
+  class Builder {
+   public:
+    explicit Builder(NodeId num_nodes);
+
+    /// Adds the undirected edge {u, v}. Throws std::invalid_argument on
+    /// self-loops, out-of-range endpoints, or duplicate edges.
+    Builder& add_edge(NodeId u, NodeId v);
+
+    [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+    [[nodiscard]] Graph build() &&;
+
+   private:
+    NodeId num_nodes_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<NodeId>> adjacency_;
+  };
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Sorted neighbor list of `u`.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId u) const {
+    return adjacency_.at(u);
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return adjacency_.at(u).size();
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Dense id of edge {u, v}; kNoEdge if absent.
+  [[nodiscard]] EdgeId edge_index(NodeId u, NodeId v) const;
+
+  /// Edge by id, endpoints normalized u < v.
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e); }
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Edge ids incident to `u`, aligned index-for-index with neighbors(u).
+  [[nodiscard]] const std::vector<EdgeId>& incident_edges(NodeId u) const {
+    return incident_.at(u);
+  }
+
+  /// Human-readable summary, e.g. "Graph(n=7, m=8)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class Builder;
+  Graph(std::vector<Edge> edges, std::vector<std::vector<NodeId>> adjacency);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<EdgeId>> incident_;
+};
+
+}  // namespace diners::graph

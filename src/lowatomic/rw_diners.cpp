@@ -1,0 +1,149 @@
+#include "lowatomic/rw_diners.hpp"
+
+#include <stdexcept>
+
+namespace diners::lowatomic {
+
+using core::DinerState;
+
+NaiveRwDiners::NaiveRwDiners(graph::Graph g) : graph_(std::move(g)) {
+  const auto n = graph_.num_nodes();
+  states_.assign(n, DinerState::kThinking);
+  needs_.assign(n, 1);
+  alive_.assign(n, 1);
+  phase_.assign(n, Phase::kIdle);
+  scan_index_.assign(n, 0);
+  scan_ok_.assign(n, 1);
+  meals_.assign(n, 0);
+  priority_.reserve(graph_.num_edges());
+  for (const auto& e : graph_.edges()) priority_.push_back(e.u);
+}
+
+std::vector<NaiveRwDiners::ProcessId> NaiveRwDiners::dead_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < graph_.num_nodes(); ++p) {
+    if (!alive_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+bool NaiveRwDiners::neighbor_is_ancestor(ProcessId p, std::size_t slot) const {
+  return priority_[graph_.incident_edges(p)[slot]] ==
+         graph_.neighbors(p)[slot];
+}
+
+void NaiveRwDiners::restart_scan(ProcessId p) {
+  scan_index_[p] = 0;
+  scan_ok_[p] = 1;
+}
+
+bool NaiveRwDiners::enabled(ProcessId p, sim::ActionIndex a) const {
+  if (a != kAdvance) throw std::out_of_range("enabled: bad action");
+  // Idle processes with no appetite have nothing to do; everything else can
+  // always advance its phase machine by one micro-step.
+  return phase_[p] != Phase::kIdle || states_[p] != DinerState::kThinking ||
+         needs_[p] != 0;
+}
+
+void NaiveRwDiners::execute(ProcessId p, sim::ActionIndex a) {
+  if (!enabled(p, a)) throw std::logic_error("execute: not enabled");
+  const auto& nbrs = graph_.neighbors(p);
+  switch (phase_[p]) {
+    case Phase::kIdle: {
+      if (states_[p] == DinerState::kEating) {
+        // Begin exiting: one edge rewrite per step.
+        states_[p] = DinerState::kThinking;  // write own state register
+        phase_[p] = Phase::kYieldEdges;
+        restart_scan(p);
+        return;
+      }
+      if (states_[p] == DinerState::kHungry) {
+        phase_[p] = Phase::kScanEnter;
+        restart_scan(p);
+        return;
+      }
+      // Thinking with appetite: start the join scan.
+      phase_[p] = Phase::kScanJoin;
+      restart_scan(p);
+      return;
+    }
+    case Phase::kScanJoin: {
+      if (scan_index_[p] < nbrs.size()) {
+        const std::size_t slot = scan_index_[p]++;
+        // One remote read: the ancestor's state (stale the moment we have
+        // it — this is the naive part).
+        if (neighbor_is_ancestor(p, slot) &&
+            states_[nbrs[slot]] != DinerState::kThinking) {
+          scan_ok_[p] = 0;
+        }
+        return;
+      }
+      // Scan done: one own-register write if the (stale) guard held.
+      if (scan_ok_[p] && states_[p] == DinerState::kThinking &&
+          needs_[p] != 0) {
+        states_[p] = DinerState::kHungry;
+      }
+      phase_[p] = Phase::kIdle;
+      return;
+    }
+    case Phase::kScanEnter: {
+      if (scan_index_[p] < nbrs.size()) {
+        const std::size_t slot = scan_index_[p]++;
+        const DinerState observed = states_[nbrs[slot]];
+        if (neighbor_is_ancestor(p, slot)) {
+          if (observed != DinerState::kThinking) scan_ok_[p] = 0;
+        } else if (observed == DinerState::kEating) {
+          scan_ok_[p] = 0;
+        }
+        return;
+      }
+      if (states_[p] != DinerState::kHungry) {  // corrupted / changed
+        phase_[p] = Phase::kIdle;
+        return;
+      }
+      if (scan_ok_[p]) {
+        // The fatal write: enter on stale evidence.
+        const std::size_t before = eating_violations();
+        states_[p] = DinerState::kEating;
+        ++meals_[p];
+        ++total_meals_;
+        violations_entered_ += eating_violations() - before;
+      } else {
+        // A non-thinking ancestor was seen: the leave analogue.
+        bool ancestor_active = false;
+        for (std::size_t slot = 0; slot < nbrs.size(); ++slot) {
+          if (neighbor_is_ancestor(p, slot) &&
+              states_[nbrs[slot]] != DinerState::kThinking) {
+            ancestor_active = true;
+            break;
+          }
+        }
+        if (ancestor_active) states_[p] = DinerState::kThinking;
+      }
+      phase_[p] = Phase::kIdle;
+      return;
+    }
+    case Phase::kYieldEdges: {
+      if (scan_index_[p] < nbrs.size()) {
+        const std::size_t slot = scan_index_[p]++;
+        priority_[graph_.incident_edges(p)[slot]] = nbrs[slot];
+        return;
+      }
+      phase_[p] = Phase::kIdle;
+      return;
+    }
+  }
+}
+
+std::size_t NaiveRwDiners::eating_violations() const {
+  std::size_t count = 0;
+  for (const auto& e : graph_.edges()) {
+    if (states_[e.u] == DinerState::kEating &&
+        states_[e.v] == DinerState::kEating && (alive_[e.u] || alive_[e.v])) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace diners::lowatomic

@@ -1,0 +1,100 @@
+// Naive low-atomicity (read/write) refinement of Figure 1 — the negative
+// control for the paper's Section 4.
+//
+// The paper's model gives every action composite atomicity: a guard reads
+// the whole neighborhood and the command writes, in one indivisible step.
+// Under read/write atomicity a process can only read ONE neighbor register
+// or write ONE own register per step, so each Figure 1 action becomes a
+// little state machine: scan the relevant neighbors one read at a time into
+// a local cache, then decide and write.
+//
+// This refinement is deliberately naive: between the scan and the write the
+// neighborhood can change, so two neighbors can each observe the other
+// thinking and both sit down — NEIGHBOR EXCLUSION IS LOST. That is exactly
+// why the paper routes its message-passing transformation through the
+// stabilizing handshake of [15] (implemented in msgpass/) instead of
+// transcribing the actions register by register. The tests demonstrate the
+// violation positively, and experiment E8/E10 quantifies its rate against
+// the handshake-based runtime, which never violates after stabilization.
+//
+// Scope notes: the phase machines cover join / leave / enter / exit; the
+// depth machinery (fixdepth / exit-by-depth) is carried over unchanged
+// because it only influences liveness, not the safety comparison this
+// module exists for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/philosopher_program.hpp"
+#include "graph/graph.hpp"
+
+namespace diners::lowatomic {
+
+class NaiveRwDiners final : public core::PhilosopherProgram {
+ public:
+  using ProcessId = graph::NodeId;
+
+  /// Every process has exactly one schedulable action: "advance the phase
+  /// machine by one read or one write".
+  enum Action : sim::ActionIndex { kAdvance = 0, kNumActions = 1 };
+
+  explicit NaiveRwDiners(graph::Graph g);
+
+  // --- sim::Program ----------------------------------------------------------
+  const graph::Graph& topology() const override { return graph_; }
+  sim::ActionIndex num_actions(ProcessId) const override { return kNumActions; }
+  std::string_view action_name(ProcessId, sim::ActionIndex) const override {
+    return "advance";
+  }
+  bool enabled(ProcessId p, sim::ActionIndex a) const override;
+  void execute(ProcessId p, sim::ActionIndex a) override;
+  bool alive(ProcessId p) const override { return alive_.at(p) != 0; }
+
+  // --- PhilosopherProgram ------------------------------------------------------
+  core::DinerState state(ProcessId p) const override { return states_.at(p); }
+  void set_needs(ProcessId p, bool wants) override {
+    needs_.at(p) = wants ? 1 : 0;
+  }
+  bool needs(ProcessId p) const override { return needs_.at(p) != 0; }
+  void crash(ProcessId p) override { alive_.at(p) = 0; }
+  std::vector<ProcessId> dead_processes() const override;
+  std::uint64_t meals(ProcessId p) const override { return meals_.at(p); }
+  std::uint64_t total_meals() const override { return total_meals_; }
+
+  /// Count of edges whose endpoints are simultaneously eating with at least
+  /// one live endpoint (the safety violations this module exists to show).
+  [[nodiscard]] std::size_t eating_violations() const;
+
+  /// Cumulative number of times a violation pair came into existence.
+  [[nodiscard]] std::uint64_t violations_entered() const noexcept {
+    return violations_entered_;
+  }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,        ///< thinking, deciding whether to join
+    kScanJoin,    ///< reading ancestors' states one by one
+    kScanEnter,   ///< hungry: reading ancestors + descendants one by one
+    kYieldEdges,  ///< exiting: rewriting one incident edge per step
+  };
+
+  void restart_scan(ProcessId p);
+  [[nodiscard]] bool neighbor_is_ancestor(ProcessId p, std::size_t slot) const;
+
+  graph::Graph graph_;
+  std::vector<core::DinerState> states_;
+  std::vector<std::uint8_t> needs_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<ProcessId> priority_;  ///< per edge: ancestor endpoint
+
+  std::vector<Phase> phase_;
+  std::vector<std::size_t> scan_index_;  ///< next neighbor slot to read
+  std::vector<std::uint8_t> scan_ok_;    ///< guard still true so far
+
+  std::vector<std::uint64_t> meals_;
+  std::uint64_t total_meals_ = 0;
+  std::uint64_t violations_entered_ = 0;
+};
+
+}  // namespace diners::lowatomic

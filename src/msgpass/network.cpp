@@ -1,0 +1,60 @@
+#include "msgpass/network.hpp"
+
+#include <stdexcept>
+
+namespace diners::msgpass {
+
+Network::Network(const graph::Graph& g)
+    : graph_(g), channels_(2 * static_cast<std::size_t>(g.num_edges())) {}
+
+void Network::send(graph::EdgeId e, int direction, const Message& m) {
+  channels_.at(index(e, direction)).push_back(m);
+  ++pending_;
+  ++sent_;
+}
+
+Message Network::deliver_random(util::Xoshiro256& rng,
+                                graph::EdgeId& edge_out, int& direction_out) {
+  if (pending_ == 0) throw std::logic_error("deliver_random: empty network");
+  // Pick the k-th pending message's channel, uniform over messages (so busy
+  // channels drain proportionally).
+  std::uint64_t k = rng.below(pending_);
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const auto& channel = channels_[c];
+    if (k < channel.size()) {
+      edge_out = static_cast<graph::EdgeId>(c / 2);
+      direction_out = static_cast<int>(c % 2);
+      Message m = channels_[c].front();
+      channels_[c].pop_front();
+      --pending_;
+      ++delivered_;
+      return m;
+    }
+    k -= channel.size();
+  }
+  throw std::logic_error("deliver_random: accounting mismatch");
+}
+
+void Network::clear() {
+  for (auto& channel : channels_) channel.clear();
+  pending_ = 0;
+}
+
+void Network::inject_garbage(std::uint32_t count, util::Xoshiro256& rng,
+                             std::uint32_t counter_modulus,
+                             std::int64_t depth_bound) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto e = static_cast<graph::EdgeId>(rng.below(graph_.num_edges()));
+    const int direction = rng.chance(0.5) ? 1 : 0;
+    Message m;
+    m.counter = static_cast<std::uint8_t>(rng.below(counter_modulus));
+    m.state = static_cast<std::uint8_t>(rng.below(3));
+    m.depth = rng.between(-depth_bound, depth_bound);
+    const auto& edge = graph_.edge(e);
+    m.priority_owner = rng.chance(0.5) ? edge.u : edge.v;
+    m.priority_version = rng.below(1 << 20);
+    send(e, direction, m);
+  }
+}
+
+}  // namespace diners::msgpass

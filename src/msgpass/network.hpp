@@ -1,0 +1,71 @@
+// Simulated asynchronous message network: one FIFO channel per directed
+// edge, nondeterministic interleaving across channels, plus local timer
+// ticks. Channels can be seeded with arbitrary (corrupt) initial messages to
+// exercise stabilization from arbitrary network state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace diners::msgpass {
+
+/// The single message type of the protocol: a handshake counter plus a
+/// mirror of the sender's protocol variables for this edge.
+struct Message {
+  std::uint8_t counter = 0;        ///< K-state handshake counter
+  std::uint8_t state = 0;          ///< sender's DinerState, as raw value
+  std::int64_t depth = 0;          ///< sender's depth
+  graph::NodeId priority_owner = graph::kNoNode;  ///< edge-direction opinion
+  std::uint64_t priority_version = 0;
+};
+
+/// FIFO channels addressed by (edge id, direction). Direction 0 carries
+/// messages from edge.u to edge.v; direction 1 the reverse.
+class Network {
+ public:
+  explicit Network(const graph::Graph& g);
+
+  void send(graph::EdgeId e, int direction, const Message& m);
+
+  [[nodiscard]] bool has_pending() const noexcept { return pending_ > 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::size_t pending_on(graph::EdgeId e, int direction) const {
+    return channels_.at(index(e, direction)).size();
+  }
+
+  /// Pops the head of a uniformly random non-empty channel. Returns the
+  /// channel's (edge, direction) through the out-params. Precondition:
+  /// has_pending().
+  Message deliver_random(util::Xoshiro256& rng, graph::EdgeId& edge_out,
+                         int& direction_out);
+
+  /// Drops every in-flight message (used by fault injection).
+  void clear();
+
+  /// Injects `count` random garbage messages on random channels (arbitrary
+  /// initial network state for stabilization experiments).
+  void inject_garbage(std::uint32_t count, util::Xoshiro256& rng,
+                      std::uint32_t counter_modulus, std::int64_t depth_bound);
+
+  [[nodiscard]] std::uint64_t total_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(graph::EdgeId e, int direction) const {
+    return 2 * static_cast<std::size_t>(e) + static_cast<std::size_t>(direction);
+  }
+
+  const graph::Graph& graph_;
+  std::vector<std::deque<Message>> channels_;
+  std::size_t pending_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace diners::msgpass

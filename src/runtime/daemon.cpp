@@ -1,0 +1,52 @@
+#include "runtime/daemon.hpp"
+
+#include <stdexcept>
+
+namespace diners::sim {
+
+std::size_t RoundRobinDaemon::choose(
+    std::span<const EnabledAction> candidates) {
+  // Candidates are sorted by (process, action) — the engine builds them by
+  // scanning in order. Pick the first candidate strictly after the cursor,
+  // wrapping around.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    if (c.process > last_process_ ||
+        (c.process == last_process_ && c.action > last_action_)) {
+      last_process_ = c.process;
+      last_action_ = c.action;
+      return i;
+    }
+  }
+  last_process_ = candidates[0].process;
+  last_action_ = candidates[0].action;
+  return 0;
+}
+
+std::size_t RandomDaemon::choose(std::span<const EnabledAction> candidates) {
+  return static_cast<std::size_t>(rng_.below(candidates.size()));
+}
+
+std::size_t AdversarialAgeDaemon::choose(
+    std::span<const EnabledAction> candidates) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].age < candidates[best].age) best = i;
+  }
+  return best;
+}
+
+std::size_t BiasedDaemon::choose(std::span<const EnabledAction> /*candidates*/) {
+  return 0;  // engine scan order is (process, action) ascending
+}
+
+std::unique_ptr<Daemon> make_daemon(const std::string& name,
+                                    std::uint64_t seed) {
+  if (name == "round-robin") return std::make_unique<RoundRobinDaemon>();
+  if (name == "random") return std::make_unique<RandomDaemon>(seed);
+  if (name == "adversarial-age") return std::make_unique<AdversarialAgeDaemon>();
+  if (name == "biased") return std::make_unique<BiasedDaemon>();
+  throw std::invalid_argument("make_daemon: unknown daemon '" + name + "'");
+}
+
+}  // namespace diners::sim

@@ -1,0 +1,84 @@
+// Daemons (schedulers). A daemon picks which enabled action executes next.
+//
+// The engine enforces weak fairness on top of any daemon: if some enabled
+// action's age (consecutive steps it has been enabled without executing)
+// exceeds the fairness bound, the daemon is overridden and the oldest action
+// runs. Thus even the adversarial daemon yields weakly fair computations,
+// matching the paper's model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "runtime/program.hpp"
+#include "util/rng.hpp"
+
+namespace diners::sim {
+
+/// An action that is currently enabled, with its fairness age.
+struct EnabledAction {
+  ProcessId process;
+  ActionIndex action;
+  std::uint64_t age;  ///< consecutive engine steps continuously enabled
+};
+
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+
+  /// Picks an index into `candidates` (non-empty).
+  [[nodiscard]] virtual std::size_t choose(
+      std::span<const EnabledAction> candidates) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Deterministic round-robin over (process, action) in increasing order,
+/// remembering where it left off. Weakly fair by construction.
+class RoundRobinDaemon final : public Daemon {
+ public:
+  std::size_t choose(std::span<const EnabledAction> candidates) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  ProcessId last_process_ = graph::kNoNode;
+  ActionIndex last_action_ = 0;
+};
+
+/// Uniformly random among enabled actions.
+class RandomDaemon final : public Daemon {
+ public:
+  explicit RandomDaemon(std::uint64_t seed) : rng_(seed) {}
+  std::size_t choose(std::span<const EnabledAction> candidates) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+/// Adversarial: always picks the *youngest* enabled action (most recently
+/// enabled), starving long-enabled actions as much as weak fairness allows.
+/// Ties broken by lowest process id. Stresses the fairness machinery and the
+/// algorithm's worst-case behavior.
+class AdversarialAgeDaemon final : public Daemon {
+ public:
+  std::size_t choose(std::span<const EnabledAction> candidates) override;
+  std::string name() const override { return "adversarial-age"; }
+};
+
+/// Always favors the lowest process id (then lowest action index); models a
+/// heavily skewed scheduler.
+class BiasedDaemon final : public Daemon {
+ public:
+  std::size_t choose(std::span<const EnabledAction> candidates) override;
+  std::string name() const override { return "biased"; }
+};
+
+/// Factory by name: "round-robin", "random", "adversarial-age", "biased".
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Daemon> make_daemon(const std::string& name,
+                                                  std::uint64_t seed);
+
+}  // namespace diners::sim

@@ -1,0 +1,120 @@
+#include "runtime/engine.hpp"
+
+#include <stdexcept>
+
+namespace diners::sim {
+
+Engine::Engine(Program& program, std::unique_ptr<Daemon> daemon,
+               std::uint64_t fairness_bound)
+    : program_(program),
+      daemon_(std::move(daemon)),
+      fairness_bound_(fairness_bound) {
+  if (!daemon_) throw std::invalid_argument("Engine: null daemon");
+  if (fairness_bound_ == 0) {
+    throw std::invalid_argument("Engine: fairness bound must be positive");
+  }
+  const auto n = program_.topology().num_nodes();
+  ages_.resize(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    ages_[p].assign(program_.num_actions(p), 0);
+  }
+}
+
+void Engine::collect_enabled(std::vector<EnabledAction>& out) const {
+  out.clear();
+  const auto n = program_.topology().num_nodes();
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!program_.alive(p)) continue;
+    const ActionIndex count = program_.num_actions(p);
+    for (ActionIndex a = 0; a < count; ++a) {
+      if (program_.enabled(p, a)) {
+        out.push_back(EnabledAction{p, a, ages_[p][a]});
+      }
+    }
+  }
+}
+
+std::optional<StepRecord> Engine::step() {
+  collect_enabled(scratch_);
+  if (scratch_.empty()) return std::nullopt;
+
+  // Weak fairness: if anything has aged past the bound, force the oldest
+  // (first such in scan order for stability).
+  std::size_t chosen = scratch_.size();
+  std::size_t oldest_index = 0;
+  for (std::size_t i = 1; i < scratch_.size(); ++i) {
+    if (scratch_[i].age > scratch_[oldest_index].age) oldest_index = i;
+  }
+  if (scratch_[oldest_index].age >= fairness_bound_) {
+    chosen = oldest_index;
+  } else {
+    chosen = daemon_->choose(scratch_);
+    if (chosen >= scratch_.size()) {
+      throw std::logic_error("Daemon returned out-of-range choice");
+    }
+  }
+
+  const EnabledAction picked = scratch_[chosen];
+
+  // Age bookkeeping: the executed action resets; every other *currently
+  // enabled* action ages by one. Actions that are disabled in the new state
+  // are reset lazily on the next collect (see below).
+  for (const auto& c : scratch_) {
+    if (c.process == picked.process && c.action == picked.action) {
+      ages_[c.process][c.action] = 0;
+    } else {
+      ++ages_[c.process][c.action];
+    }
+  }
+
+  program_.execute(picked.process, picked.action);
+
+  // Weak fairness cares about *continuous* enabledness: any action disabled
+  // by this step must restart its age. Re-scan and clear ages of actions no
+  // longer enabled.
+  const auto n = program_.topology().num_nodes();
+  for (ProcessId p = 0; p < n; ++p) {
+    const ActionIndex count = program_.num_actions(p);
+    for (ActionIndex a = 0; a < count; ++a) {
+      if (ages_[p][a] != 0 && (!program_.alive(p) || !program_.enabled(p, a))) {
+        ages_[p][a] = 0;
+      }
+    }
+  }
+
+  StepRecord record{steps_, picked.process, picked.action,
+                    program_.action_name(picked.process, picked.action)};
+  ++steps_;
+  for (const auto& observer : observers_) observer(record);
+  return record;
+}
+
+RunResult Engine::run(std::uint64_t max_steps,
+                      const std::function<bool()>& stop) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps) {
+    if (stop && stop()) return RunResult{RunOutcome::kPredicateSatisfied, executed};
+    if (!step()) return RunResult{RunOutcome::kTerminated, executed};
+    ++executed;
+  }
+  if (stop && stop()) return RunResult{RunOutcome::kPredicateSatisfied, executed};
+  return RunResult{RunOutcome::kStepLimit, executed};
+}
+
+void Engine::add_observer(std::function<void(const StepRecord&)> observer) {
+  observers_.push_back(std::move(observer));
+}
+
+std::size_t Engine::enabled_count() const {
+  std::vector<EnabledAction> tmp;
+  collect_enabled(tmp);
+  return tmp.size();
+}
+
+void Engine::reset_ages() {
+  for (auto& per_process : ages_) {
+    for (auto& age : per_process) age = 0;
+  }
+}
+
+}  // namespace diners::sim

@@ -1,0 +1,74 @@
+// The simulation engine: executes a Program under a Daemon, one action per
+// step, with enforced weak fairness — the paper's computation model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/daemon.hpp"
+#include "runtime/program.hpp"
+
+namespace diners::sim {
+
+/// Why a run() loop returned.
+enum class RunOutcome {
+  kPredicateSatisfied,  ///< the stop predicate became true
+  kTerminated,          ///< no action enabled (maximal finite computation)
+  kStepLimit,           ///< max_steps executed without either of the above
+};
+
+struct RunResult {
+  RunOutcome outcome;
+  std::uint64_t steps_executed;
+};
+
+class Engine {
+ public:
+  /// The engine borrows the program; the daemon is owned. `fairness_bound`:
+  /// an action continuously enabled for this many steps is forcibly
+  /// executed, guaranteeing weak fairness under any daemon. It must be > 0.
+  Engine(Program& program, std::unique_ptr<Daemon> daemon,
+         std::uint64_t fairness_bound = 4096);
+
+  /// Executes one step. Returns the step record, or nullopt if no action of
+  /// any live process is enabled (the computation has terminated).
+  std::optional<StepRecord> step();
+
+  /// Runs until `stop` returns true (checked before each step), the program
+  /// terminates, or `max_steps` further steps have executed.
+  RunResult run(std::uint64_t max_steps,
+                const std::function<bool()>& stop = {});
+
+  /// Registers an observer invoked after every executed step.
+  void add_observer(std::function<void(const StepRecord&)> observer);
+
+  /// Steps executed since construction.
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+
+  /// Number of currently enabled actions of live processes (recomputed).
+  [[nodiscard]] std::size_t enabled_count() const;
+
+  [[nodiscard]] Daemon& daemon() noexcept { return *daemon_; }
+
+  /// Resets fairness ages (use after externally mutating program state, e.g.
+  /// fault injection, so stale ages do not force spurious executions).
+  void reset_ages();
+
+ private:
+  void collect_enabled(std::vector<EnabledAction>& out) const;
+
+  Program& program_;
+  std::unique_ptr<Daemon> daemon_;
+  std::uint64_t fairness_bound_;
+  std::uint64_t steps_ = 0;
+  // ages_[p][a]: consecutive steps (p, a) has been enabled without running.
+  std::vector<std::vector<std::uint64_t>> ages_;
+  std::vector<EnabledAction> scratch_;
+  std::vector<std::function<void(const StepRecord&)>> observers_;
+};
+
+}  // namespace diners::sim

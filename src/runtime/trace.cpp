@@ -1,0 +1,43 @@
+#include "runtime/trace.hpp"
+
+#include <ostream>
+
+namespace diners::sim {
+
+void TraceRecorder::attach(Engine& engine) {
+  engine.add_observer([this](const StepRecord& record) {
+    events_.push_back(TraceEvent{record.step, record.process, record.action,
+                                 std::string(record.action_name)});
+  });
+}
+
+std::size_t TraceRecorder::count(ProcessId p, std::string_view name) const {
+  std::size_t total = 0;
+  for (const auto& e : events_) {
+    if (e.process == p && e.action_name == name) ++total;
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::first(ProcessId p, std::string_view name) const {
+  for (const auto& e : events_) {
+    if (e.process == p && e.action_name == name) return e.step;
+  }
+  return static_cast<std::uint64_t>(-1);
+}
+
+void TraceRecorder::print(
+    std::ostream& os,
+    const std::function<std::string(ProcessId)>& namer) const {
+  for (const auto& e : events_) {
+    os << "step " << e.step << ": ";
+    if (namer) {
+      os << namer(e.process);
+    } else {
+      os << 'p' << e.process;
+    }
+    os << ' ' << e.action_name << '\n';
+  }
+}
+
+}  // namespace diners::sim

@@ -1,0 +1,53 @@
+// Computation traces: a recording observer plus pretty-printing, used by the
+// Figure 2 reproduction and by debugging-oriented tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/program.hpp"
+
+namespace diners::sim {
+
+/// One recorded event with a materialized (owned) action name.
+struct TraceEvent {
+  std::uint64_t step;
+  ProcessId process;
+  ActionIndex action;
+  std::string action_name;
+};
+
+/// Records every executed step of an engine it is attached to.
+class TraceRecorder {
+ public:
+  /// Attaches to `engine` as an observer. The recorder must outlive the
+  /// engine's stepping.
+  void attach(Engine& engine);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  void clear() noexcept { events_.clear(); }
+
+  /// Number of times process `p` executed the action named `name`.
+  [[nodiscard]] std::size_t count(ProcessId p, std::string_view name) const;
+
+  /// Step index of the first time `p` executed `name`; returns
+  /// std::uint64_t(-1) if never.
+  [[nodiscard]] std::uint64_t first(ProcessId p, std::string_view name) const;
+
+  /// Writes "step <i>: p<process> <action>" lines. `namer` (optional) maps
+  /// process ids to display names.
+  void print(std::ostream& os,
+             const std::function<std::string(ProcessId)>& namer = {}) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace diners::sim

@@ -1,0 +1,248 @@
+#include "threads/threaded_diners.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace diners::threads {
+
+using core::DinerState;
+
+ThreadedDiners::ThreadedDiners(graph::Graph g, core::DinersConfig config,
+                               ThreadedOptions options)
+    : graph_(std::move(g)), config_(config), options_(options) {
+  if (!graph::is_connected(graph_)) {
+    throw std::invalid_argument("ThreadedDiners: topology must be connected");
+  }
+  d_ = config_.diameter_override ? *config_.diameter_override
+                                 : graph::diameter(graph_);
+  const auto n = graph_.num_nodes();
+  states_.assign(n, DinerState::kThinking);
+  depths_.assign(n, 0);
+  priority_.reserve(graph_.num_edges());
+  for (const auto& e : graph_.edges()) priority_.push_back(e.u);
+
+  mutexes_.reserve(n);
+  needs_.reserve(n);
+  dead_.reserve(n);
+  malicious_budget_.reserve(n);
+  meals_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    mutexes_.push_back(std::make_unique<std::mutex>());
+    needs_.push_back(std::make_unique<std::atomic<bool>>(true));
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
+    malicious_budget_.push_back(
+        std::make_unique<std::atomic<std::uint32_t>>(0));
+    meals_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+}
+
+ThreadedDiners::~ThreadedDiners() {
+  if (started_ && !stopped_) stop();
+}
+
+void ThreadedDiners::start() {
+  if (started_) throw std::logic_error("ThreadedDiners: already started");
+  started_ = true;
+  workers_.reserve(graph_.num_nodes());
+  for (ProcessId p = 0; p < graph_.num_nodes(); ++p) {
+    workers_.emplace_back([this, p] { philosopher_loop(p); });
+  }
+}
+
+void ThreadedDiners::stop() {
+  if (!started_ || stopped_) return;
+  quit_.store(true, std::memory_order_relaxed);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  stopped_ = true;
+}
+
+void ThreadedDiners::crash(ProcessId p) {
+  dead_.at(p)->store(true, std::memory_order_relaxed);
+}
+
+void ThreadedDiners::malicious_crash(ProcessId p,
+                                     std::uint32_t arbitrary_steps) {
+  malicious_budget_.at(p)->store(arbitrary_steps, std::memory_order_relaxed);
+  dead_.at(p)->store(true, std::memory_order_release);
+}
+
+void ThreadedDiners::set_needs(ProcessId p, bool wants) {
+  needs_.at(p)->store(wants, std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadedDiners::meals(ProcessId p) const {
+  return meals_.at(p)->load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadedDiners::total_meals() const {
+  std::uint64_t total = 0;
+  for (const auto& m : meals_) total += m->load(std::memory_order_relaxed);
+  return total;
+}
+
+void ThreadedDiners::lock_neighborhood(ProcessId p) const {
+  // Closed neighborhood in increasing id order; neighbors(p) is sorted.
+  const auto& nbrs = graph_.neighbors(p);
+  std::size_t i = 0;
+  for (; i < nbrs.size() && nbrs[i] < p; ++i) mutexes_[nbrs[i]]->lock();
+  mutexes_[p]->lock();
+  for (; i < nbrs.size(); ++i) mutexes_[nbrs[i]]->lock();
+}
+
+void ThreadedDiners::unlock_neighborhood(ProcessId p) const {
+  mutexes_[p]->unlock();
+  for (ProcessId q : graph_.neighbors(p)) mutexes_[q]->unlock();
+}
+
+bool ThreadedDiners::ancestors_all_thinking(ProcessId p) const {
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == nbrs[i] &&
+        states_[nbrs[i]] != DinerState::kThinking) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ThreadedDiners::some_ancestor_not_thinking(ProcessId p) const {
+  return !ancestors_all_thinking(p);
+}
+
+bool ThreadedDiners::some_descendant_eating(ProcessId p) const {
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == p && states_[nbrs[i]] == DinerState::kEating) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t ThreadedDiners::max_descendant_depth(ProcessId p) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::min();
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (priority_[inc[i]] == p) best = std::max(best, depths_[nbrs[i]]);
+  }
+  return best;
+}
+
+void ThreadedDiners::random_write_locked(ProcessId p, util::Xoshiro256& rng) {
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  const std::uint64_t pick = rng.below(2 + nbrs.size());
+  if (pick == 0) {
+    states_[p] = core::kAllDinerStates[rng.below(3)];
+  } else if (pick == 1) {
+    depths_[p] = rng.between(-8, static_cast<std::int64_t>(d_) + 8);
+  } else {
+    const std::size_t slot = static_cast<std::size_t>(pick - 2);
+    priority_[inc[slot]] = rng.chance(0.5) ? p : nbrs[slot];
+  }
+}
+
+ThreadedDiners::StepOutcome ThreadedDiners::try_step(ProcessId p) {
+  lock_neighborhood(p);
+  StepOutcome outcome = StepOutcome::kNone;
+  const DinerState st = states_[p];
+  const bool wants = needs_[p]->load(std::memory_order_relaxed);
+  const auto d = static_cast<std::int64_t>(d_);
+
+  // Guard evaluation mirrors Figure 1; priority favors exit so meals finish
+  // promptly, then the making-progress actions.
+  if (st == DinerState::kEating ||
+      (config_.enable_cycle_breaking && depths_[p] > d)) {
+    // exit
+    states_[p] = DinerState::kThinking;
+    depths_[p] = 0;
+    const auto& nbrs = graph_.neighbors(p);
+    const auto& inc = graph_.incident_edges(p);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) priority_[inc[i]] = nbrs[i];
+    outcome = StepOutcome::kOther;
+  } else if (st == DinerState::kHungry && ancestors_all_thinking(p) &&
+             !some_descendant_eating(p)) {
+    // enter
+    states_[p] = DinerState::kEating;
+    meals_[p]->fetch_add(1, std::memory_order_relaxed);
+    outcome = StepOutcome::kEntered;
+  } else if (config_.enable_dynamic_threshold && st == DinerState::kHungry &&
+             some_ancestor_not_thinking(p)) {
+    // leave (dynamic threshold)
+    states_[p] = DinerState::kThinking;
+    outcome = StepOutcome::kOther;
+  } else if (wants && st == DinerState::kThinking &&
+             ancestors_all_thinking(p)) {
+    // join
+    states_[p] = DinerState::kHungry;
+    outcome = StepOutcome::kOther;
+  } else if (config_.enable_cycle_breaking) {
+    // fixdepth
+    const std::int64_t m = max_descendant_depth(p);
+    if (m != std::numeric_limits<std::int64_t>::min() && depths_[p] < m + 1) {
+      depths_[p] = m + 1;
+      outcome = StepOutcome::kOther;
+    }
+  }
+  unlock_neighborhood(p);
+  return outcome;
+}
+
+void ThreadedDiners::philosopher_loop(ProcessId p) {
+  util::Xoshiro256 rng(util::derive_seed(options_.seed, p));
+  while (!quit_.load(std::memory_order_relaxed)) {
+    if (dead_[p]->load(std::memory_order_acquire)) {
+      // Malicious last gasps, then permanent silence (stay responsive to
+      // quit_ so stop() can join us).
+      std::uint32_t budget =
+          malicious_budget_[p]->exchange(0, std::memory_order_relaxed);
+      while (budget-- > 0) {
+        lock_neighborhood(p);
+        random_write_locked(p, rng);
+        unlock_neighborhood(p);
+      }
+      while (!quit_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      return;
+    }
+    const StepOutcome outcome = try_step(p);
+    if (outcome == StepOutcome::kEntered && options_.eat_us > 0) {
+      // Eat outside the locks so independent meals overlap in real time.
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.eat_us));
+    } else if (outcome == StepOutcome::kNone && options_.idle_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.idle_us));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+core::DinersSystem ThreadedDiners::snapshot() const {
+  // Consistent cut: take every mutex in id order.
+  for (auto& m : mutexes_) m->lock();
+  core::DinersSystem copy(graph_, config_);
+  for (ProcessId p = 0; p < graph_.num_nodes(); ++p) {
+    copy.set_state(p, states_[p]);
+    copy.set_depth(p, depths_[p]);
+    copy.set_needs(p, needs_[p]->load(std::memory_order_relaxed));
+    if (dead_[p]->load(std::memory_order_relaxed)) copy.crash(p);
+  }
+  for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const auto& edge = graph_.edge(e);
+    copy.set_priority(edge.u, edge.v, priority_[e]);
+  }
+  for (auto it = mutexes_.rbegin(); it != mutexes_.rend(); ++it) {
+    (*it)->unlock();
+  }
+  return copy;
+}
+
+}  // namespace diners::threads

@@ -1,0 +1,134 @@
+// A real-concurrency implementation of the paper's algorithm: one
+// std::thread per philosopher over genuinely shared memory.
+//
+// The paper's model gives each action composite atomicity (a step reads the
+// neighbors' variables and writes local ones indivisibly). Here that is
+// realized with ordered neighborhood locking: to take a step, a philosopher
+// locks the mutexes of itself and all neighbors in increasing id order,
+// evaluates its guards, executes at most one command, and unlocks. Two
+// conflicting steps always share a mutex, so every step is linearizable;
+// lock ordering makes the locking itself deadlock-free.
+//
+// Faults are injected live: a benign crash freezes the thread mid-loop
+// (variables stay readable, exactly like the paper's model); a malicious
+// crash first performs a bounded number of arbitrary writes under proper
+// locks, then freezes.
+//
+// Consistent global snapshots (lock-all in id order) are exported as a
+// core::DinersSystem so the whole analysis library (invariants, red/green,
+// starvation) applies to the threaded runtime unchanged.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/diners_system.hpp"
+#include "core/state.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace diners::threads {
+
+struct ThreadedOptions {
+  /// Microseconds a philosopher spends eating (holding E) per meal; 0 means
+  /// exit immediately on the next step.
+  std::uint32_t eat_us = 50;
+  /// Microseconds between steps while thinking with no appetite pending.
+  std::uint32_t idle_us = 10;
+  std::uint64_t seed = 1;
+};
+
+class ThreadedDiners {
+ public:
+  using ProcessId = graph::NodeId;
+
+  ThreadedDiners(graph::Graph g, core::DinersConfig config = {},
+                 ThreadedOptions options = {});
+  ~ThreadedDiners();
+
+  ThreadedDiners(const ThreadedDiners&) = delete;
+  ThreadedDiners& operator=(const ThreadedDiners&) = delete;
+
+  /// Launches one thread per philosopher. Call at most once.
+  void start();
+
+  /// Signals all live threads to wind down and joins them.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return started_ && !stopped_; }
+
+  // --- live fault injection ----------------------------------------------
+  /// Benign crash: the thread freezes before its next step. Variables stay
+  /// readable by neighbors. Idempotent.
+  void crash(ProcessId p);
+
+  /// Malicious crash: the victim performs `arbitrary_steps` random writes
+  /// to its own variables and incident edges (under proper locks), then
+  /// freezes.
+  void malicious_crash(ProcessId p, std::uint32_t arbitrary_steps);
+
+  // --- workload ------------------------------------------------------------
+  void set_needs(ProcessId p, bool wants);
+
+  // --- observation -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t meals(ProcessId p) const;
+  [[nodiscard]] std::uint64_t total_meals() const;
+
+  /// Consistent cut of the whole system (locks every philosopher in id
+  /// order), exported for the analysis library.
+  [[nodiscard]] core::DinersSystem snapshot() const;
+
+  [[nodiscard]] const graph::Graph& topology() const noexcept { return graph_; }
+  [[nodiscard]] std::uint32_t diameter_constant() const noexcept { return d_; }
+
+ private:
+  enum class StepOutcome { kNone, kEntered, kOther };
+
+  void philosopher_loop(ProcessId p);
+  /// Takes at most one protocol step for p under the neighborhood locks.
+  StepOutcome try_step(ProcessId p);
+  void lock_neighborhood(ProcessId p) const;
+  void unlock_neighborhood(ProcessId p) const;
+  void random_write_locked(ProcessId p, util::Xoshiro256& rng);
+
+  // Guard helpers; caller holds the neighborhood locks.
+  [[nodiscard]] bool ancestors_all_thinking(ProcessId p) const;
+  [[nodiscard]] bool some_ancestor_not_thinking(ProcessId p) const;
+  [[nodiscard]] bool some_descendant_eating(ProcessId p) const;
+  [[nodiscard]] std::int64_t max_descendant_depth(ProcessId p) const;
+
+  graph::Graph graph_;
+  core::DinersConfig config_;
+  ThreadedOptions options_;
+  std::uint32_t d_;
+
+  // Protocol state; any access requires holding the owning process's mutex
+  // (edge variables: either endpoint's mutex suffices for reads, writers
+  // hold both — neighborhood locking gives writers both automatically).
+  std::vector<core::DinerState> states_;
+  std::vector<std::int64_t> depths_;
+  std::vector<graph::NodeId> priority_;  ///< per edge id: ancestor endpoint
+
+  // Lock table, one mutex per philosopher; lock sets are always taken in
+  // increasing id order.
+  mutable std::vector<std::unique_ptr<std::mutex>> mutexes_;
+
+  // Control plane (atomics: read by the owner thread each iteration).
+  std::vector<std::unique_ptr<std::atomic<bool>>> needs_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
+  std::vector<std::unique_ptr<std::atomic<std::uint32_t>>> malicious_budget_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> meals_;
+
+  std::atomic<bool> quit_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace diners::threads

@@ -1,0 +1,85 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace diners::util {
+
+Flags& Flags::define(std::string name, std::string default_value,
+                     std::string help) {
+  entries_[std::move(name)] = Entry{std::move(default_value), std::move(help)};
+  return *this;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      print_usage(argv[0]);
+      return false;
+    }
+    std::optional<std::string> value;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+    }
+    bool negated = false;
+    if (!entries_.count(body) && body.rfind("no-", 0) == 0 &&
+        entries_.count(body.substr(3))) {
+      body = body.substr(3);
+      negated = true;
+    }
+    auto it = entries_.find(body);
+    if (it == entries_.end()) {
+      std::cerr << "unknown flag: --" << body << "\n";
+      print_usage(argv[0]);
+      return false;
+    }
+    if (negated) {
+      it->second.value = "false";
+    } else if (value) {
+      it->second.value = *value;
+    } else if (it->second.value == "true" || it->second.value == "false") {
+      it->second.value = "true";  // bare boolean flag
+    } else if (i + 1 < argc) {
+      it->second.value = argv[++i];
+    } else {
+      std::cerr << "flag --" << body << " expects a value\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Flags::str(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw std::out_of_range("undefined flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t Flags::i64(const std::string& name) const {
+  return std::stoll(str(name));
+}
+
+double Flags::f64(const std::string& name) const { return std::stod(str(name)); }
+
+bool Flags::flag(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+void Flags::print_usage(const std::string& program) const {
+  std::cerr << "usage: " << program << " [flags]\n";
+  for (const auto& [name, entry] : entries_) {
+    std::cerr << "  --" << name << " (default: " << entry.value << ")  "
+              << entry.help << "\n";
+  }
+}
+
+}  // namespace diners::util

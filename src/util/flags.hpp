@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for the example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error; `--help` prints registered flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace diners::util {
+
+class Flags {
+ public:
+  Flags& define(std::string name, std::string default_value,
+                std::string help);
+
+  /// Parses argv. Returns false (after printing usage) if `--help` was given
+  /// or a flag was unrecognized/malformed.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t i64(const std::string& name) const;
+  [[nodiscard]] double f64(const std::string& name) const;
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  /// Non-flag positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace diners::util

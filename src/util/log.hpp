@@ -1,0 +1,52 @@
+// Minimal leveled logger used by examples and the threaded runtime.
+//
+// The simulation engine itself records structured traces (runtime/trace.hpp)
+// instead of logging; this logger exists for human-facing progress lines.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string_view>
+
+namespace diners::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Thread-safe to set
+/// before threads start; reads are relaxed.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line `[LEVEL] message` to stderr under an internal mutex, so
+/// concurrent threads never interleave characters.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define DINERS_LOG(level)                                  \
+  if (::diners::util::log_level() <= (level))              \
+  ::diners::util::detail::LineBuilder(level)
+
+#define DINERS_LOG_INFO DINERS_LOG(::diners::util::LogLevel::kInfo)
+#define DINERS_LOG_WARN DINERS_LOG(::diners::util::LogLevel::kWarn)
+#define DINERS_LOG_DEBUG DINERS_LOG(::diners::util::LogLevel::kDebug)
+
+}  // namespace diners::util

@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+#ifdef __SIZEOF_INT128__
+using u128 = unsigned __int128;
+#endif
+
+namespace diners::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+#ifdef __SIZEOF_INT128__
+  // Lemire's method: multiply-shift with rejection only in the biased tail.
+  std::uint64_t x = next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Plain modulo with rejection.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % bound;
+#endif
+}
+
+std::int64_t Xoshiro256::between(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Xoshiro256::between: lo > hi");
+  const auto width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (width == 0) return static_cast<std::int64_t>(next());  // full range
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   below(width));
+}
+
+bool Xoshiro256::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return unit() < p;
+}
+
+double Xoshiro256::unit() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::size_t> Xoshiro256::sample_indices(std::size_t n,
+                                                    std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace diners::util

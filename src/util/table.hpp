@@ -1,0 +1,48 @@
+// Aligned plain-text tables for experiment output.
+//
+// Every benchmark binary regenerates "the rows the paper would have
+// reported"; this emitter keeps those rows human-readable and grep-able.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace diners::util {
+
+/// One table cell: text, integer, or floating point (printed with the
+/// column's precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  /// Columns are fixed at construction; precision applies to double cells.
+  explicit Table(std::vector<std::string> headers, int double_precision = 3);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Renders the aligned table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values, one line per row, header first.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+/// Convenience: format a double with fixed precision (shared by examples).
+std::string fixed(double v, int precision = 3);
+
+}  // namespace diners::util

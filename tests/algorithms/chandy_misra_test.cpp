@@ -1,0 +1,127 @@
+#include "algorithms/chandy_misra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::algorithms {
+namespace {
+
+using core::DinerState;
+using P = ChandyMisraSystem::ProcessId;
+using A = ChandyMisraSystem::Action;
+
+TEST(ChandyMisra, InitialPlacementAcyclicByIds) {
+  ChandyMisraSystem s(graph::make_ring(5));
+  for (const auto& e : s.topology().edges()) {
+    EXPECT_EQ(s.fork_at(e.u, e.v), e.u);       // fork at lower id
+    EXPECT_TRUE(s.fork_dirty(e.u, e.v));       // dirty
+    EXPECT_EQ(s.token_at(e.u, e.v), e.v);      // token opposite
+  }
+}
+
+TEST(ChandyMisra, ActionCountScalesWithDegree) {
+  ChandyMisraSystem s(graph::make_star(5));
+  EXPECT_EQ(s.num_actions(0), 3u + 2u * 4u);  // hub
+  EXPECT_EQ(s.num_actions(1), 3u + 2u);       // leaf
+}
+
+TEST(ChandyMisra, ActionNames) {
+  ChandyMisraSystem s(graph::make_path(3));
+  EXPECT_EQ(s.action_name(1, A::kJoin), "join");
+  EXPECT_EQ(s.action_name(1, A::kEnter), "enter");
+  EXPECT_EQ(s.action_name(1, A::kExit), "exit");
+  EXPECT_EQ(s.action_name(1, 3), "request");
+  EXPECT_EQ(s.action_name(1, 4), "grant");
+}
+
+TEST(ChandyMisra, RequestNeedsHungerTokenAndMissingFork) {
+  ChandyMisraSystem s(graph::make_path(2));
+  // Fork at 0, token at 1. Process 1 thinking: no request.
+  EXPECT_FALSE(s.enabled(1, 3));
+  s.execute(1, A::kJoin);
+  EXPECT_TRUE(s.enabled(1, 3));
+  // Process 0 holds the fork: nothing to request.
+  s.execute(0, A::kJoin);
+  EXPECT_FALSE(s.enabled(0, 3));
+}
+
+TEST(ChandyMisra, GrantMovesForkCleansIt) {
+  ChandyMisraSystem s(graph::make_path(2));
+  s.execute(1, A::kJoin);
+  s.execute(1, 3);  // request: token moves to 0
+  EXPECT_EQ(s.token_at(0, 1), 0u);
+  ASSERT_TRUE(s.enabled(0, 3 + 1));  // grant slot for 0's only edge
+  s.execute(0, 4);
+  EXPECT_EQ(s.fork_at(0, 1), 1u);
+  EXPECT_FALSE(s.fork_dirty(0, 1));
+}
+
+TEST(ChandyMisra, CleanForksAreKeptByHungryHolder) {
+  ChandyMisraSystem s(graph::make_path(2));
+  s.execute(1, A::kJoin);
+  s.execute(1, 3);  // request
+  s.execute(0, 4);  // grant: fork now clean at 1
+  s.execute(0, A::kJoin);
+  ASSERT_TRUE(s.enabled(0, 3));
+  s.execute(0, 3);  // 0 requests it back
+  // 1 holds a *clean* fork while hungry: grant disabled (hygiene).
+  EXPECT_FALSE(s.enabled(1, 4));
+}
+
+TEST(ChandyMisra, EaterDefersGrantsUntilExit) {
+  ChandyMisraSystem s(graph::make_path(2));
+  s.execute(1, A::kJoin);
+  s.execute(1, 3);
+  s.execute(0, 4);
+  ASSERT_TRUE(s.enabled(1, A::kEnter));
+  s.execute(1, A::kEnter);
+  EXPECT_TRUE(s.fork_dirty(0, 1));  // eating dirties forks
+  s.execute(0, A::kJoin);
+  s.execute(0, 3);  // 0 requests while 1 eats
+  EXPECT_FALSE(s.enabled(1, 4));  // deferred
+  s.execute(1, A::kExit);
+  EXPECT_TRUE(s.enabled(1, 4));  // granted after the meal
+}
+
+TEST(ChandyMisra, EveryoneEatsFaultFree) {
+  ChandyMisraSystem s(graph::make_ring(6));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 128);
+  engine.run(6000);
+  for (P p = 0; p < 6; ++p) {
+    EXPECT_GT(s.meals(p), 0u) << "process " << p;
+  }
+}
+
+TEST(ChandyMisra, NoTwoNeighborsEverEatTogether) {
+  ChandyMisraSystem s(graph::make_ring(6));
+  sim::Engine engine(s, sim::make_daemon("random", 3), 128);
+  engine.add_observer([&](const sim::StepRecord&) {
+    for (const auto& e : s.topology().edges()) {
+      ASSERT_FALSE(s.state(e.u) == DinerState::kEating &&
+                   s.state(e.v) == DinerState::kEating);
+    }
+  });
+  engine.run(5000);
+}
+
+TEST(ChandyMisra, CrashStarvesBeyondLocalityTwoOnAPath) {
+  // The contrast with the paper's algorithm: starvation reaches past
+  // distance 2 on a hungry chain when the head crashes at the table.
+  ChandyMisraSystem s(graph::make_path(10));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 128);
+  // Let process 0 acquire everything and eat, then crash it mid-meal.
+  engine.run(
+      5000, [&] { return s.state(0) == DinerState::kEating; });
+  ASSERT_EQ(s.state(0), DinerState::kEating);
+  s.crash(0);
+  engine.reset_ages();
+  engine.run(4000);  // let the wait chain harden
+  const auto report = analysis::measure_starvation(s, engine, 20000);
+  EXPECT_GT(report.locality_radius, 2u);
+}
+
+}  // namespace
+}  // namespace diners::algorithms

@@ -1,0 +1,111 @@
+#include "algorithms/ordered_resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/harness.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::algorithms {
+namespace {
+
+using core::DinerState;
+using P = OrderedResourceSystem::ProcessId;
+using A = OrderedResourceSystem::Action;
+
+TEST(OrderedResource, ForksStartFree) {
+  OrderedResourceSystem s(graph::make_ring(4));
+  for (const auto& e : s.topology().edges()) {
+    EXPECT_EQ(s.fork_holder(e.u, e.v), graph::kNoNode);
+  }
+  EXPECT_EQ(s.forks_held(0), 0u);
+}
+
+TEST(OrderedResource, AcquireTakesSmallestMissing) {
+  OrderedResourceSystem s(graph::make_path(3));
+  s.execute(1, A::kJoin);
+  ASSERT_TRUE(s.enabled(1, A::kAcquire));
+  s.execute(1, A::kAcquire);
+  // Edge {0,1} has the smaller id than {1,2}.
+  EXPECT_EQ(s.fork_holder(0, 1), 1u);
+  EXPECT_EQ(s.fork_holder(1, 2), graph::kNoNode);
+  s.execute(1, A::kAcquire);
+  EXPECT_EQ(s.fork_holder(1, 2), 1u);
+}
+
+TEST(OrderedResource, BlocksOnHeldLowerFork) {
+  OrderedResourceSystem s(graph::make_path(3));
+  s.execute(1, A::kJoin);
+  s.execute(1, A::kAcquire);  // 1 takes {0,1}
+  s.execute(0, A::kJoin);
+  // 0's only fork {0,1} is taken: acquire disabled; 0 must NOT skip ahead.
+  EXPECT_FALSE(s.enabled(0, A::kAcquire));
+  EXPECT_FALSE(s.enabled(0, A::kEnter));
+}
+
+TEST(OrderedResource, EnterRequiresAllForks) {
+  OrderedResourceSystem s(graph::make_path(3));
+  s.execute(1, A::kJoin);
+  s.execute(1, A::kAcquire);
+  EXPECT_FALSE(s.enabled(1, A::kEnter));
+  s.execute(1, A::kAcquire);
+  EXPECT_TRUE(s.enabled(1, A::kEnter));
+  s.execute(1, A::kEnter);
+  EXPECT_EQ(s.meals(1), 1u);
+}
+
+TEST(OrderedResource, ExitReleasesEverything) {
+  OrderedResourceSystem s(graph::make_path(3));
+  s.execute(1, A::kJoin);
+  s.execute(1, A::kAcquire);
+  s.execute(1, A::kAcquire);
+  s.execute(1, A::kEnter);
+  s.execute(1, A::kExit);
+  EXPECT_EQ(s.state(1), DinerState::kThinking);
+  EXPECT_EQ(s.forks_held(1), 0u);
+  EXPECT_EQ(s.fork_holder(0, 1), graph::kNoNode);
+}
+
+TEST(OrderedResource, EveryoneEatsFaultFree) {
+  OrderedResourceSystem s(graph::make_ring(6));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 128);
+  engine.run(6000);
+  for (P p = 0; p < 6; ++p) {
+    EXPECT_GT(s.meals(p), 0u) << "process " << p;
+  }
+}
+
+TEST(OrderedResource, NoTwoNeighborsEverEatTogether) {
+  OrderedResourceSystem s(graph::make_ring(6));
+  sim::Engine engine(s, sim::make_daemon("random", 8), 128);
+  engine.add_observer([&](const sim::StepRecord&) {
+    for (const auto& e : s.topology().edges()) {
+      ASSERT_FALSE(s.state(e.u) == DinerState::kEating &&
+                   s.state(e.v) == DinerState::kEating);
+    }
+  });
+  engine.run(5000);
+}
+
+TEST(OrderedResource, CrashWhileHoldingForksBlocksNeighbors) {
+  OrderedResourceSystem s(graph::make_path(6));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 128);
+  engine.run(5000, [&] { return s.state(2) == DinerState::kEating; });
+  ASSERT_EQ(s.state(2), DinerState::kEating);
+  s.crash(2);  // dies at the table holding {1,2} and {2,3}
+  engine.reset_ages();
+  engine.run(2000);
+  const auto report = analysis::measure_starvation(s, engine, 10000);
+  // 1 and 3 can never collect all forks again; 1 camps on {0,1}, so 0
+  // starves too. 4 and 5 acquire in order past the wreck and keep eating.
+  EXPECT_FALSE(report.starved.empty());
+  for (P starved : report.starved) {
+    EXPECT_TRUE(starved == 0 || starved == 1 || starved == 3)
+        << "unexpected starved process " << starved;
+  }
+  EXPECT_GT(s.meals(4), 0u);
+  EXPECT_GT(s.meals(5), 0u);
+}
+
+}  // namespace
+}  // namespace diners::algorithms

@@ -1,0 +1,59 @@
+#include "analysis/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure2.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::analysis {
+namespace {
+
+using core::DinersSystem;
+
+TEST(DotExport, ContainsEveryNodeAndEdge) {
+  DinersSystem s(graph::make_path(3));
+  const std::string dot = to_dot(s);
+  EXPECT_NE(dot.find("digraph priority"), std::string::npos);
+  EXPECT_NE(dot.find("p0"), std::string::npos);
+  EXPECT_NE(dot.find("p2"), std::string::npos);
+  // id orientation: 0 -> 1 -> 2.
+  EXPECT_NE(dot.find("p0 -> p1;"), std::string::npos);
+  EXPECT_NE(dot.find("p1 -> p2;"), std::string::npos);
+  EXPECT_EQ(dot.find("p1 -> p0;"), std::string::npos);
+}
+
+TEST(DotExport, EdgeDirectionFollowsPriority) {
+  DinersSystem s(graph::make_path(2));
+  s.set_priority(0, 1, 1);  // 1 becomes the ancestor
+  const std::string dot = to_dot(s);
+  EXPECT_NE(dot.find("p1 -> p0;"), std::string::npos);
+  EXPECT_EQ(dot.find("p0 -> p1;"), std::string::npos);
+}
+
+TEST(DotExport, DeadAndRedColoring) {
+  auto s = core::make_figure2_system();
+  const std::string dot = to_dot(s);
+  EXPECT_NE(dot.find("fillcolor=gray"), std::string::npos);        // a dead
+  EXPECT_NE(dot.find("fillcolor=lightcoral"), std::string::npos);  // b, c red
+  EXPECT_NE(dot.find("fillcolor=palegreen"), std::string::npos);   // e, f, g
+}
+
+TEST(DotExport, OptionsControlLabelsAndClassification) {
+  DinersSystem s(graph::make_path(2));
+  DotOptions options;
+  options.show_depths = false;
+  options.classify = false;
+  const std::string dot = to_dot(s, options);
+  EXPECT_EQ(dot.find("d="), std::string::npos);
+  EXPECT_EQ(dot.find("lightcoral"), std::string::npos);
+}
+
+TEST(DotExport, LabelsCarryStates) {
+  DinersSystem s(graph::make_path(2));
+  s.set_state(1, core::DinerState::kEating);
+  const std::string dot = to_dot(s);
+  EXPECT_NE(dot.find("1\\nE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diners::analysis

@@ -1,0 +1,109 @@
+#include "analysis/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/workload.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::analysis {
+namespace {
+
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+TEST(Harness, PrimesTheWorkloadOnConstruction) {
+  DinersSystem system(graph::make_path(4));
+  ExperimentHarness harness(
+      system,
+      std::make_unique<fault::SubsetWorkload>(std::vector<P>{2}),
+      fault::CrashPlan{}, HarnessOptions{});
+  EXPECT_TRUE(system.needs(2));
+  EXPECT_FALSE(system.needs(0));
+}
+
+TEST(Harness, NullWorkloadLeavesNeedsAlone) {
+  DinersSystem system(graph::make_path(4));
+  system.set_needs(1, false);
+  ExperimentHarness harness(system, nullptr, fault::CrashPlan{},
+                            HarnessOptions{});
+  EXPECT_FALSE(system.needs(1));
+  harness.run(100);
+  EXPECT_FALSE(system.needs(1));
+}
+
+TEST(Harness, FiresCrashPlanAtTheRightStep) {
+  DinersSystem system(graph::make_path(6));
+  fault::CrashPlan plan({fault::CrashEvent{200, 3, 0}});
+  ExperimentHarness harness(
+      system, std::make_unique<fault::SaturationWorkload>(), std::move(plan),
+      HarnessOptions{});
+  harness.run(150);
+  EXPECT_TRUE(system.alive(3));
+  harness.run(100);
+  EXPECT_FALSE(system.alive(3));
+}
+
+TEST(Harness, MaliciousEventsUseTheConfiguredCorruption) {
+  DinersSystem system(graph::make_path(6));
+  HarnessOptions options;
+  options.corruption.corrupt_depths = true;
+  options.corruption.depth_slack = 0;  // depths stay in [0, D]
+  fault::CrashPlan plan({fault::CrashEvent{10, 2, 64}});
+  ExperimentHarness harness(
+      system, std::make_unique<fault::SaturationWorkload>(), std::move(plan),
+      options);
+  harness.run(50);
+  EXPECT_FALSE(system.alive(2));
+  EXPECT_GE(system.depth(2), 0);
+  EXPECT_LE(system.depth(2), 5);
+}
+
+TEST(Harness, TerminatesWhenProgramDoes) {
+  DinersSystem system(graph::make_path(3));
+  for (P p = 0; p < 3; ++p) system.set_needs(p, false);
+  ExperimentHarness harness(system, nullptr, fault::CrashPlan{},
+                            HarnessOptions{});
+  const auto result = harness.run(10000);
+  EXPECT_EQ(result.outcome, sim::RunOutcome::kTerminated);
+}
+
+TEST(Harness, DeterministicForSeed) {
+  auto run_once = [] {
+    DinersSystem system(graph::make_ring(8));
+    HarnessOptions options;
+    options.daemon = "random";
+    options.seed = 77;
+    fault::CrashPlan plan({fault::CrashEvent{500, 4, 16}});
+    ExperimentHarness harness(
+        system, std::make_unique<fault::RandomToggleWorkload>(0.3, 0.1, 77),
+        std::move(plan), options);
+    harness.run(5000);
+    return system.total_meals();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MeasureStarvation, ReportsInfiniteRadiusWithoutCrashes) {
+  // A starving process with no dead process anywhere is a liveness bug;
+  // the report flags it with an unreachable radius. Simulate it via a
+  // process that wants to eat but has appetite yanked... instead use the
+  // honest construction: everyone wants, nobody is dead, window too short
+  // for anyone far down the round-robin order to eat.
+  DinersSystem system(graph::make_ring(8));
+  sim::Engine engine(system, sim::make_daemon("round-robin", 1), 64);
+  const auto report = measure_starvation(system, engine, 2);
+  ASSERT_FALSE(report.starved.empty());
+  EXPECT_EQ(report.locality_radius, graph::kUnreachable);
+}
+
+TEST(MeasureStarvation, CountsMealsInWindowOnly) {
+  DinersSystem system(graph::make_path(4));
+  sim::Engine engine(system, sim::make_daemon("round-robin", 1), 64);
+  engine.run(1000);
+  const auto before = system.total_meals();
+  const auto report = measure_starvation(system, engine, 3000);
+  EXPECT_EQ(report.meals_in_window, system.total_meals() - before);
+}
+
+}  // namespace
+}  // namespace diners::analysis

@@ -1,0 +1,191 @@
+#include "analysis/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure2.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::analysis {
+namespace {
+
+using core::DinerState;
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+TEST(NC, HoldsInInitialState) {
+  DinersSystem s(graph::make_ring(6));
+  EXPECT_TRUE(holds_nc(s));
+}
+
+TEST(NC, DetectsSeededCycle) {
+  DinersSystem s(graph::make_ring(4));
+  for (P p = 0; p < 4; ++p) s.set_priority(p, (p + 1) % 4, p);
+  EXPECT_FALSE(holds_nc(s));
+}
+
+TEST(NC, DeadProcessExcusesCycle) {
+  DinersSystem s(graph::make_ring(4));
+  for (P p = 0; p < 4; ++p) s.set_priority(p, (p + 1) % 4, p);
+  s.crash(2);
+  EXPECT_TRUE(holds_nc(s));
+}
+
+TEST(E, HoldsWhenNoNeighborsEat) {
+  DinersSystem s(graph::make_path(4));
+  s.set_state(0, DinerState::kEating);
+  s.set_state(2, DinerState::kEating);  // not neighbors
+  EXPECT_TRUE(holds_e(s));
+  EXPECT_EQ(eating_violation_count(s), 0u);
+}
+
+TEST(E, DetectsEatingNeighbors) {
+  DinersSystem s(graph::make_path(4));
+  s.set_state(1, DinerState::kEating);
+  s.set_state(2, DinerState::kEating);
+  EXPECT_FALSE(holds_e(s));
+  EXPECT_EQ(eating_violation_count(s), 1u);
+}
+
+TEST(E, BothDeadNeighborsExcused) {
+  DinersSystem s(graph::make_path(4));
+  s.set_state(1, DinerState::kEating);
+  s.set_state(2, DinerState::kEating);
+  s.crash(1);
+  EXPECT_FALSE(holds_e(s));  // one live endpoint still counts
+  s.crash(2);
+  EXPECT_TRUE(holds_e(s));
+}
+
+TEST(ST, HoldsInInitialStateOnTrees) {
+  // On trees every simple path is at most the diameter, so the id-order
+  // initial orientation with zero depths is shallow everywhere.
+  EXPECT_TRUE(holds_st(DinersSystem(graph::make_path(8))));
+  EXPECT_TRUE(holds_st(DinersSystem(graph::make_star(8))));
+  EXPECT_TRUE(holds_st(DinersSystem(graph::make_binary_tree(15))));
+}
+
+TEST(ST, ViolatedByOverDeepProcess) {
+  DinersSystem s(graph::make_path(4));  // D = 3
+  s.set_depth(1, 9);
+  EXPECT_FALSE(holds_st(s));
+}
+
+TEST(ST, DeadProcessIsShallowButItsFrozenDepthPoisonsLiveAncestors) {
+  // The dead process itself is stably shallow by definition, but a live
+  // ancestor reading its frozen over-deep value is not — it must escape by
+  // a (spurious) exit, after which the toxic edge points the other way and
+  // ST converges.
+  DinersSystem s(graph::make_path(4));  // 0 -> 1 -> 2 -> 3, D = 3
+  s.set_depth(1, 9);
+  s.crash(1);
+  const auto stable = stably_shallow_processes(s);
+  EXPECT_TRUE(stable[1]);   // dead
+  EXPECT_FALSE(stable[0]);  // 1 is 0's descendant with frozen depth 9
+  EXPECT_FALSE(holds_st(s));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  engine.run(5000);
+  EXPECT_TRUE(holds_st(s));  // 0 exited; the 0-1 edge now points at 0
+  EXPECT_TRUE(s.is_direct_ancestor(1, 0));
+}
+
+TEST(ST, ShallowButUnstableIsNotStable) {
+  // 0 -> 1 -> 2 -> 3 (id orientation). Make the sink 3 deep; its ancestors
+  // are shallow themselves but reach a deep descendant.
+  DinersSystem s(graph::make_path(4));
+  s.set_depth(3, 5);  // depth > D = 3: 3 is deep
+  const auto shallow = shallow_processes(s);
+  const auto stable = stably_shallow_processes(s);
+  EXPECT_FALSE(shallow[3]);
+  EXPECT_FALSE(stable[3]);
+  EXPECT_FALSE(stable[2]);  // reaches deep 3
+  EXPECT_FALSE(stable[0]);
+}
+
+TEST(ST, FixdepthDisabledDisjunctCounts) {
+  // Descendant deeper than D would suggest trouble, but if p's depth is
+  // already past it, p's fixdepth is disabled and p can stay shallow.
+  DinersSystem s(graph::make_path(3));  // D = 2, orientation 0->1->2
+  s.set_depth(2, 1);
+  s.set_depth(1, 2);
+  s.set_depth(0, 2);
+  // SH(1): depth 2 <= 2; desc 2: depth 1 + l(1)=2 = 3 > 2 but 1+1 <= 2. OK.
+  const auto shallow = shallow_processes(s);
+  EXPECT_TRUE(shallow[1]);
+}
+
+TEST(Invariant, InitialTreeStateSatisfiesI) {
+  DinersSystem s(graph::make_path(6));
+  EXPECT_TRUE(holds_invariant(s));
+}
+
+TEST(Invariant, ClosedUnderExecutionOnTree) {
+  // Run from a legitimate state; I must hold at every step (closure,
+  // Theorem 1's closed half).
+  DinersSystem s(graph::make_path(6));
+  ASSERT_TRUE(holds_invariant(s));
+  sim::Engine engine(s, sim::make_daemon("random", 5), 64);
+  for (int i = 0; i < 2000; ++i) {
+    if (!engine.step()) break;
+    ASSERT_TRUE(holds_invariant(s)) << "I broken at step " << i;
+  }
+}
+
+TEST(Invariant, ClosedUnderExecutionWithCrash) {
+  DinersSystem s(graph::make_star(7));
+  ASSERT_TRUE(holds_invariant(s));
+  sim::Engine engine(s, sim::make_daemon("random", 6), 64);
+  engine.run(200);
+  s.crash(0);  // benign crash of the hub
+  engine.reset_ages();
+  for (int i = 0; i < 2000; ++i) {
+    if (!engine.step()) break;
+    ASSERT_TRUE(holds_invariant(s)) << "I broken at step " << i;
+  }
+}
+
+TEST(Invariant, RegressionK3ClosureWitnessUnderPaperThreshold) {
+  // The exact counterexample from the model checker (EXPERIMENTS.md E1):
+  // on K3 with the paper's D = 1, the state [order 0>1>2, depths (1,0,-1),
+  // process 2 eating] satisfies I, yet 2's ordinary exit breaks ST. This
+  // pins the erratum to a 3-line witness; under the sound threshold D = 2
+  // the same transition preserves I.
+  {
+    DinersSystem s(graph::make_ring(3));  // paper threshold: D = 1
+    s.set_depth(0, 1);
+    s.set_depth(1, 0);
+    s.set_depth(2, -1);
+    s.set_state(2, DinerState::kEating);
+    ASSERT_TRUE(holds_invariant(s));
+    s.execute(2, DinersSystem::kExit);
+    EXPECT_FALSE(holds_st(s));  // process 1 became deep
+    EXPECT_FALSE(holds_invariant(s));
+  }
+  {
+    core::DinersConfig cfg;
+    cfg.diameter_override = 2;  // sound threshold
+    DinersSystem s(graph::make_ring(3), cfg);
+    s.set_depth(0, 1);
+    s.set_depth(1, 0);
+    s.set_depth(2, -1);
+    s.set_state(2, DinerState::kEating);
+    ASSERT_TRUE(holds_invariant(s));
+    s.execute(2, DinersSystem::kExit);
+    EXPECT_TRUE(holds_invariant(s));
+  }
+}
+
+TEST(Invariant, Figure2FrameIsTransientAndGetsRepaired) {
+  // The figure's first frame violates NC (the e-f-g cycle has no dead
+  // member): it is a transient-fault state the algorithm then repairs.
+  auto s = core::make_figure2_system();
+  EXPECT_FALSE(holds_nc(s));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  engine.run(3000);
+  EXPECT_TRUE(holds_nc(s));
+  EXPECT_TRUE(holds_e(s));
+}
+
+}  // namespace
+}  // namespace diners::analysis

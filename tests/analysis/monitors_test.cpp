@@ -1,0 +1,113 @@
+#include "analysis/monitors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/invariants.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::analysis {
+namespace {
+
+using core::DinerState;
+using core::DinersSystem;
+
+TEST(SafetyMonitor, QuietOnCleanRun) {
+  DinersSystem s(graph::make_ring(6));
+  sim::Engine engine(s, sim::make_daemon("random", 4), 64);
+  SafetyMonitor monitor(s, engine);
+  engine.run(3000);
+  EXPECT_EQ(monitor.max_violations(), 0u);
+  EXPECT_FALSE(monitor.ever_increased());
+}
+
+TEST(SafetyMonitor, SeesCorruptedStartAndItsRepair) {
+  DinersSystem s(graph::make_path(5));
+  s.set_state(1, DinerState::kEating);
+  s.set_state(2, DinerState::kEating);
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  SafetyMonitor monitor(s, engine);
+  EXPECT_EQ(eating_violation_count(s), 1u);
+  engine.run(2000);
+  // Theorem 3: the count never increases; eventually it reaches zero.
+  EXPECT_FALSE(monitor.ever_increased());
+  EXPECT_EQ(eating_violation_count(s), 0u);
+  EXPECT_EQ(monitor.max_violations(), 1u);
+}
+
+TEST(SafetyMonitor, RebaselineAbsorbsInjectedViolations) {
+  DinersSystem s(graph::make_path(5));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  SafetyMonitor monitor(s, engine);
+  engine.run(10);
+  s.set_state(2, DinerState::kEating);
+  s.set_state(3, DinerState::kEating);
+  monitor.rebaseline();
+  engine.run(2000);
+  EXPECT_FALSE(monitor.ever_increased());
+}
+
+TEST(MealLatency, RecordsEveryMeal) {
+  DinersSystem s(graph::make_path(4));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  MealLatencyMonitor monitor(s, engine);
+  engine.run(2000);
+  EXPECT_EQ(monitor.latencies().size(), s.total_meals());
+  for (double l : monitor.latencies()) EXPECT_GE(l, 1.0);
+}
+
+TEST(MealLatency, SummaryIsConsistent) {
+  DinersSystem s(graph::make_ring(5));
+  sim::Engine engine(s, sim::make_daemon("random", 9), 64);
+  MealLatencyMonitor monitor(s, engine);
+  engine.run(3000);
+  const auto summary = monitor.summary();
+  ASSERT_GT(summary.count, 0u);
+  EXPECT_LE(summary.min, summary.p50);
+  EXPECT_LE(summary.p50, summary.max);
+}
+
+TEST(StepsUntilInvariant, ZeroWhenAlreadyLegitimate) {
+  DinersSystem s(graph::make_path(5));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  const auto steps = steps_until_invariant(s, engine, 1000);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(*steps, 0u);
+}
+
+TEST(StepsUntilInvariant, ConvergesFromCorruption) {
+  DinersSystem s(graph::make_path(8));
+  util::Xoshiro256 rng(17);
+  fault::corrupt_global_state(s, rng);
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  const auto steps = steps_until_invariant(s, engine, 50000);
+  ASSERT_TRUE(steps.has_value());
+}
+
+TEST(StepsUntilInvariant, TimesOutWhenConvergenceImpossible) {
+  // Cycle breaking disabled + appetiteless seeded cycle: NC never restored.
+  core::DinersConfig cfg;
+  cfg.enable_cycle_breaking = false;
+  DinersSystem s(graph::make_ring(5), cfg);
+  for (DinersSystem::ProcessId p = 0; p < 5; ++p) {
+    s.set_priority(p, (p + 1) % 5, p);
+    s.set_needs(p, false);
+  }
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  const auto steps = steps_until_invariant(s, engine, 5000);
+  EXPECT_FALSE(steps.has_value());
+}
+
+TEST(StepsUntilInvariant, CheckEveryBatchesChecks) {
+  DinersSystem s(graph::make_path(8));
+  util::Xoshiro256 rng(18);
+  fault::corrupt_global_state(s, rng);
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  const auto steps = steps_until_invariant(s, engine, 50000, 50);
+  ASSERT_TRUE(steps.has_value());
+  EXPECT_EQ(*steps % 50, 0u);  // only multiples of the batch are reported
+}
+
+}  // namespace
+}  // namespace diners::analysis

@@ -1,0 +1,129 @@
+#include "analysis/red_green.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure2.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::analysis {
+namespace {
+
+using core::DinerState;
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+TEST(RedGreen, AllGreenWithoutCrashes) {
+  DinersSystem s(graph::make_ring(5));
+  const auto red = red_processes(s);
+  for (bool r : red) EXPECT_FALSE(r);
+  EXPECT_EQ(green_processes(s).size(), 5u);
+  EXPECT_EQ(red_radius(s), 0u);
+}
+
+TEST(RedGreen, DeadProcessesAreRed) {
+  DinersSystem s(graph::make_ring(5));
+  s.crash(2);
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[2]);
+}
+
+TEST(RedGreen, DeadThinkerPropagatesNothing) {
+  // A dead process frozen thinking blocks nobody.
+  DinersSystem s(graph::make_path(4));
+  s.crash(1);
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[1]);
+  EXPECT_FALSE(red[0]);
+  EXPECT_FALSE(red[2]);
+  EXPECT_FALSE(red[3]);
+}
+
+TEST(RedGreen, ThinkingProcessWithDeadHungryAncestorIsRed) {
+  DinersSystem s(graph::make_path(3));  // 0 -> 1 -> 2
+  s.set_state(0, DinerState::kHungry);
+  s.crash(0);
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[0]);
+  EXPECT_TRUE(red[1]);   // thinking, red non-thinking ancestor
+  EXPECT_FALSE(red[2]);  // its ancestor 1 is red but *thinking*
+}
+
+TEST(RedGreen, HungryWithDeadEatingDescendantIsRed) {
+  // Orient so 1 is an ancestor of 0 (0 is 1's descendant), 0 eats and dies.
+  DinersSystem s(graph::make_path(3));
+  s.set_priority(0, 1, 1);  // 1 becomes the ancestor endpoint
+  s.set_state(0, DinerState::kEating);
+  s.set_state(1, DinerState::kHungry);
+  s.crash(0);
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[0]);
+  EXPECT_TRUE(red[1]);  // hungry, no ancestors, red eating descendant
+}
+
+TEST(RedGreen, HungryWithGreenAncestorIsNotRed) {
+  // Same as above but 1 now also has a live ancestor 2 that is not red;
+  // the paper's RD requires ALL direct ancestors red-and-thinking.
+  DinersSystem s(graph::make_path(3));
+  s.set_priority(0, 1, 1);
+  s.set_priority(1, 2, 2);  // 2 is 1's ancestor
+  s.set_state(0, DinerState::kEating);
+  s.set_state(1, DinerState::kHungry);
+  s.crash(0);
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[0]);
+  EXPECT_FALSE(red[1]);
+  EXPECT_FALSE(red[2]);
+}
+
+TEST(RedGreen, PropagationStopsAtDistanceTwo) {
+  // Long path, head eating+dead as the descendant of 1: 1 is red hungry
+  // (distance 1), 2 is red thinking (distance 2), 3.. are green.
+  DinersSystem s(graph::make_path(8));
+  s.set_priority(0, 1, 1);
+  s.set_state(0, DinerState::kEating);
+  for (P p = 1; p < 8; ++p) s.set_state(p, DinerState::kThinking);
+  s.set_state(1, DinerState::kHungry);
+  s.crash(0);
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[0]);
+  EXPECT_TRUE(red[1]);
+  EXPECT_TRUE(red[2]);  // thinking with red hungry ancestor 1
+  for (P p = 3; p < 8; ++p) EXPECT_FALSE(red[p]) << "process " << p;
+  EXPECT_EQ(red_radius(s), 2u);
+}
+
+TEST(RedGreen, RadiusNeverExceedsTwo_PropertyOverRandomStates) {
+  // The red set is always contained in the distance-2 ball of the dead set:
+  // the structural heart of failure locality 2.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Xoshiro256 rng(seed);
+    DinersSystem s(graph::make_connected_gnp(24, 0.12, seed));
+    // Random states everywhere.
+    for (P p = 0; p < 24; ++p) {
+      s.set_state(p, core::kAllDinerStates[rng.below(3)]);
+    }
+    for (const auto& e : s.topology().edges()) {
+      s.set_priority(e.u, e.v, rng.chance(0.5) ? e.u : e.v);
+    }
+    for (std::size_t i : rng.sample_indices(24, 3)) {
+      s.crash(static_cast<P>(i));
+    }
+    EXPECT_LE(red_radius(s), 2u) << "seed " << seed;
+  }
+}
+
+TEST(RedGreen, Figure2Classification) {
+  auto s = core::make_figure2_system();
+  using F = core::Figure2;
+  const auto red = red_processes(s);
+  EXPECT_TRUE(red[F::a]);
+  EXPECT_TRUE(red[F::b]);
+  EXPECT_TRUE(red[F::c]);
+  EXPECT_FALSE(red[F::e]);
+  EXPECT_FALSE(red[F::f]);
+  EXPECT_FALSE(red[F::g]);
+  EXPECT_EQ(red_radius(s), 1u);  // b and c are both at distance 1 from a
+}
+
+}  // namespace
+}  // namespace diners::analysis

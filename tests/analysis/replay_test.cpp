@@ -1,0 +1,101 @@
+#include "analysis/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure2.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::analysis {
+namespace {
+
+using core::DinersSystem;
+
+TEST(Replay, RecordedRunIsAlwaysLegal) {
+  DinersSystem system(graph::make_ring(6));
+  sim::Engine engine(system, sim::make_daemon("random", 7), 64);
+  sim::TraceRecorder trace;
+  trace.attach(engine);
+  engine.run(3000);
+
+  DinersSystem replayed(graph::make_ring(6));
+  const auto result = replay_trace(replayed, trace.events());
+  EXPECT_TRUE(result.valid) << result.reason << " at " << result.failed_index;
+  // The replayed system ends in the same state.
+  for (DinersSystem::ProcessId p = 0; p < 6; ++p) {
+    EXPECT_EQ(replayed.state(p), system.state(p));
+    EXPECT_EQ(replayed.depth(p), system.depth(p));
+    EXPECT_EQ(replayed.meals(p), system.meals(p));
+  }
+}
+
+TEST(Replay, Figure2FragmentIsLegal) {
+  auto system = core::make_figure2_system();
+  using F = core::Figure2;
+  std::vector<sim::TraceEvent> fragment = {
+      {0, F::d, DinersSystem::kLeave, "leave"},
+      {1, F::g, DinersSystem::kExit, "exit"},
+      {2, F::e, DinersSystem::kEnter, "enter"},
+  };
+  const auto result = replay_trace(system, fragment);
+  EXPECT_TRUE(result.valid) << result.reason;
+}
+
+TEST(Replay, RejectsDisabledAction) {
+  DinersSystem system(graph::make_path(3));
+  std::vector<sim::TraceEvent> bogus = {
+      {0, 1, DinersSystem::kLeave, "leave"},  // nobody is hungry yet
+  };
+  const auto result = replay_trace(system, bogus);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.failed_index, 0u);
+  EXPECT_NE(result.reason.find("guard"), std::string::npos);
+}
+
+TEST(Replay, RejectsWrongActionName) {
+  DinersSystem system(graph::make_path(3));
+  std::vector<sim::TraceEvent> bogus = {
+      {0, 1, DinersSystem::kJoin, "exit"},
+  };
+  const auto result = replay_trace(system, bogus);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.reason, "action name mismatch");
+}
+
+TEST(Replay, RejectsDeadProcess) {
+  DinersSystem system(graph::make_path(3));
+  system.crash(1);
+  std::vector<sim::TraceEvent> bogus = {
+      {0, 1, DinersSystem::kJoin, "join"},
+  };
+  const auto result = replay_trace(system, bogus);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.reason, "dead process executed an action");
+}
+
+TEST(Replay, RejectsOutOfRangeIds) {
+  DinersSystem system(graph::make_path(3));
+  std::vector<sim::TraceEvent> bogus = {
+      {0, 9, 0, "join"},
+  };
+  EXPECT_FALSE(replay_trace(system, bogus).valid);
+  bogus = {{0, 1, 9, "join"}};
+  EXPECT_FALSE(replay_trace(system, bogus).valid);
+}
+
+TEST(Replay, StopsAtFirstViolation) {
+  DinersSystem system(graph::make_path(3));
+  std::vector<sim::TraceEvent> events = {
+      {0, 0, DinersSystem::kJoin, "join"},   // legal
+      {1, 0, DinersSystem::kJoin, "join"},   // illegal: already hungry
+      {2, 0, DinersSystem::kEnter, "enter"},
+  };
+  const auto result = replay_trace(system, events);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.failed_index, 1u);
+  // The first (legal) event was applied.
+  EXPECT_EQ(system.state(0), core::DinerState::kHungry);
+}
+
+}  // namespace
+}  // namespace diners::analysis

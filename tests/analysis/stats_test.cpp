@@ -1,0 +1,51 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace diners::analysis {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const Summary s = summarize({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.0);
+  EXPECT_DOUBLE_EQ(s.p95, 4.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);  // nearest-rank on sorted {1,2,3,4}
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const Summary s = summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(Summarize, P95PicksTail) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+}
+
+}  // namespace
+}  // namespace diners::analysis

@@ -1,0 +1,103 @@
+// Guard semantics on a high-degree node: the star hub has every other
+// process in its neighborhood, with arbitrary mixes of ancestors and
+// descendants — the stress case for the quantified guards of Figure 1.
+#include <gtest/gtest.h>
+
+#include "core/diners_system.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::core {
+namespace {
+
+using P = DinersSystem::ProcessId;
+using A = DinersSystem::Action;
+
+// Star with hub 0 and leaves 1..5; by default 0 is everyone's ancestor.
+DinersSystem star6() { return DinersSystem(graph::make_star(6)); }
+
+TEST(StarGuards, HubJoinIgnoresAllLeaves) {
+  auto s = star6();
+  for (P leaf = 1; leaf < 6; ++leaf) s.set_state(leaf, DinerState::kHungry);
+  // Leaves are the hub's descendants: join only checks ancestors (none).
+  EXPECT_TRUE(s.enabled(0, A::kJoin));
+}
+
+TEST(StarGuards, HubEnterBlockedByOneEatingLeaf) {
+  auto s = star6();
+  s.set_state(0, DinerState::kHungry);
+  EXPECT_TRUE(s.enabled(0, A::kEnter));
+  s.set_state(3, DinerState::kEating);
+  EXPECT_FALSE(s.enabled(0, A::kEnter));
+}
+
+TEST(StarGuards, MixedAncestryQuantifiersAreExact) {
+  auto s = star6();
+  // Flip leaves 1 and 2 into the hub's ancestors.
+  s.set_priority(0, 1, 1);
+  s.set_priority(0, 2, 2);
+  s.set_state(0, DinerState::kHungry);
+
+  // All ancestors thinking, no descendant eating: enter enabled.
+  EXPECT_TRUE(s.enabled(0, A::kEnter));
+  EXPECT_FALSE(s.enabled(0, A::kLeave));
+
+  // One ancestor hungry: enter off, leave on.
+  s.set_state(1, DinerState::kHungry);
+  EXPECT_FALSE(s.enabled(0, A::kEnter));
+  EXPECT_TRUE(s.enabled(0, A::kLeave));
+
+  // Hungry *descendant* alone never enables leave.
+  s.set_state(1, DinerState::kThinking);
+  s.set_state(4, DinerState::kHungry);
+  EXPECT_FALSE(s.enabled(0, A::kLeave));
+  EXPECT_TRUE(s.enabled(0, A::kEnter));
+}
+
+TEST(StarGuards, ExitFlipsAllIncidentEdgesAtOnce) {
+  auto s = star6();
+  s.set_state(0, DinerState::kEating);
+  s.execute(0, A::kExit);
+  for (P leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_TRUE(s.is_direct_ancestor(leaf, 0)) << "leaf " << leaf;
+  }
+  EXPECT_TRUE(s.direct_descendants(0).empty());
+  EXPECT_EQ(s.direct_ancestors(0).size(), 5u);
+}
+
+TEST(StarGuards, FixDepthTakesMaxOverManyDescendants) {
+  auto s = star6();
+  s.set_depth(2, 3);
+  s.set_depth(4, 7);
+  s.set_depth(5, 1);
+  ASSERT_TRUE(s.enabled(0, A::kFixDepth));
+  s.execute(0, A::kFixDepth);
+  EXPECT_EQ(s.depth(0), 8);
+}
+
+TEST(StarGuards, LeafGuardsSeeOnlyTheHub) {
+  auto s = star6();
+  s.set_state(2, DinerState::kEating);  // another leaf
+  // Leaf 1's only neighbor is the hub: other leaves are irrelevant.
+  EXPECT_TRUE(s.enabled(1, A::kJoin));
+  s.set_state(0, DinerState::kHungry);
+  EXPECT_FALSE(s.enabled(1, A::kJoin));
+}
+
+TEST(StarGuards, TwoLeavesMayEatTogether) {
+  // Leaves are pairwise non-adjacent: simultaneous meals are legal and the
+  // E predicate does not fire.
+  auto s = star6();
+  s.set_state(1, DinerState::kHungry);
+  s.set_state(2, DinerState::kHungry);
+  s.set_priority(0, 1, 1);  // make both leaves the hub's ancestors so
+  s.set_priority(0, 2, 2);  // their enter only needs the hub thinking
+  ASSERT_TRUE(s.enabled(1, A::kEnter));
+  s.execute(1, A::kEnter);
+  ASSERT_TRUE(s.enabled(2, A::kEnter));
+  s.execute(2, A::kEnter);
+  EXPECT_EQ(s.state(1), DinerState::kEating);
+  EXPECT_EQ(s.state(2), DinerState::kEating);
+}
+
+}  // namespace
+}  // namespace diners::core

@@ -1,0 +1,103 @@
+#include "core/reconfigure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/monitors.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::core {
+namespace {
+
+using P = DinersSystem::ProcessId;
+
+TEST(Reconfigure, NoDeadMeansOneIdenticalComponent) {
+  DinersSystem s(graph::make_ring(5));
+  s.set_state(2, DinerState::kHungry);
+  s.set_depth(3, 1);
+  const auto parts = reconfigure_fail_stop(s);
+  ASSERT_EQ(parts.size(), 1u);
+  const auto& c = parts[0];
+  EXPECT_EQ(c.system.topology().num_nodes(), 5u);
+  EXPECT_EQ(c.system.topology().num_edges(), 5u);
+  EXPECT_EQ(c.system.state(2), DinerState::kHungry);
+  EXPECT_EQ(c.system.depth(3), 1);
+  EXPECT_EQ(c.original_id[4], 4u);
+}
+
+TEST(Reconfigure, RemovingACutVertexSplitsComponents) {
+  // Path 0-1-2-3-4; kill 2: components {0,1} and {3,4}.
+  DinersSystem s(graph::make_path(5));
+  s.crash(2);
+  const auto parts = reconfigure_fail_stop(s);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].system.topology().num_nodes(), 2u);
+  EXPECT_EQ(parts[1].system.topology().num_nodes(), 2u);
+  EXPECT_EQ(parts[0].original_id, (std::vector<P>{0, 1}));
+  EXPECT_EQ(parts[1].original_id, (std::vector<P>{3, 4}));
+}
+
+TEST(Reconfigure, PrioritiesCarryOver) {
+  DinersSystem s(graph::make_path(4));
+  s.set_priority(1, 2, 2);  // flip: 2 is now the ancestor of 1
+  s.crash(0);
+  const auto parts = reconfigure_fail_stop(s);
+  ASSERT_EQ(parts.size(), 1u);
+  const auto& c = parts[0];  // members {1, 2, 3} -> new ids {0, 1, 2}
+  EXPECT_EQ(c.system.priority(0, 1), 1u);  // old (1,2) owner 2 -> new id 1
+  EXPECT_EQ(c.system.priority(1, 2), 1u);  // old (2,3) owner 2 -> new id 1
+}
+
+TEST(Reconfigure, IsolatedSurvivorBecomesSingleton) {
+  // Star: kill the hub, every leaf becomes its own component.
+  DinersSystem s(graph::make_star(5));
+  s.crash(0);
+  const auto parts = reconfigure_fail_stop(s);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& c : parts) {
+    EXPECT_EQ(c.system.topology().num_nodes(), 1u);
+  }
+}
+
+TEST(Reconfigure, NobodyIsSacrificedAfterFailStop) {
+  // The paper's point: a *detected* failure costs nothing — after the
+  // topology update, EVERY survivor eats, including the crash victim's
+  // direct neighbors (which an undetected crash would have sacrificed).
+  DinersSystem s(graph::make_path(8));
+  for (P p = 1; p < 8; ++p) s.set_state(p, DinerState::kHungry);
+  s.set_state(0, DinerState::kEating);
+  s.crash(0);  // undetected, this sacrifices process 1 forever
+
+  const auto parts = reconfigure_fail_stop(s);
+  ASSERT_EQ(parts.size(), 1u);
+  DinersSystem survivors = parts[0].system;  // 1..7 -> 0..6
+  sim::Engine engine(survivors, sim::make_daemon("round-robin", 1), 64);
+  engine.run(6000);
+  for (P p = 0; p < 7; ++p) {
+    EXPECT_GT(survivors.meals(p), 0u) << "survivor " << p;
+  }
+}
+
+TEST(Reconfigure, ComponentsStabilizeFromTheCutState) {
+  // The cut can leave stale depths/priorities; each component must still
+  // converge to its own invariant.
+  DinersConfig cfg;
+  cfg.diameter_override = 15;  // sound threshold, inherited by components
+  DinersSystem s(graph::make_connected_gnp(16, 0.15, 3), cfg);
+  util::Xoshiro256 rng(4);
+  sim::Engine warm(s, sim::make_daemon("random", 2), 64);
+  warm.run(2000);
+  for (std::size_t i : rng.sample_indices(16, 4)) {
+    s.crash(static_cast<P>(i));
+  }
+  for (auto& part : reconfigure_fail_stop(s)) {
+    sim::Engine engine(part.system, sim::make_daemon("round-robin", 1), 64);
+    const auto steps =
+        analysis::steps_until_invariant(part.system, engine, 200000, 8);
+    EXPECT_TRUE(steps.has_value())
+        << "component of size " << part.system.topology().num_nodes();
+  }
+}
+
+}  // namespace
+}  // namespace diners::core

@@ -1,0 +1,158 @@
+#include "drinkers/drinking_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+
+namespace diners::drinkers {
+namespace {
+
+using core::DinerState;
+using P = DrinkingSystem::ProcessId;
+
+TEST(Drinking, NobodyThirstyNothingHappens) {
+  DrinkingSystem s(graph::make_ring(5));
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  const auto result = engine.run(5000);
+  // Only depth bookkeeping can run; sessions stay at zero.
+  EXPECT_EQ(s.total_sessions(), 0u);
+  (void)result;
+}
+
+TEST(Drinking, RequestValidatesBottles) {
+  DrinkingSystem s(graph::make_path(3));
+  const auto far_edge = s.topology().edge_index(1, 2);
+  EXPECT_THROW(s.request_drink(0, {far_edge}), std::invalid_argument);
+}
+
+TEST(Drinking, SingleDrinkerGetsServed) {
+  DrinkingSystem s(graph::make_path(3));
+  const auto bottle = s.topology().edge_index(0, 1);
+  s.request_drink(0, {bottle});
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  engine.run(100, [&] { return s.sessions(0) > 0; });
+  EXPECT_EQ(s.sessions(0), 1u);
+  // The request is one-shot: quenched afterwards.
+  engine.run(2000);
+  EXPECT_EQ(s.sessions(0), 1u);
+}
+
+TEST(Drinking, DrinkingFlagTracksMeal) {
+  DrinkingSystem s(graph::make_path(2));
+  s.request_drink(1, {0});
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  bool observed_drinking = false;
+  engine.add_observer([&](const sim::StepRecord&) {
+    if (s.drinking(1)) observed_drinking = true;
+  });
+  engine.run(200, [&] { return s.sessions(1) > 0 && !s.drinking(1); });
+  EXPECT_TRUE(observed_drinking);
+  EXPECT_FALSE(s.drinking(1));
+}
+
+TEST(Drinking, NoBottleEverDoubleClaimed) {
+  DrinkingSystem s(graph::make_ring(8));
+  util::Xoshiro256 rng(3);
+  sim::Engine engine(s, sim::make_daemon("random", 3), 64);
+  engine.add_observer([&](const sim::StepRecord&) {
+    ASSERT_EQ(s.bottle_conflicts(), 0u);
+  });
+  for (int round = 0; round < 40; ++round) {
+    for (P p = 0; p < 8; ++p) {
+      if (!s.drinking(p) && s.substrate().state(p) == DinerState::kThinking) {
+        s.request_drink(p, random_bottles(s.topology(), p, rng));
+      }
+    }
+    engine.run(100);
+  }
+  EXPECT_GT(s.total_sessions(), 20u);
+}
+
+TEST(Drinking, UtilizationBetweenZeroAndOne) {
+  DrinkingSystem s(graph::make_ring(6));
+  util::Xoshiro256 rng(4);
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  for (int round = 0; round < 30; ++round) {
+    for (P p = 0; p < 6; ++p) {
+      if (s.substrate().state(p) == DinerState::kThinking) {
+        s.request_drink(p, random_bottles(s.topology(), p, rng));
+      }
+    }
+    engine.run(100);
+  }
+  ASSERT_GT(s.total_sessions(), 0u);
+  EXPECT_GT(s.bottle_utilization(), 0.0);
+  EXPECT_LE(s.bottle_utilization(), 1.0);
+}
+
+TEST(Drinking, InheritsMaliciousCrashLocality) {
+  // The whole point of layering on THIS diners: a malicious crash in the
+  // cellar starves only drinkers within distance 2.
+  DrinkingSystem s(graph::make_path(8));
+  util::Xoshiro256 rng(5);
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+
+  auto top_up = [&] {
+    for (P p = 0; p < 8; ++p) {
+      if (s.alive(p) && s.substrate().state(p) == DinerState::kThinking) {
+        s.request_drink(p, random_bottles(s.topology(), p, rng));
+      }
+    }
+  };
+  for (int round = 0; round < 20; ++round) {
+    top_up();
+    engine.run(100);
+  }
+  ASSERT_GT(s.total_sessions(), 0u);
+
+  // The head dies at the table (frozen eating — the worst case).
+  s.substrate().set_state(0, DinerState::kEating);
+  s.crash(0);
+  engine.reset_ages();
+
+  std::vector<std::uint64_t> base(8);
+  for (int round = 0; round < 30; ++round) {
+    top_up();
+    engine.run(100);
+  }
+  for (P p = 0; p < 8; ++p) base[p] = s.sessions(p);
+  for (int round = 0; round < 60; ++round) {
+    top_up();
+    engine.run(100);
+  }
+  // Distance >= 3 drinkers keep getting sessions.
+  for (P p = 3; p < 8; ++p) {
+    EXPECT_GT(s.sessions(p), base[p]) << "drinker " << p;
+  }
+}
+
+TEST(Drinking, NeighborsWithDisjointBottlesStillSerialized) {
+  // Documents the conservative reduction's known concurrency loss: 0 and 1
+  // want disjoint bottles yet never drink together (they are neighbors at
+  // the table).
+  DrinkingSystem s(graph::make_path(3));
+  const auto left = s.topology().edge_index(0, 1);
+  const auto right = s.topology().edge_index(1, 2);
+  sim::Engine engine(s, sim::make_daemon("random", 6), 64);
+  bool overlapped = false;
+  engine.add_observer([&](const sim::StepRecord&) {
+    if (s.drinking(0) && s.drinking(1)) overlapped = true;
+  });
+  for (int round = 0; round < 50; ++round) {
+    if (s.substrate().state(0) == DinerState::kThinking) {
+      s.request_drink(0, {left});
+    }
+    if (s.substrate().state(1) == DinerState::kThinking) {
+      s.request_drink(1, {right});
+    }
+    engine.run(50);
+  }
+  EXPECT_FALSE(overlapped);
+  EXPECT_GT(s.sessions(0), 0u);
+  EXPECT_GT(s.sessions(1), 0u);
+}
+
+}  // namespace
+}  // namespace diners::drinkers

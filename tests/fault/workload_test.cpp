@@ -1,0 +1,71 @@
+#include "fault/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace diners::fault {
+namespace {
+
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+TEST(Saturation, PrimesEveryoneHungry) {
+  DinersSystem s(graph::make_path(5));
+  for (P p = 0; p < 5; ++p) s.set_needs(p, false);
+  SaturationWorkload w;
+  w.prime(s);
+  for (P p = 0; p < 5; ++p) EXPECT_TRUE(s.needs(p));
+}
+
+TEST(RandomToggle, RejectsBadProbabilities) {
+  EXPECT_THROW(RandomToggleWorkload(-0.1, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(RandomToggleWorkload(0.1, 1.5, 1), std::invalid_argument);
+}
+
+TEST(RandomToggle, EventuallyTogglesBothWays) {
+  DinersSystem s(graph::make_path(4));
+  RandomToggleWorkload w(0.5, 0.5, 7);
+  w.prime(s);
+  bool saw_on = false;
+  bool saw_off = false;
+  for (int step = 0; step < 500; ++step) {
+    w.tick(s, step);
+    for (P p = 0; p < 4; ++p) {
+      (s.needs(p) ? saw_on : saw_off) = true;
+    }
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(RandomToggle, NonThinkingAppetiteUntouched) {
+  DinersSystem s(graph::make_path(4));
+  s.set_state(2, core::DinerState::kHungry);
+  s.set_needs(2, true);
+  RandomToggleWorkload w(1.0, 1.0, 7);  // would flip every thinker
+  for (int step = 0; step < 50; ++step) w.tick(s, step);
+  EXPECT_TRUE(s.needs(2));  // hungry processes keep their appetite
+}
+
+TEST(Subset, OnlySubsetWants) {
+  DinersSystem s(graph::make_path(6));
+  SubsetWorkload w({1, 4});
+  w.prime(s);
+  EXPECT_TRUE(s.needs(1));
+  EXPECT_TRUE(s.needs(4));
+  EXPECT_FALSE(s.needs(0));
+  EXPECT_FALSE(s.needs(5));
+}
+
+TEST(MakeWorkload, KnownNames) {
+  EXPECT_EQ(make_workload("saturation", 1)->name(), "saturation");
+  EXPECT_EQ(make_workload("random-toggle", 1)->name(), "random-toggle");
+}
+
+TEST(MakeWorkload, UnknownThrows) {
+  EXPECT_THROW((void)make_workload("bursty", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace diners::fault

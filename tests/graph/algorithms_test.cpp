@@ -1,0 +1,192 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace diners::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  const Graph g = make_path(3);
+  EXPECT_THROW((void)bfs_distances(g, 3), std::invalid_argument);
+}
+
+TEST(Bfs, DisconnectedIsUnreachable) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Distance, PairQuery) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(distance(g, 0, 3), 3u);
+  EXPECT_EQ(distance(g, 0, 5), 1u);
+  EXPECT_EQ(distance(g, 2, 2), 0u);
+}
+
+TEST(DistancesToSet, MultiSource) {
+  const Graph g = make_path(7);
+  const NodeId sources[] = {0, 6};
+  const auto dist = distances_to_set(g, sources);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[5], 1u);
+}
+
+TEST(DistancesToSet, EmptySourcesAllUnreachable) {
+  const Graph g = make_path(3);
+  const auto dist = distances_to_set(g, {});
+  for (auto d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(Connectivity, PathConnected) {
+  EXPECT_TRUE(is_connected(make_path(9)));
+}
+
+TEST(Connectivity, TwoComponentsDetected) {
+  Graph::Builder b(5);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(is_connected(g));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_path(10)), 9u);
+  EXPECT_EQ(diameter(make_ring(8)), 4u);
+  EXPECT_EQ(diameter(make_ring(9)), 4u);
+  EXPECT_EQ(diameter(make_star(12)), 2u);
+  EXPECT_EQ(diameter(make_complete(5)), 1u);
+  EXPECT_EQ(diameter(make_grid(3, 4)), 5u);
+}
+
+TEST(Diameter, Figure2TopologyIsThree) {
+  // The D = 3 in the paper's example; DESIGN.md documents this
+  // reconstruction constraint.
+  EXPECT_EQ(diameter(make_figure2_topology()), 3u);
+}
+
+TEST(Diameter, DisconnectedThrows) {
+  Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_THROW((void)diameter(g), std::invalid_argument);
+}
+
+Orientation chain_orientation(std::size_t n) {
+  // 0 -> 1 -> 2 -> ... (i is ancestor of i+1).
+  Orientation o;
+  o.ancestors.resize(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    o.ancestors[i].push_back(static_cast<NodeId>(i - 1));
+  }
+  return o;
+}
+
+Orientation cycle_orientation(std::size_t n) {
+  Orientation o = chain_orientation(n);
+  o.ancestors[0].push_back(static_cast<NodeId>(n - 1));
+  return o;
+}
+
+TEST(DirectedCycle, ChainHasNone) {
+  EXPECT_FALSE(has_directed_cycle(chain_orientation(6)));
+  EXPECT_FALSE(find_directed_cycle(chain_orientation(6)).has_value());
+}
+
+TEST(DirectedCycle, CycleDetected) {
+  EXPECT_TRUE(has_directed_cycle(cycle_orientation(5)));
+}
+
+TEST(DirectedCycle, FindReturnsActualCycle) {
+  const auto o = cycle_orientation(4);
+  const auto cycle = find_directed_cycle(o);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 4u);
+}
+
+TEST(DirectedCycle, DeadNodeExcusesCycle) {
+  const auto o = cycle_orientation(5);
+  const auto alive = [](NodeId p) { return p != 2; };
+  EXPECT_FALSE(has_directed_cycle(o, alive));
+}
+
+TEST(DirectedCycle, LiveCycleBesideDeadNode) {
+  // Cycle among {0,1,2}, node 3 dead and unrelated.
+  Orientation o;
+  o.ancestors.resize(4);
+  o.ancestors[1] = {0};
+  o.ancestors[2] = {1};
+  o.ancestors[0] = {2};
+  const auto alive = [](NodeId p) { return p != 3; };
+  EXPECT_TRUE(has_directed_cycle(o, alive));
+}
+
+TEST(AncestorChain, ChainLengthsCountNodes) {
+  const auto l = longest_live_ancestor_chain(chain_orientation(4));
+  EXPECT_EQ(l[0], 1u);
+  EXPECT_EQ(l[1], 2u);
+  EXPECT_EQ(l[2], 3u);
+  EXPECT_EQ(l[3], 4u);
+}
+
+TEST(AncestorChain, DiamondTakesLongest) {
+  // a(0) -> b(1), a -> c(2), b -> d(3), c -> d; plus e(4) -> d.
+  Orientation o;
+  o.ancestors.resize(5);
+  o.ancestors[1] = {0};
+  o.ancestors[2] = {0};
+  o.ancestors[3] = {1, 2, 4};
+  const auto l = longest_live_ancestor_chain(o);
+  EXPECT_EQ(l[3], 3u);
+  EXPECT_EQ(l[4], 1u);
+}
+
+TEST(AncestorChain, CycleIsUnbounded) {
+  const auto l = longest_live_ancestor_chain(cycle_orientation(3));
+  for (auto v : l) EXPECT_EQ(v, kUnreachable);
+}
+
+TEST(AncestorChain, NodeBelowCycleIsUnbounded) {
+  // Cycle {0,1,2}; 3 hangs below 2 (2 is 3's ancestor).
+  Orientation o = cycle_orientation(3);
+  o.ancestors.push_back({2});
+  const auto l = longest_live_ancestor_chain(o);
+  EXPECT_EQ(l[3], kUnreachable);
+}
+
+TEST(AncestorChain, DeadAncestorBreaksChain) {
+  const auto o = chain_orientation(4);
+  const auto alive = [](NodeId p) { return p != 1; };
+  const auto l = longest_live_ancestor_chain(o, alive);
+  EXPECT_EQ(l[0], 1u);
+  EXPECT_EQ(l[1], 0u);  // dead
+  EXPECT_EQ(l[2], 1u);  // chain restarts after the dead link
+  EXPECT_EQ(l[3], 2u);
+}
+
+TEST(AncestorChain, DeadNodeExcusesCycleChain) {
+  const auto o = cycle_orientation(3);
+  const auto alive = [](NodeId p) { return p != 0; };
+  const auto l = longest_live_ancestor_chain(o, alive);
+  EXPECT_EQ(l[0], 0u);
+  EXPECT_EQ(l[1], 1u);
+  EXPECT_EQ(l[2], 2u);
+}
+
+}  // namespace
+}  // namespace diners::graph

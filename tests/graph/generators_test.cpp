@@ -1,0 +1,187 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace diners::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SingletonPath) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, RingShape) {
+  const Graph g = make_ring(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, RingTooSmallThrows) {
+  EXPECT_THROW((void)make_ring(2), std::invalid_argument);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = make_star(9);
+  EXPECT_EQ(g.degree(0), 8u);
+  for (NodeId v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (1,1)
+}
+
+TEST(Generators, TorusIsRegular) {
+  const Graph g = make_torus(3, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, TorusTooSmallThrows) {
+  EXPECT_THROW((void)make_torus(2, 5), std::invalid_argument);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 1u);  // leaf
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = make_random_tree(40, seed);
+    EXPECT_EQ(g.num_edges(), 39u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomTreeDeterministic) {
+  const Graph a = make_random_tree(25, 99);
+  const Graph b = make_random_tree(25, 99);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(Generators, GnpConnectedAndSupersetOfTree) {
+  const Graph g = make_connected_gnp(30, 0.1, 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.num_edges(), 29u);
+}
+
+TEST(Generators, GnpZeroProbabilityIsTree) {
+  const Graph g = make_connected_gnp(20, 0.0, 7);
+  EXPECT_EQ(g.num_edges(), 19u);
+}
+
+TEST(Generators, GnpFullProbabilityIsComplete) {
+  const Graph g = make_connected_gnp(8, 1.0, 7);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(Generators, GnpRejectsBadProbability) {
+  EXPECT_THROW((void)make_connected_gnp(5, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_connected_gnp(5, -0.1, 1), std::invalid_argument);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = make_caterpillar(4, 2);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 11u);  // tree
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(1), 4u);  // spine interior: 2 spine + 2 legs
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = make_hypercube(3);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 3u);
+  EXPECT_TRUE(g.has_edge(0b000, 0b100));
+  EXPECT_FALSE(g.has_edge(0b000, 0b011));
+}
+
+TEST(Generators, HypercubeRejectsBadDimension) {
+  EXPECT_THROW((void)make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW((void)make_hypercube(21), std::invalid_argument);
+}
+
+TEST(Generators, WheelShape) {
+  const Graph g = make_wheel(7);  // hub + 6-ring
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 2u);
+  EXPECT_TRUE(g.has_edge(6, 1));  // ring closes
+}
+
+TEST(Generators, WheelTooSmallThrows) {
+  EXPECT_THROW((void)make_wheel(3), std::invalid_argument);
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = make_barbell(4, 3);
+  EXPECT_EQ(g.num_nodes(), 11u);
+  // 2 * C(4,2) + 4 bridge edges.
+  EXPECT_EQ(g.num_edges(), 2u * 6u + 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(5), 2u);   // mid-bridge
+  EXPECT_EQ(g.degree(3), 4u);   // clique node touching the bridge
+  EXPECT_EQ(g.degree(0), 3u);   // pure clique node
+}
+
+TEST(Generators, BarbellZeroBridgeJoinsCliquesDirectly) {
+  const Graph g = make_barbell(3, 0);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarbellRejectsTinyClique) {
+  EXPECT_THROW((void)make_barbell(1, 2), std::invalid_argument);
+}
+
+TEST(Generators, Figure2TopologyShape) {
+  const Graph g = make_figure2_topology();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_TRUE(g.has_edge(0, 1));  // a-b
+  EXPECT_TRUE(g.has_edge(4, 6));  // e-g
+  EXPECT_FALSE(g.has_edge(0, 4)); // a-e absent
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Generators, Figure2Names) {
+  EXPECT_STREQ(figure2_name(0), "a");
+  EXPECT_STREQ(figure2_name(6), "g");
+  EXPECT_THROW((void)figure2_name(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace diners::graph

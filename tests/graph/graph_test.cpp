@@ -1,0 +1,106 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace diners::graph {
+namespace {
+
+Graph triangle() {
+  Graph::Builder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2);
+  return std::move(b).build();
+}
+
+TEST(GraphBuilder, RejectsZeroNodes) {
+  EXPECT_THROW(Graph::Builder(0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  Graph::Builder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  Graph::Builder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEitherOrientation) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, CountsNodesAndEdges) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph::Builder b(4);
+  b.add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+  const Graph g = std::move(b).build();
+  const std::vector<NodeId> expected = {0, 1, 3};
+  EXPECT_EQ(g.neighbors(2), expected);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, EdgeIndexStableUnderInsertionOrder) {
+  Graph::Builder b1(4);
+  b1.add_edge(0, 1).add_edge(2, 3).add_edge(1, 2);
+  Graph::Builder b2(4);
+  b2.add_edge(1, 2).add_edge(0, 1).add_edge(2, 3);
+  const Graph g1 = std::move(b1).build();
+  const Graph g2 = std::move(b2).build();
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(g1.edge_index(u, v), g2.edge_index(u, v));
+    }
+  }
+}
+
+TEST(Graph, EdgeIndexRoundTrips) {
+  const Graph g = triangle();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    EXPECT_EQ(g.edge_index(edge.u, edge.v), e);
+    EXPECT_EQ(g.edge_index(edge.v, edge.u), e);
+  }
+}
+
+TEST(Graph, EdgeIndexMissingIsSentinel) {
+  Graph::Builder b(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_index(1, 2), kNoEdge);
+  EXPECT_EQ(g.edge_index(0, 99), kNoEdge);
+}
+
+TEST(Graph, IncidentEdgesAlignWithNeighbors) {
+  const Graph g = triangle();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& nbrs = g.neighbors(u);
+    const auto& inc = g.incident_edges(u);
+    ASSERT_EQ(nbrs.size(), inc.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(g.edge_index(u, nbrs[i]), inc[i]);
+    }
+  }
+}
+
+TEST(Graph, DescribeMentionsCounts) {
+  EXPECT_EQ(triangle().describe(), "Graph(n=3, m=3)");
+}
+
+}  // namespace
+}  // namespace diners::graph

@@ -1,0 +1,79 @@
+// Structural properties of the generators and BFS machinery over random
+// instances — the graph layer underpins every distance claim in the
+// experiments, so it gets its own property sweep.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::graph {
+namespace {
+
+class RandomGraphProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphProperty, BfsDistancesAreLipschitzAlongEdges) {
+  const auto g = make_connected_gnp(40, 0.08, GetParam());
+  for (NodeId src : {NodeId{0}, NodeId{13}, NodeId{39}}) {
+    const auto dist = bfs_distances(g, src);
+    for (const auto& e : g.edges()) {
+      const auto du = dist[e.u];
+      const auto dv = dist[e.v];
+      EXPECT_LE(du > dv ? du - dv : dv - du, 1u)
+          << "edge " << e.u << "-" << e.v;
+    }
+  }
+}
+
+TEST_P(RandomGraphProperty, DistanceIsSymmetric) {
+  const auto g = make_connected_gnp(24, 0.1, GetParam());
+  util::Xoshiro256 rng(GetParam() + 99);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = static_cast<NodeId>(rng.below(24));
+    const auto b = static_cast<NodeId>(rng.below(24));
+    EXPECT_EQ(distance(g, a, b), distance(g, b, a));
+  }
+}
+
+TEST_P(RandomGraphProperty, DiameterBoundsEveryEccentricity) {
+  const auto g = make_random_tree(30, GetParam());
+  const auto diam = diameter(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(eccentricity(g, v), diam);
+  }
+  // Some vertex attains it.
+  bool attained = false;
+  for (NodeId v = 0; v < g.num_nodes() && !attained; ++v) {
+    attained = eccentricity(g, v) == diam;
+  }
+  EXPECT_TRUE(attained);
+}
+
+TEST_P(RandomGraphProperty, MultiSourceBfsIsMinOfSingleSources) {
+  const auto g = make_connected_gnp(20, 0.12, GetParam());
+  const NodeId sources[] = {2, 11, 17};
+  const auto multi = distances_to_set(g, sources);
+  const auto d2 = bfs_distances(g, 2);
+  const auto d11 = bfs_distances(g, 11);
+  const auto d17 = bfs_distances(g, 17);
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(multi[v], std::min({d2[v], d11[v], d17[v]}));
+  }
+}
+
+TEST_P(RandomGraphProperty, HypercubeDistanceIsHammingWeight) {
+  (void)GetParam();
+  const auto g = make_hypercube(4);
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    const auto a = static_cast<NodeId>(rng.below(16));
+    const auto b = static_cast<NodeId>(rng.below(16));
+    EXPECT_EQ(distance(g, a, b),
+              static_cast<std::uint32_t>(__builtin_popcount(a ^ b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace diners::graph

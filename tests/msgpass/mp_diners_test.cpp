@@ -1,0 +1,167 @@
+// Tests for the message-passing transformation (Section 4 of the paper).
+#include "msgpass/mp_diners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace diners::msgpass {
+namespace {
+
+using core::DinerState;
+using P = MessagePassingDiners::ProcessId;
+
+TEST(MpDiners, RejectsBadModulus) {
+  MpOptions options;
+  options.handshake_modulus = 1;
+  EXPECT_THROW(MessagePassingDiners(graph::make_path(3), {}, options),
+               std::invalid_argument);
+}
+
+TEST(MpDiners, BottomHoldsTokensInitially) {
+  MessagePassingDiners s(graph::make_path(3));
+  // Edge {0,1}: 0 is bottom and counters agree -> 0 privileged.
+  const auto e01 = s.topology().edge_index(0, 1);
+  const auto e12 = s.topology().edge_index(1, 2);
+  EXPECT_TRUE(s.holds_token(0, e01));
+  EXPECT_FALSE(s.holds_token(1, e01));
+  EXPECT_TRUE(s.holds_token(1, e12));
+  EXPECT_FALSE(s.holds_token(2, e12));
+}
+
+TEST(MpDiners, TokenExclusionIsStructural) {
+  // At any reachable point, at most one endpoint of an edge believes it is
+  // privileged *after the channels flush*; from a clean start this holds at
+  // every step because caches begin consistent.
+  MessagePassingDiners s(graph::make_ring(5));
+  for (int i = 0; i < 4000; ++i) {
+    s.step();
+    for (const auto& e : s.topology().edges()) {
+      const auto idx = s.topology().edge_index(e.u, e.v);
+      // Both ends privileged simultaneously would mean a duplicated token.
+      EXPECT_FALSE(s.holds_token(e.u, idx) && s.holds_token(e.v, idx))
+          << "step " << i;
+    }
+  }
+}
+
+TEST(MpDiners, EveryoneEatsFaultFree) {
+  MessagePassingDiners s(graph::make_ring(6));
+  s.run(60000);
+  for (P p = 0; p < 6; ++p) {
+    EXPECT_GT(s.meals(p), 0u) << "process " << p;
+  }
+}
+
+TEST(MpDiners, SafetyHoldsFromCleanStart) {
+  MessagePassingDiners s(graph::make_ring(6));
+  for (int i = 0; i < 30000; ++i) {
+    s.step();
+    ASSERT_EQ(s.eating_violations(), 0u) << "step " << i;
+  }
+}
+
+TEST(MpDiners, EventualSafetyAfterCorruption) {
+  // From arbitrary local state + garbage channels, exclusion is restored
+  // once the handshakes flush, and stays.
+  MessagePassingDiners s(graph::make_ring(6));
+  util::Xoshiro256 rng(5);
+  s.corrupt(rng);
+  s.run(30000);  // flush + stabilize
+  for (int i = 0; i < 20000; ++i) {
+    s.step();
+    ASSERT_EQ(s.eating_violations(), 0u) << "step " << i;
+  }
+}
+
+TEST(MpDiners, LivenessAfterCorruption) {
+  MessagePassingDiners s(graph::make_path(6));
+  util::Xoshiro256 rng(6);
+  s.corrupt(rng);
+  s.run(40000);
+  const auto before = s.total_meals();
+  s.run(40000);
+  EXPECT_GT(s.total_meals(), before);
+}
+
+TEST(MpDiners, CrashContainedOnPath) {
+  MessagePassingDiners s(graph::make_path(8));
+  s.run(20000);
+  s.crash(0);
+  s.run(30000);  // absorb
+  std::vector<std::uint64_t> base(8);
+  for (P p = 0; p < 8; ++p) base[p] = s.meals(p);
+  s.run(60000);
+  // Distance >= 3 from the dead process keeps eating.
+  for (P p = 3; p < 8; ++p) {
+    EXPECT_GT(s.meals(p), base[p]) << "process " << p;
+  }
+}
+
+TEST(MpDiners, MessageCountsTracked) {
+  MessagePassingDiners s(graph::make_ring(5));
+  s.run(5000);
+  EXPECT_GT(s.messages_sent(), 0u);
+  EXPECT_GT(s.messages_delivered(), 0u);
+  EXPECT_GE(s.messages_sent(), s.messages_delivered());
+}
+
+TEST(MpDiners, DeterministicForSeed) {
+  MpOptions options;
+  options.seed = 42;
+  MessagePassingDiners a(graph::make_ring(6), {}, options);
+  MessagePassingDiners b(graph::make_ring(6), {}, options);
+  a.run(20000);
+  b.run(20000);
+  for (P p = 0; p < 6; ++p) EXPECT_EQ(a.meals(p), b.meals(p));
+  EXPECT_EQ(a.messages_sent(), b.messages_sent());
+}
+
+TEST(MpDiners, DeadProcessFreezesTokens) {
+  MessagePassingDiners s(graph::make_path(3));
+  s.crash(1);
+  const auto before = s.messages_sent();
+  // Only ticks of 0 and 2 generate traffic; 1 stays silent.
+  s.run(2000);
+  EXPECT_GT(s.messages_sent(), before);
+  EXPECT_EQ(s.state(1), DinerState::kThinking);  // frozen forever
+}
+
+TEST(MpDiners, LivenessSurvivesHeavyMessageLoss) {
+  MpOptions options;
+  options.loss_probability = 0.3;
+  options.seed = 9;
+  MessagePassingDiners s(graph::make_ring(6), {}, options);
+  s.run(150000);
+  EXPECT_GT(s.messages_lost(), 1000u);  // the loss really happened
+  for (P p = 0; p < 6; ++p) {
+    EXPECT_GT(s.meals(p), 0u) << "process " << p;
+  }
+}
+
+TEST(MpDiners, SafetyHoldsUnderMessageLoss) {
+  // Loss only delays tokens; it cannot duplicate them, so exclusion is
+  // unaffected from a clean start.
+  MpOptions options;
+  options.loss_probability = 0.25;
+  options.seed = 10;
+  MessagePassingDiners s(graph::make_ring(6), {}, options);
+  for (int i = 0; i < 40000; ++i) {
+    s.step();
+    ASSERT_EQ(s.eating_violations(), 0u) << "step " << i;
+  }
+}
+
+TEST(MpDiners, TotalLossFreezesProgressButNothingBreaks) {
+  MpOptions options;
+  options.loss_probability = 1.0;
+  options.seed = 11;
+  MessagePassingDiners s(graph::make_path(4), {}, options);
+  s.run(20000);
+  // With every message lost, caches never update; nobody beyond the initial
+  // token holders can coordinate. No crash, no exception, no violation.
+  EXPECT_EQ(s.eating_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace diners::msgpass

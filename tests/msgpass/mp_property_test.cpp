@@ -1,0 +1,82 @@
+// Property sweep for the message-passing runtime across topologies and
+// seeds: eventual safety after corruption, liveness, and crash containment.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/algorithms.hpp"
+#include "msgpass/mp_diners.hpp"
+
+#include "../property/topologies.hpp"
+
+namespace diners::msgpass {
+namespace {
+
+using property::TopoSpec;
+using property::TopoSpecName;
+using P = MessagePassingDiners::ProcessId;
+using Param = std::tuple<TopoSpec, std::uint64_t>;
+
+class MpProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MpProperty, EveryoneEatsFaultFree) {
+  const auto& [topo, seed] = GetParam();
+  MpOptions options;
+  options.seed = seed;
+  MessagePassingDiners s(property::make_topology(topo, seed), {}, options);
+  const auto n = s.topology().num_nodes();
+  s.run(static_cast<std::uint64_t>(n) * 15000);
+  for (P p = 0; p < n; ++p) {
+    EXPECT_GT(s.meals(p), 0u) << "process " << p;
+  }
+}
+
+TEST_P(MpProperty, EventualSafetyAfterCorruption) {
+  const auto& [topo, seed] = GetParam();
+  MpOptions options;
+  options.seed = seed;
+  MessagePassingDiners s(property::make_topology(topo, seed), {}, options);
+  util::Xoshiro256 rng(util::derive_seed(seed, 61));
+  s.corrupt(rng);
+  s.run(40000);  // flush and stabilize
+  for (int i = 0; i < 10000; ++i) {
+    s.step();
+    ASSERT_EQ(s.eating_violations(), 0u) << "step " << i;
+  }
+}
+
+TEST_P(MpProperty, CrashLocalityPreserved) {
+  const auto& [topo, seed] = GetParam();
+  MpOptions options;
+  options.seed = seed;
+  MessagePassingDiners s(property::make_topology(topo, seed), {}, options);
+  const auto n = s.topology().num_nodes();
+  s.run(20000);
+  util::Xoshiro256 rng(util::derive_seed(seed, 62));
+  const auto victim = static_cast<P>(rng.below(n));
+  s.crash(victim);
+  s.run(static_cast<std::uint64_t>(n) * 5000);  // absorb
+  std::vector<std::uint64_t> base(n);
+  for (P p = 0; p < n; ++p) base[p] = s.meals(p);
+  s.run(static_cast<std::uint64_t>(n) * 10000);
+  const graph::NodeId dead[] = {victim};
+  const auto dist = graph::distances_to_set(s.topology(), dead);
+  for (P p = 0; p < n; ++p) {
+    if (p == victim) continue;
+    if (dist[p] >= 3) {
+      EXPECT_GT(s.meals(p), base[p]) << "distant process " << p << " starved";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MpProperty,
+    ::testing::Combine(::testing::Values(TopoSpec{"path", 6},
+                                         TopoSpec{"ring", 6},
+                                         TopoSpec{"star", 6},
+                                         TopoSpec{"tree", 8}),
+                       ::testing::Values(71u, 72u)),
+    TopoSpecName());
+
+}  // namespace
+}  // namespace diners::msgpass

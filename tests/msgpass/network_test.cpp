@@ -1,0 +1,102 @@
+#include "msgpass/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace diners::msgpass {
+namespace {
+
+TEST(Network, StartsEmpty) {
+  const auto g = graph::make_path(3);
+  Network net(g);
+  EXPECT_FALSE(net.has_pending());
+  EXPECT_EQ(net.pending(), 0u);
+  EXPECT_EQ(net.total_sent(), 0u);
+}
+
+TEST(Network, SendThenDeliverRoundTrips) {
+  const auto g = graph::make_path(3);
+  Network net(g);
+  Message m;
+  m.counter = 3;
+  m.depth = -7;
+  net.send(0, 0, m);
+  EXPECT_EQ(net.pending(), 1u);
+  util::Xoshiro256 rng(1);
+  graph::EdgeId e = graph::kNoEdge;
+  int dir = -1;
+  const Message got = net.deliver_random(rng, e, dir);
+  EXPECT_EQ(e, 0u);
+  EXPECT_EQ(dir, 0);
+  EXPECT_EQ(got.counter, 3);
+  EXPECT_EQ(got.depth, -7);
+  EXPECT_FALSE(net.has_pending());
+  EXPECT_EQ(net.total_delivered(), 1u);
+}
+
+TEST(Network, ChannelsAreFifo) {
+  const auto g = graph::make_path(2);
+  Network net(g);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    Message m;
+    m.counter = i;
+    net.send(0, 1, m);
+  }
+  util::Xoshiro256 rng(2);
+  graph::EdgeId e;
+  int dir;
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(net.deliver_random(rng, e, dir).counter, i);
+  }
+}
+
+TEST(Network, DeliverFromEmptyThrows) {
+  const auto g = graph::make_path(2);
+  Network net(g);
+  util::Xoshiro256 rng(3);
+  graph::EdgeId e;
+  int dir;
+  EXPECT_THROW((void)net.deliver_random(rng, e, dir), std::logic_error);
+}
+
+TEST(Network, ClearDropsEverything) {
+  const auto g = graph::make_ring(4);
+  Network net(g);
+  net.send(0, 0, {});
+  net.send(1, 1, {});
+  net.clear();
+  EXPECT_FALSE(net.has_pending());
+}
+
+TEST(Network, GarbageInjectionRespectsDomains) {
+  const auto g = graph::make_ring(4);
+  Network net(g);
+  util::Xoshiro256 rng(4);
+  net.inject_garbage(100, rng, 4, 10);
+  EXPECT_EQ(net.pending(), 100u);
+  graph::EdgeId e;
+  int dir;
+  while (net.has_pending()) {
+    const Message m = net.deliver_random(rng, e, dir);
+    EXPECT_LT(m.counter, 4);
+    EXPECT_LE(m.state, 2);
+    EXPECT_GE(m.depth, -10);
+    EXPECT_LE(m.depth, 10);
+    const auto& edge = g.edge(e);
+    EXPECT_TRUE(m.priority_owner == edge.u || m.priority_owner == edge.v);
+  }
+}
+
+TEST(Network, PendingOnTracksChannel) {
+  const auto g = graph::make_path(3);
+  Network net(g);
+  net.send(1, 0, {});
+  net.send(1, 0, {});
+  EXPECT_EQ(net.pending_on(1, 0), 2u);
+  EXPECT_EQ(net.pending_on(1, 1), 0u);
+  EXPECT_EQ(net.pending_on(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace diners::msgpass

@@ -1,0 +1,96 @@
+// Differential testing across the three substrates: the simulation engine,
+// the threaded runtime, and the message-passing runtime all implement the
+// same protocol, so their observable guarantees must agree on the same
+// scenario — same topology, same victim, same appetite.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "analysis/harness.hpp"
+#include "analysis/invariants.hpp"
+#include "core/diners_system.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "msgpass/mp_diners.hpp"
+#include "runtime/engine.hpp"
+#include "threads/threaded_diners.hpp"
+
+namespace diners::property {
+namespace {
+
+using core::DinerState;
+using P = graph::NodeId;
+
+// The shared scenario: ring of 9, process 4 dies at the table.
+constexpr P kN = 9;
+constexpr P kVictim = 4;
+
+// Which processes each substrate must keep serving (distance >= 3).
+std::vector<P> guaranteed_green() {
+  const auto g = graph::make_ring(kN);
+  const P dead[] = {kVictim};
+  const auto dist = graph::distances_to_set(g, dead);
+  std::vector<P> out;
+  for (P p = 0; p < kN; ++p) {
+    if (dist[p] >= 3) out.push_back(p);
+  }
+  return out;
+}
+
+TEST(DifferentialSubstrate, ScenarioHasNonTrivialGreenZone) {
+  const auto green = guaranteed_green();
+  ASSERT_EQ(green.size(), 4u);  // ring 9: distances 3 and 4 on both sides
+}
+
+TEST(DifferentialSubstrate, SimulationKeepsGreenZoneFed) {
+  core::DinersSystem system(graph::make_ring(kN));
+  sim::Engine engine(system, sim::make_daemon("round-robin", 5), 64);
+  engine.run(3000, [&] { return system.state(kVictim) == DinerState::kEating; });
+  system.crash(kVictim);
+  engine.reset_ages();
+  engine.run(4000);
+  system.reset_meals();
+  engine.run(20000);
+  for (P p : guaranteed_green()) {
+    EXPECT_GT(system.meals(p), 0u) << "sim: process " << p;
+  }
+  EXPECT_EQ(analysis::eating_violation_count(system), 0u);
+}
+
+TEST(DifferentialSubstrate, ThreadsKeepGreenZoneFed) {
+  threads::ThreadedDiners t(graph::make_ring(kN), {},
+                            threads::ThreadedOptions{.eat_us = 0,
+                                                     .idle_us = 0,
+                                                     .seed = 5});
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  t.crash(kVictim);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  std::vector<std::uint64_t> base(kN);
+  for (P p = 0; p < kN; ++p) base[p] = t.meals(p);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  for (P p : guaranteed_green()) {
+    EXPECT_GT(t.meals(p), base[p]) << "threads: process " << p;
+  }
+  const auto snap = t.snapshot();
+  t.stop();
+  EXPECT_EQ(analysis::eating_violation_count(snap), 0u);
+}
+
+TEST(DifferentialSubstrate, MessagePassingKeepsGreenZoneFed) {
+  msgpass::MessagePassingDiners s(graph::make_ring(kN));
+  s.run(20000);
+  s.crash(kVictim);
+  s.run(40000);
+  std::vector<std::uint64_t> base(kN);
+  for (P p = 0; p < kN; ++p) base[p] = s.meals(p);
+  s.run(80000);
+  for (P p : guaranteed_green()) {
+    EXPECT_GT(s.meals(p), base[p]) << "msgpass: process " << p;
+  }
+  EXPECT_EQ(s.eating_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace diners::property

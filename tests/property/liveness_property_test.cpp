@@ -1,0 +1,106 @@
+// Theorem 2's fault-free core as a property: with no crashes, under any
+// weakly fair daemon and saturation appetite, every process eats — and keeps
+// eating. Also checks the dynamic-threshold variant of progress under the
+// adversarial daemon, and progress under sporadic appetite.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/harness.hpp"
+#include "core/diners_system.hpp"
+#include "fault/workload.hpp"
+#include "runtime/engine.hpp"
+#include "topologies.hpp"
+
+namespace diners::property {
+namespace {
+
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+using Param = std::tuple<TopoSpec, std::uint64_t, std::string /*daemon*/>;
+
+struct LivenessName {
+  template <typename ParamType>
+  std::string operator()(
+      const ::testing::TestParamInfo<ParamType>& info) const {
+    const TopoSpec& t = std::get<0>(info.param);
+    std::string d = std::get<2>(info.param);
+    for (auto& c : d) {
+      if (c == '-') c = '_';
+    }
+    return t.kind + "_" + std::to_string(t.n) + "_s" +
+           std::to_string(std::get<1>(info.param)) + "_" + d;
+  }
+};
+
+class LivenessProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LivenessProperty, EveryoneEatsFaultFree) {
+  const auto& [topo, seed, daemon] = GetParam();
+  DinersSystem system(make_topology(topo, seed));
+  sim::Engine engine(system, sim::make_daemon(daemon, seed), 64);
+  const auto n = system.topology().num_nodes();
+  engine.run(static_cast<std::uint64_t>(n) * 2500);
+  for (P p = 0; p < n; ++p) {
+    EXPECT_GT(system.meals(p), 0u) << "process " << p << " never ate";
+  }
+}
+
+TEST_P(LivenessProperty, ProgressNeverStalls) {
+  const auto& [topo, seed, daemon] = GetParam();
+  DinersSystem system(make_topology(topo, seed));
+  sim::Engine engine(system, sim::make_daemon(daemon, seed), 64);
+  const auto n = system.topology().num_nodes();
+  engine.run(static_cast<std::uint64_t>(n) * 1000);
+  for (int window = 0; window < 4; ++window) {
+    const auto before = system.total_meals();
+    engine.run(static_cast<std::uint64_t>(n) * 500);
+    EXPECT_GT(system.total_meals(), before) << "window " << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, LivenessProperty,
+    ::testing::Combine(::testing::Values(TopoSpec{"path", 10},
+                                         TopoSpec{"ring", 10},
+                                         TopoSpec{"complete", 6},
+                                         TopoSpec{"grid", 12},
+                                         TopoSpec{"tree", 12},
+                                         TopoSpec{"gnp", 12}),
+                       ::testing::Values(41u, 42u),
+                       ::testing::Values(std::string("round-robin"),
+                                         std::string("random"),
+                                         std::string("adversarial-age"))),
+    LivenessName());
+
+TEST(LivenessSporadic, TogglingAppetiteStillServesEveryone) {
+  DinersSystem system(graph::make_ring(10));
+  analysis::HarnessOptions options;
+  options.daemon = "random";
+  options.seed = 77;
+  analysis::ExperimentHarness harness(
+      system, std::make_unique<fault::RandomToggleWorkload>(0.4, 0.05, 77),
+      fault::CrashPlan{}, options);
+  harness.run(60000);
+  for (P p = 0; p < 10; ++p) {
+    EXPECT_GT(system.meals(p), 0u) << "process " << p;
+  }
+}
+
+TEST(LivenessSubset, LoneEaterIsNeverBlocked) {
+  // A single hungry process among the satisfied eats promptly, repeatedly.
+  DinersSystem system(graph::make_grid(4, 4));
+  analysis::HarnessOptions options;
+  options.seed = 78;
+  analysis::ExperimentHarness harness(
+      system, std::make_unique<fault::SubsetWorkload>(
+                  std::vector<P>{5}),
+      fault::CrashPlan{}, options);
+  harness.run(4000);
+  EXPECT_GT(system.meals(5), 10u);
+  EXPECT_EQ(system.total_meals(), system.meals(5));
+}
+
+}  // namespace
+}  // namespace diners::property

@@ -1,0 +1,166 @@
+// Theorem 2 / failure locality 2 as a property: after benign or malicious
+// crashes, the set of starving processes stays within graph distance 2 of
+// the dead set, and the analytical red set always lies within that ball.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/harness.hpp"
+#include "analysis/red_green.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "fault/workload.hpp"
+#include "graph/algorithms.hpp"
+#include "runtime/engine.hpp"
+#include "topologies.hpp"
+
+namespace diners::property {
+namespace {
+
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+using Param = std::tuple<TopoSpec, std::uint64_t>;
+
+class LocalityProperty
+    : public ::testing::TestWithParam<
+          std::tuple<TopoSpec, std::uint64_t, std::uint32_t /*malice*/>> {};
+
+struct LocalityName {
+  template <typename ParamType>
+  std::string operator()(
+      const ::testing::TestParamInfo<ParamType>& info) const {
+    const TopoSpec& t = std::get<0>(info.param);
+    return t.kind + "_" + std::to_string(t.n) + "_s" +
+           std::to_string(std::get<1>(info.param)) + "_m" +
+           std::to_string(std::get<2>(info.param));
+  }
+};
+
+TEST_P(LocalityProperty, StarvationContainedWithinDistanceTwo) {
+  const auto& [topo, seed, malice] = GetParam();
+  auto g = make_topology(topo, seed);
+  DinersSystem system(std::move(g));
+
+  analysis::HarnessOptions options;
+  options.daemon = "round-robin";
+  options.seed = seed;
+  util::Xoshiro256 rng(util::derive_seed(seed, 51));
+  // One to two victims, crashing mid-run with the given malice budget.
+  auto plan = fault::CrashPlan::random(system.topology().num_nodes(),
+                                       1 + seed % 2, /*at_step=*/400, malice,
+                                       rng);
+  analysis::ExperimentHarness harness(
+      system, std::make_unique<fault::SaturationWorkload>(), std::move(plan),
+      options);
+
+  // Warm up through the crash, let recovery finish, then measure.
+  harness.run(25000);
+  const auto report = analysis::measure_starvation(harness, 30000);
+  if (!report.starved.empty()) {
+    EXPECT_LE(report.locality_radius, 2u)
+        << "starvation escaped the locality ball";
+  }
+  // Green processes (distance >= 3 in particular) kept making progress.
+  EXPECT_GT(report.meals_in_window, 0u);
+}
+
+TEST_P(LocalityProperty, RedSetAlwaysWithinDistanceTwoDuringRun) {
+  const auto& [topo, seed, malice] = GetParam();
+  auto g = make_topology(topo, seed);
+  DinersSystem system(std::move(g));
+  util::Xoshiro256 rng(util::derive_seed(seed, 52));
+  sim::Engine engine(system, sim::make_daemon("random", seed), 64);
+  engine.run(300);
+  const auto n = system.topology().num_nodes();
+  fault::malicious_crash(system, static_cast<P>(rng.below(n)), malice, rng);
+  engine.reset_ages();
+  for (int burst = 0; burst < 20; ++burst) {
+    engine.run(250);
+    ASSERT_LE(analysis::red_radius(system), 2u) << "burst " << burst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Crashes, LocalityProperty,
+    ::testing::Combine(::testing::Values(TopoSpec{"path", 12},
+                                         TopoSpec{"ring", 12},
+                                         TopoSpec{"star", 10},
+                                         TopoSpec{"grid", 16},
+                                         TopoSpec{"tree", 14},
+                                         TopoSpec{"gnp", 14}),
+                       ::testing::Values(61u, 62u),
+                       ::testing::Values(0u, 24u)),
+    LocalityName());
+
+TEST(LocalityTheorem, DistanceThreeProcessesAlwaysEat) {
+  // The sharpened statement: processes at distance >= 3 from every dead
+  // process keep eating; checked on a long path with a mid-chain victim.
+  DinersSystem system(graph::make_path(12));
+  sim::Engine engine(system, sim::make_daemon("round-robin", 7), 64);
+  engine.run(3000);
+  system.set_state(5, core::DinerState::kEating);
+  system.crash(5);
+  engine.reset_ages();
+  engine.run(5000);
+  system.reset_meals();
+  engine.run(30000);
+  const graph::NodeId dead[] = {5};
+  const auto dist = graph::distances_to_set(system.topology(), dead);
+  for (P p = 0; p < 12; ++p) {
+    if (!system.alive(p)) continue;
+    if (dist[p] >= 3) {
+      EXPECT_GT(system.meals(p), 0u) << "green process " << p << " starved";
+    }
+  }
+}
+
+TEST(LocalityTheorem, MaliciousAndBenignCrashSameContainment) {
+  // The same scenario with a heavily malicious victim must contain the
+  // damage identically (stabilization absorbs the scribbles).
+  for (std::uint32_t malice : {0u, 8u, 64u}) {
+    DinersSystem system(graph::make_path(12));
+    util::Xoshiro256 rng(99 + malice);
+    sim::Engine engine(system, sim::make_daemon("round-robin", 7), 64);
+    engine.run(3000);
+    fault::malicious_crash(system, 5, malice, rng);
+    engine.reset_ages();
+    engine.run(8000);
+    system.reset_meals();
+    engine.run(30000);
+    const graph::NodeId dead[] = {5};
+    const auto dist = graph::distances_to_set(system.topology(), dead);
+    for (P p = 0; p < 12; ++p) {
+      if (!system.alive(p)) continue;
+      if (dist[p] >= 3) {
+        EXPECT_GT(system.meals(p), 0u)
+            << "malice " << malice << ", process " << p;
+      }
+    }
+  }
+}
+
+TEST(LocalityTheorem, BarbellCliqueCrashLeavesOtherCliqueUntouched) {
+  // Two 5-cliques joined by a 4-node bridge: an eating victim in the left
+  // clique must not disturb the right clique (distance >= 5) at all.
+  DinersSystem system(graph::make_barbell(5, 4));
+  sim::Engine engine(system, sim::make_daemon("round-robin", 9), 64);
+  engine.run(3000);
+  system.set_state(0, core::DinerState::kEating);
+  system.crash(0);
+  engine.reset_ages();
+  engine.run(5000);
+  system.reset_meals();
+  engine.run(30000);
+  // Right clique: nodes [9, 14).
+  for (P p = 9; p < 14; ++p) {
+    EXPECT_GT(system.meals(p), 0u) << "right-clique node " << p;
+  }
+  // The red set never reaches the bridge's far half.
+  const auto red = analysis::red_processes(system);
+  for (P p = 7; p < 14; ++p) {
+    EXPECT_FALSE(red[p]) << "red escaped to node " << p;
+  }
+}
+
+}  // namespace
+}  // namespace diners::property

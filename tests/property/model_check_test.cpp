@@ -1,0 +1,486 @@
+// Exhaustive model checking of the algorithm on small topologies.
+//
+// Instead of sampling random computations, these tests enumerate EVERY
+// global state in a bounded box (all T/H/E combinations x all bounded depth
+// values x all edge orientations), close the set under all transitions, and
+// verify over the entire reachable graph:
+//
+//   * NC is closed under every action (Lemma 1's closure half, universally);
+//   * the eating-violation count never increases (Theorem 3, universally);
+//   * the invariant I is closed under every action (Theorem 1's closure
+//     half — for *all* transitions, not just weakly fair ones);
+//   * no all-alive state with saturation appetite is terminal (deadlock
+//     freedom, exhaustively);
+//   * from every reachable state some state satisfying I is reachable
+//     (the "possible convergence" backbone of Theorem 1);
+//   * the erratum, settled exhaustively: on K3 with the paper's D = 1 the
+//     predicate ST holds in NO reachable state, while D = 2 (sound) makes
+//     I reachable from everywhere.
+//
+// State spaces stay in the tens of thousands (n = 3), so the checks run in
+// well under a second each.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "core/diners_system.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::property {
+namespace {
+
+using core::DinerState;
+using core::DinersConfig;
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+// Packed global state: per process 2 bits of T/H/E + 4 bits of depth
+// (offset by 1 so -1 is representable), per edge 1 bit of orientation.
+struct PackedState {
+  std::uint64_t key = 0;
+
+  friend bool operator==(const PackedState&, const PackedState&) = default;
+};
+
+struct PackedHash {
+  std::size_t operator()(const PackedState& s) const noexcept {
+    return std::hash<std::uint64_t>()(s.key * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+class ModelChecker {
+ public:
+  // Depths are explored under a saturating abstraction: every value above
+  // the cycle threshold D behaves identically in every guard (exit sees
+  // "depth > D", fixdepth keeps self-looping), so depths are clamped at
+  // D + 3. This keeps the state space finite while preserving NC/ST/E
+  // evaluation and reachability.
+  ModelChecker(graph::Graph g, DinersConfig cfg)
+      : system_(std::move(g), cfg),
+        n_(system_.topology().num_nodes()),
+        m_(system_.topology().num_edges()),
+        depth_cap_(static_cast<std::int64_t>(system_.diameter_constant()) +
+                   3) {}
+
+  [[nodiscard]] PackedState pack() const {
+    std::uint64_t key = 0;
+    int shift = 0;
+    for (P p = 0; p < n_; ++p) {
+      key |= static_cast<std::uint64_t>(system_.state(p)) << shift;
+      shift += 2;
+      const auto depth = system_.depth(p) + 1;  // -1 .. 14 -> 0 .. 15
+      EXPECT_GE(depth, 0);
+      EXPECT_LT(depth, 16);
+      key |= static_cast<std::uint64_t>(depth) << shift;
+      shift += 4;
+    }
+    for (graph::EdgeId e = 0; e < m_; ++e) {
+      const auto& edge = system_.topology().edge(e);
+      key |= static_cast<std::uint64_t>(
+                 system_.priority(edge.u, edge.v) == edge.v)
+             << shift;
+      ++shift;
+    }
+    return PackedState{key};
+  }
+
+  void unpack(PackedState s) {
+    std::uint64_t key = s.key;
+    for (P p = 0; p < n_; ++p) {
+      system_.set_state(p, static_cast<DinerState>(key & 3));
+      key >>= 2;
+      system_.set_depth(p, static_cast<std::int64_t>(key & 15) - 1);
+      key >>= 4;
+    }
+    for (graph::EdgeId e = 0; e < m_; ++e) {
+      const auto& edge = system_.topology().edge(e);
+      system_.set_priority(edge.u, edge.v, (key & 1) ? edge.v : edge.u);
+      key >>= 1;
+    }
+  }
+
+  /// All one-step successors of `s` (one per enabled action).
+  [[nodiscard]] std::vector<PackedState> successors(PackedState s) {
+    std::vector<PackedState> out;
+    for (P p = 0; p < n_; ++p) {
+      if (!system_.alive(p)) continue;
+      for (sim::ActionIndex a = 0; a < DinersSystem::kNumActions; ++a) {
+        unpack(s);
+        if (!system_.enabled(p, a)) continue;
+        system_.execute(p, a);
+        for (P q = 0; q < n_; ++q) {
+          if (system_.depth(q) > depth_cap_) system_.set_depth(q, depth_cap_);
+        }
+        out.push_back(pack());
+      }
+    }
+    return out;
+  }
+
+  DinersSystem& system() { return system_; }
+
+  [[nodiscard]] bool all_depths_nonnegative() const {
+    for (P p = 0; p < n_; ++p) {
+      if (system_.depth(p) < 0) return false;
+    }
+    return true;
+  }
+
+  /// Enumerates the full initial box: every state combination, depth in
+  /// [-1, max_depth], every orientation.
+  [[nodiscard]] std::vector<PackedState> initial_box(std::int64_t max_depth) {
+    std::vector<PackedState> out;
+    const std::uint64_t state_combos = pow_int(3, n_);
+    const auto depth_values = static_cast<std::uint64_t>(max_depth + 2);
+    const std::uint64_t depth_combos = pow_int(depth_values, n_);
+    const std::uint64_t orient_combos = 1ULL << m_;
+    out.reserve(state_combos * depth_combos * orient_combos);
+    for (std::uint64_t sc = 0; sc < state_combos; ++sc) {
+      for (std::uint64_t dc = 0; dc < depth_combos; ++dc) {
+        for (std::uint64_t oc = 0; oc < orient_combos; ++oc) {
+          std::uint64_t s = sc;
+          std::uint64_t d = dc;
+          for (P p = 0; p < n_; ++p) {
+            system_.set_state(p, static_cast<DinerState>(s % 3));
+            s /= 3;
+            system_.set_depth(p,
+                              static_cast<std::int64_t>(d % depth_values) - 1);
+            d /= depth_values;
+          }
+          for (graph::EdgeId e = 0; e < m_; ++e) {
+            const auto& edge = system_.topology().edge(e);
+            system_.set_priority(edge.u, edge.v,
+                                 (oc >> e) & 1 ? edge.v : edge.u);
+          }
+          out.push_back(pack());
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t pow_int(std::uint64_t base, std::uint64_t exp) {
+    std::uint64_t r = 1;
+    while (exp--) r *= base;
+    return r;
+  }
+
+  DinersSystem system_;
+  P n_;
+  graph::EdgeId m_;
+  std::int64_t depth_cap_;
+};
+
+struct ExplorationResult {
+  std::unordered_set<PackedState, PackedHash> reachable;
+  std::vector<std::pair<PackedState, PackedState>> edges;
+  std::size_t terminal_states = 0;
+  std::size_t nc_closure_violations = 0;
+  std::size_t violation_count_increases = 0;
+  std::size_t invariant_closure_violations = 0;
+  std::size_t invariant_states = 0;
+  std::size_t st_states = 0;
+  /// ST states whose depth variables are all nonnegative (i.e. not relying
+  /// on a negatively-corrupted depth).
+  std::size_t st_states_clean = 0;
+};
+
+ExplorationResult explore_from(ModelChecker& mc,
+                               std::vector<PackedState> seeds) {
+  ExplorationResult r;
+  std::deque<PackedState> frontier;
+  for (PackedState s : seeds) {
+    if (r.reachable.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const PackedState s = frontier.front();
+    frontier.pop_front();
+
+    mc.unpack(s);
+    const bool nc_before = analysis::holds_nc(mc.system());
+    const auto violations_before =
+        analysis::eating_violation_count(mc.system());
+    const bool invariant_before = analysis::holds_invariant(mc.system());
+    if (invariant_before) ++r.invariant_states;
+    if (analysis::holds_st(mc.system())) {
+      ++r.st_states;
+      if (mc.all_depths_nonnegative()) ++r.st_states_clean;
+    }
+
+    const auto succs = mc.successors(s);
+    if (succs.empty()) ++r.terminal_states;
+    for (PackedState t : succs) {
+      r.edges.emplace_back(s, t);
+      mc.unpack(t);
+      if (nc_before && !analysis::holds_nc(mc.system())) {
+        ++r.nc_closure_violations;
+      }
+      if (analysis::eating_violation_count(mc.system()) > violations_before) {
+        ++r.violation_count_increases;
+      }
+      if (invariant_before && !analysis::holds_invariant(mc.system())) {
+        ++r.invariant_closure_violations;
+      }
+      if (r.reachable.insert(t).second) frontier.push_back(t);
+    }
+  }
+  return r;
+}
+
+ExplorationResult explore(ModelChecker& mc, std::int64_t max_initial_depth) {
+  return explore_from(mc, mc.initial_box(max_initial_depth));
+}
+
+ExplorationResult explore_nonnegative(ModelChecker& mc,
+                                      std::int64_t max_initial_depth) {
+  auto seeds = mc.initial_box(max_initial_depth);
+  std::vector<PackedState> clean;
+  for (PackedState s : seeds) {
+    mc.unpack(s);
+    if (mc.all_depths_nonnegative()) clean.push_back(s);
+  }
+  return explore_from(mc, std::move(clean));
+}
+
+/// Iterative Tarjan SCC over the explored graph; returns the number of
+/// *terminal* SCCs (no edges leaving the component) that contain no state
+/// satisfying `goal`. Every infinite execution eventually stays inside one
+/// terminal SCC, so "0" means: no run can avoid `goal` states forever —
+/// a far stronger convergence statement than plain reachability.
+std::size_t terminal_sccs_missing_goal(const ExplorationResult& r,
+                                       ModelChecker& mc,
+                                       bool (*goal)(const DinersSystem&)) {
+  // Dense ids for states.
+  std::unordered_map<std::uint64_t, std::uint32_t> id;
+  std::vector<PackedState> states;
+  id.reserve(r.reachable.size());
+  states.reserve(r.reachable.size());
+  for (PackedState s : r.reachable) {
+    id.emplace(s.key, static_cast<std::uint32_t>(states.size()));
+    states.push_back(s);
+  }
+  std::vector<std::vector<std::uint32_t>> adj(states.size());
+  for (const auto& [from, to] : r.edges) {
+    adj[id.at(from.key)].push_back(id.at(to.key));
+  }
+
+  const std::uint32_t kUndef = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> index(states.size(), kUndef);
+  std::vector<std::uint32_t> low(states.size(), 0);
+  std::vector<bool> on_stack(states.size(), false);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::uint32_t> scc_of(states.size(), kUndef);
+  std::uint32_t next_index = 0;
+  std::uint32_t num_sccs = 0;
+
+  struct Frame {
+    std::uint32_t v;
+    std::size_t child;
+  };
+  for (std::uint32_t root = 0; root < states.size(); ++root) {
+    if (index[root] != kUndef) continue;
+    std::vector<Frame> call_stack{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      if (f.child < adj[f.v].size()) {
+        const std::uint32_t w = adj[f.v][f.child++];
+        if (index[w] == kUndef) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          while (true) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_of[w] = num_sccs;
+            if (w == f.v) break;
+          }
+          ++num_sccs;
+        }
+        const std::uint32_t v = f.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          low[call_stack.back().v] =
+              std::min(low[call_stack.back().v], low[v]);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> terminal(num_sccs, true);
+  for (std::uint32_t v = 0; v < states.size(); ++v) {
+    for (std::uint32_t w : adj[v]) {
+      if (scc_of[v] != scc_of[w]) terminal[scc_of[v]] = false;
+    }
+  }
+  std::vector<bool> has_goal(num_sccs, false);
+  for (std::uint32_t v = 0; v < states.size(); ++v) {
+    mc.unpack(states[v]);
+    if (goal(mc.system())) has_goal[scc_of[v]] = true;
+  }
+  std::size_t missing = 0;
+  for (std::uint32_t c = 0; c < num_sccs; ++c) {
+    if (terminal[c] && !has_goal[c]) ++missing;
+  }
+  return missing;
+}
+
+/// States from which a state satisfying `goal` is reachable.
+std::unordered_set<PackedState, PackedHash> backward_reach(
+    const ExplorationResult& r, ModelChecker& mc,
+    bool (*goal)(const DinersSystem&)) {
+  std::unordered_map<std::uint64_t, std::vector<PackedState>, std::hash<std::uint64_t>>
+      reverse;
+  for (const auto& [from, to] : r.edges) {
+    reverse[to.key].push_back(from);
+  }
+  std::unordered_set<PackedState, PackedHash> marked;
+  std::deque<PackedState> frontier;
+  for (PackedState s : r.reachable) {
+    mc.unpack(s);
+    if (goal(mc.system())) {
+      marked.insert(s);
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const PackedState s = frontier.front();
+    frontier.pop_front();
+    auto it = reverse.find(s.key);
+    if (it == reverse.end()) continue;
+    for (PackedState pred : it->second) {
+      if (marked.insert(pred).second) frontier.push_back(pred);
+    }
+  }
+  return marked;
+}
+
+bool goal_invariant(const DinersSystem& s) {
+  return analysis::holds_invariant(s);
+}
+
+TEST(ModelCheck, Path3UniversalClosureAndConvergencePossibility) {
+  ModelChecker mc(graph::make_path(3), DinersConfig{});  // D = 2 = n - 1
+  auto r = explore(mc, /*max_initial_depth=*/4);  // box: depth -1..4
+
+  EXPECT_GT(r.reachable.size(), 20000u);  // sanity: the box is non-trivial
+  EXPECT_EQ(r.nc_closure_violations, 0u);
+  EXPECT_EQ(r.violation_count_increases, 0u);
+  EXPECT_EQ(r.invariant_closure_violations, 0u);
+  EXPECT_EQ(r.terminal_states, 0u);  // saturation appetite: deadlock-free
+  EXPECT_GT(r.invariant_states, 0u);
+
+  const auto can_reach_invariant = backward_reach(r, mc, goal_invariant);
+  EXPECT_EQ(can_reach_invariant.size(), r.reachable.size())
+      << "some reachable state cannot reach the invariant";
+
+  // Stronger: no execution — fair or not — can avoid I forever, except by
+  // cycling inside an SCC that still contains I states.
+  EXPECT_EQ(terminal_sccs_missing_goal(r, mc, goal_invariant), 0u);
+}
+
+TEST(ModelCheck, Triangle_SoundThreshold_FullVerification) {
+  DinersConfig cfg;
+  cfg.diameter_override = 2;  // n - 1: the sound cycle threshold on K3
+  ModelChecker mc(graph::make_ring(3), cfg);
+  auto r = explore(mc, /*max_initial_depth=*/3);
+
+  EXPECT_EQ(r.nc_closure_violations, 0u);
+  EXPECT_EQ(r.violation_count_increases, 0u);
+  EXPECT_EQ(r.invariant_closure_violations, 0u);
+  EXPECT_EQ(r.terminal_states, 0u);
+  EXPECT_GT(r.st_states, 0u);
+
+  const auto can_reach_invariant = backward_reach(r, mc, goal_invariant);
+  EXPECT_EQ(can_reach_invariant.size(), r.reachable.size());
+  EXPECT_EQ(terminal_sccs_missing_goal(r, mc, goal_invariant), 0u);
+}
+
+TEST(ModelCheck, Triangle_PaperThreshold_ErratumSettled) {
+  // The erratum settled exhaustively: with D = diameter(K3) = 1,
+  //  (a) no state whose depth variables are all nonnegative — i.e. any
+  //      state the protocol itself can produce from clean depths —
+  //      satisfies ST: the proof's legitimate-state predicate is
+  //      unreachable on complete graphs;
+  //  (b) the few ST states that do exist rely on a negatively-corrupted
+  //      depth, and the invariant I is NOT closed there: an ordinary exit
+  //      (depth := 0) can push an ancestor past its shallowness bound.
+  //      Witness: K3 ordered 0>1>2, depths (1, 0, -1), process 2 eating;
+  //      2's exit sets depth:2 = 0 and process 1 becomes deep.
+  // Safety and deadlock freedom survive unharmed in both regimes.
+  ModelChecker mc(graph::make_ring(3), DinersConfig{});  // D = 1
+  auto r = explore(mc, /*max_initial_depth=*/3);
+
+  EXPECT_EQ(r.st_states_clean, 0u) << "clean ST state found: erratum refuted!";
+  EXPECT_GT(r.st_states, 0u);                   // only corrupt-depth ones
+  EXPECT_GT(r.invariant_closure_violations, 0u);  // I is not closed (b)
+  EXPECT_EQ(r.nc_closure_violations, 0u);       // Lemma 1 survives
+  EXPECT_EQ(r.violation_count_increases, 0u);   // Theorem 3 survives
+  EXPECT_EQ(r.terminal_states, 0u);             // still deadlock-free
+}
+
+TEST(ModelCheck, Triangle_PaperThreshold_CleanBoxNeverReachesST) {
+  // Same system, but exploring only from nonnegative depths (what the
+  // protocol can reach on its own): ST never holds anywhere.
+  ModelChecker mc(graph::make_ring(3), DinersConfig{});
+  // A depth box of [0, 3] is encoded by exploring from the full box and
+  // filtering: no action ever writes a negative depth, so the nonnegative
+  // sub-box is closed under transitions. Verify via st_states_clean on an
+  // exploration seeded ONLY with nonnegative depths.
+  auto r = explore_nonnegative(mc, /*max_initial_depth=*/3);
+  EXPECT_EQ(r.st_states, 0u);
+  EXPECT_EQ(r.invariant_states, 0u);
+  EXPECT_EQ(r.invariant_closure_violations, 0u);  // vacuous: no I states
+}
+
+TEST(ModelCheck, Star4_PaperThresholdIsSoundOnTrees) {
+  // The positive side of the erratum: on trees, every directed chain fits
+  // within the diameter, so the paper's own D works. Exhaustively verified
+  // on the 4-node star (D = 2) with the DEFAULT (paper) configuration:
+  // closure, deadlock freedom, reachability, and unavoidability of I.
+  ModelChecker mc(graph::make_star(4), DinersConfig{});
+  auto r = explore(mc, /*max_initial_depth=*/2);
+
+  EXPECT_EQ(r.nc_closure_violations, 0u);
+  EXPECT_EQ(r.violation_count_increases, 0u);
+  EXPECT_EQ(r.invariant_closure_violations, 0u);
+  EXPECT_EQ(r.terminal_states, 0u);
+  EXPECT_GT(r.st_states_clean, 0u);
+
+  const auto can_reach_invariant = backward_reach(r, mc, goal_invariant);
+  EXPECT_EQ(can_reach_invariant.size(), r.reachable.size());
+  EXPECT_EQ(terminal_sccs_missing_goal(r, mc, goal_invariant), 0u);
+}
+
+TEST(ModelCheck, Path2WithDeadProcessClosureHolds) {
+  // A two-process system where one process is dead in an arbitrary frozen
+  // state: NC closure and violation monotonicity must hold universally.
+  for (int dead_state = 0; dead_state < 3; ++dead_state) {
+    ModelChecker mc(graph::make_path(2), DinersConfig{});
+    mc.system().set_state(0, static_cast<DinerState>(dead_state));
+    mc.system().crash(0);
+    auto r = explore(mc, /*max_initial_depth=*/2);
+    EXPECT_EQ(r.nc_closure_violations, 0u) << "dead state " << dead_state;
+    EXPECT_EQ(r.violation_count_increases, 0u) << "dead state " << dead_state;
+    // Terminal states are legitimate here (the live neighbor can be
+    // permanently blocked), but every terminal state must satisfy E.
+  }
+}
+
+}  // namespace
+}  // namespace diners::property

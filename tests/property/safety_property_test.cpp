@@ -1,0 +1,99 @@
+// Theorem 3 as properties:
+//  (a) from a legitimate state, no two live neighbors ever eat together;
+//  (b) from an arbitrary state, the number of eating neighbor pairs never
+//      increases (and reaches zero).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/invariants.hpp"
+#include "analysis/monitors.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "runtime/engine.hpp"
+#include "topologies.hpp"
+
+namespace diners::property {
+namespace {
+
+using core::DinerState;
+using core::DinersSystem;
+using Param = std::tuple<TopoSpec, std::uint64_t>;
+
+class SafetyProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SafetyProperty, NoLiveNeighborsEverEatTogetherFromLegitimateStart) {
+  const auto& [topo, seed] = GetParam();
+  DinersSystem system(make_topology(topo, seed));
+  sim::Engine engine(system, sim::make_daemon("random", seed), 64);
+  engine.add_observer([&](const sim::StepRecord&) {
+    ASSERT_EQ(analysis::eating_violation_count(system), 0u);
+  });
+  engine.run(4000);
+}
+
+TEST_P(SafetyProperty, ViolationCountMonotoneFromArbitraryState) {
+  const auto& [topo, seed] = GetParam();
+  DinersSystem system(make_topology(topo, seed));
+  util::Xoshiro256 rng(util::derive_seed(seed, 31));
+  fault::corrupt_global_state(system, rng);
+  sim::Engine engine(system, sim::make_daemon("random", seed), 64);
+  analysis::SafetyMonitor monitor(system, engine);
+  engine.run(8000);
+  EXPECT_FALSE(monitor.ever_increased());
+  EXPECT_EQ(analysis::eating_violation_count(system), 0u);
+}
+
+TEST_P(SafetyProperty, SafetyHoldsThroughBenignCrashes) {
+  const auto& [topo, seed] = GetParam();
+  auto g = make_topology(topo, seed);
+  const auto n = g.num_nodes();
+  DinersSystem system(std::move(g));
+  util::Xoshiro256 rng(util::derive_seed(seed, 32));
+  sim::Engine engine(system, sim::make_daemon("random", seed), 64);
+  engine.add_observer([&](const sim::StepRecord& r) {
+    ASSERT_EQ(analysis::eating_violation_count(system), 0u)
+        << "at step " << r.step;
+  });
+  engine.run(500);
+  system.crash(static_cast<DinersSystem::ProcessId>(rng.below(n)));
+  engine.reset_ages();
+  engine.run(3000);
+}
+
+TEST_P(SafetyProperty, SafetyRestoredAfterMaliciousCrash) {
+  // A malicious crash may scribble "eating" into its own state; the count
+  // of violating pairs involving a live process must still fall to zero and
+  // never rise again afterwards.
+  const auto& [topo, seed] = GetParam();
+  auto g = make_topology(topo, seed);
+  const auto n = g.num_nodes();
+  DinersSystem system(std::move(g));
+  util::Xoshiro256 rng(util::derive_seed(seed, 33));
+  sim::Engine engine(system, sim::make_daemon("random", seed), 64);
+  engine.run(500);
+  fault::malicious_crash(system, static_cast<DinersSystem::ProcessId>(
+                                     rng.below(n)),
+                         32, rng);
+  engine.reset_ages();
+  analysis::SafetyMonitor monitor(system, engine);
+  engine.run(6000);
+  EXPECT_FALSE(monitor.ever_increased());
+  EXPECT_EQ(analysis::eating_violation_count(system), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, SafetyProperty,
+    ::testing::Combine(::testing::Values(TopoSpec{"path", 10},
+                                         TopoSpec{"ring", 10},
+                                         TopoSpec{"star", 10},
+                                         TopoSpec{"complete", 6},
+                                         TopoSpec{"grid", 12},
+                                         TopoSpec{"tree", 14},
+                                         TopoSpec{"gnp", 14}),
+                       ::testing::Values(11u, 12u, 13u)),
+    TopoSpecName());
+
+}  // namespace
+}  // namespace diners::property

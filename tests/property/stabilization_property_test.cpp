@@ -1,0 +1,125 @@
+// Theorem 1 as a property: starting from an arbitrary state, the program
+// converges to the invariant I = NC ∧ ST ∧ E — across topologies, seeds,
+// and daemons.
+//
+// Threshold note (the reproduction's erratum, DESIGN.md §7): on non-tree
+// topologies the paper's constant D = diameter admits spurious exits that
+// keep ST churning, so the suite uses the sound threshold n-1 there; trees
+// are run with the paper's own constant.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/invariants.hpp"
+#include "analysis/monitors.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "runtime/engine.hpp"
+#include "topologies.hpp"
+
+namespace diners::property {
+namespace {
+
+using core::DinersConfig;
+using core::DinersSystem;
+using Param = std::tuple<TopoSpec, std::uint64_t /*seed*/>;
+
+class StabilizationProperty : public ::testing::TestWithParam<Param> {};
+
+DinersConfig safe_config(const graph::Graph& g) {
+  DinersConfig cfg;
+  cfg.diameter_override = g.num_nodes() - 1;  // sound cycle threshold
+  return cfg;
+}
+
+TEST_P(StabilizationProperty, ConvergesToInvariantFromArbitraryState) {
+  const auto& [topo, seed] = GetParam();
+  auto g = make_topology(topo, seed);
+  const auto cfg = safe_config(g);
+  DinersSystem system(std::move(g), cfg);
+  util::Xoshiro256 rng(util::derive_seed(seed, 21));
+  fault::corrupt_global_state(system, rng);
+
+  sim::Engine engine(system, sim::make_daemon("round-robin", seed), 64);
+  const auto steps =
+      analysis::steps_until_invariant(system, engine, 200000, 16);
+  ASSERT_TRUE(steps.has_value()) << "did not converge";
+}
+
+TEST_P(StabilizationProperty, ConvergesWithInitiallyDeadProcesses) {
+  // Proposition 1's premise: arbitrary state + arbitrary initially dead set.
+  const auto& [topo, seed] = GetParam();
+  auto g = make_topology(topo, seed);
+  const auto cfg = safe_config(g);
+  const auto n = g.num_nodes();
+  DinersSystem system(std::move(g), cfg);
+  util::Xoshiro256 rng(util::derive_seed(seed, 22));
+  fault::corrupt_global_state(system, rng);
+  for (std::size_t v : rng.sample_indices(n, n / 6)) {
+    system.crash(static_cast<DinersSystem::ProcessId>(v));
+  }
+
+  sim::Engine engine(system, sim::make_daemon("round-robin", seed), 64);
+  const auto steps =
+      analysis::steps_until_invariant(system, engine, 200000, 16);
+  ASSERT_TRUE(steps.has_value()) << "did not converge";
+}
+
+TEST_P(StabilizationProperty, InvariantIsClosedOnceReached) {
+  const auto& [topo, seed] = GetParam();
+  auto g = make_topology(topo, seed);
+  const auto cfg = safe_config(g);
+  DinersSystem system(std::move(g), cfg);
+  util::Xoshiro256 rng(util::derive_seed(seed, 23));
+  fault::corrupt_global_state(system, rng);
+
+  sim::Engine engine(system, sim::make_daemon("random", seed), 64);
+  const auto steps =
+      analysis::steps_until_invariant(system, engine, 200000, 16);
+  ASSERT_TRUE(steps.has_value());
+  // Closure: once I holds it keeps holding (spot-checked periodically; a
+  // per-step check would be quadratic in the suite size).
+  for (int burst = 0; burst < 20; ++burst) {
+    engine.run(50);
+    ASSERT_TRUE(analysis::holds_invariant(system))
+        << "I broken after convergence, burst " << burst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, StabilizationProperty,
+    ::testing::Combine(::testing::Values(TopoSpec{"path", 12},
+                                         TopoSpec{"ring", 12},
+                                         TopoSpec{"star", 12},
+                                         TopoSpec{"complete", 8},
+                                         TopoSpec{"grid", 16},
+                                         TopoSpec{"tree", 16},
+                                         TopoSpec{"gnp", 16}),
+                       ::testing::Values(1u, 2u, 3u)),
+    TopoSpecName());
+
+class TreePaperThreshold : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TreePaperThreshold, PaperDiameterConstantSufficesOnTrees) {
+  // On trees every directed chain fits within the diameter, so the paper's
+  // own D works unmodified.
+  const auto& [topo, seed] = GetParam();
+  DinersSystem system(make_topology(topo, seed));  // default: D = diameter
+  util::Xoshiro256 rng(util::derive_seed(seed, 24));
+  fault::corrupt_global_state(system, rng);
+  sim::Engine engine(system, sim::make_daemon("round-robin", seed), 64);
+  const auto steps =
+      analysis::steps_until_invariant(system, engine, 200000, 16);
+  ASSERT_TRUE(steps.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Trees, TreePaperThreshold,
+    ::testing::Combine(::testing::Values(TopoSpec{"path", 14},
+                                         TopoSpec{"star", 14},
+                                         TopoSpec{"tree", 18}),
+                       ::testing::Values(4u, 5u, 6u)),
+    TopoSpecName());
+
+}  // namespace
+}  // namespace diners::property

@@ -1,0 +1,44 @@
+// Shared topology palette for the property suites.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace diners::property {
+
+struct TopoSpec {
+  std::string kind;
+  graph::NodeId n;
+
+  friend std::ostream& operator<<(std::ostream& os, const TopoSpec& t) {
+    return os << t.kind << "/" << t.n;
+  }
+};
+
+inline graph::Graph make_topology(const TopoSpec& spec, std::uint64_t seed) {
+  if (spec.kind == "path") return graph::make_path(spec.n);
+  if (spec.kind == "ring") return graph::make_ring(spec.n);
+  if (spec.kind == "star") return graph::make_star(spec.n);
+  if (spec.kind == "complete") return graph::make_complete(spec.n);
+  if (spec.kind == "grid") return graph::make_grid(spec.n / 4, 4);
+  if (spec.kind == "tree") return graph::make_random_tree(spec.n, seed);
+  if (spec.kind == "gnp") return graph::make_connected_gnp(spec.n, 0.15, seed);
+  throw std::invalid_argument("make_topology: unknown kind " + spec.kind);
+}
+
+/// Pretty name for INSTANTIATE_TEST_SUITE_P.
+struct TopoSpecName {
+  template <typename ParamType>
+  std::string operator()(
+      const ::testing::TestParamInfo<ParamType>& info) const {
+    const TopoSpec& t = std::get<0>(info.param);
+    return t.kind + "_" + std::to_string(t.n) + "_s" +
+           std::to_string(std::get<1>(info.param));
+  }
+};
+
+}  // namespace diners::property

@@ -1,0 +1,96 @@
+#include "runtime/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace diners::sim {
+namespace {
+
+std::vector<EnabledAction> three_candidates() {
+  return {
+      EnabledAction{0, 0, 5},
+      EnabledAction{1, 2, 0},
+      EnabledAction{2, 1, 9},
+  };
+}
+
+TEST(RoundRobinDaemon, CyclesThroughCandidates) {
+  RoundRobinDaemon d;
+  const auto cands = three_candidates();
+  EXPECT_EQ(d.choose(cands), 0u);
+  EXPECT_EQ(d.choose(cands), 1u);
+  EXPECT_EQ(d.choose(cands), 2u);
+  EXPECT_EQ(d.choose(cands), 0u);  // wraps
+}
+
+TEST(RoundRobinDaemon, SkipsDisabledEntries) {
+  RoundRobinDaemon d;
+  std::vector<EnabledAction> cands = three_candidates();
+  EXPECT_EQ(d.choose(cands), 0u);
+  // Candidate for process 1 vanished; cursor at (0,0) picks process 2 next.
+  std::vector<EnabledAction> fewer = {cands[0], cands[2]};
+  EXPECT_EQ(d.choose(fewer), 1u);
+  EXPECT_EQ(fewer[1].process, 2u);
+}
+
+TEST(RoundRobinDaemon, AdvancesWithinProcessActions) {
+  RoundRobinDaemon d;
+  std::vector<EnabledAction> cands = {
+      EnabledAction{0, 0, 0},
+      EnabledAction{0, 3, 0},
+      EnabledAction{1, 0, 0},
+  };
+  EXPECT_EQ(d.choose(cands), 0u);
+  EXPECT_EQ(d.choose(cands), 1u);  // same process, later action
+  EXPECT_EQ(d.choose(cands), 2u);
+}
+
+TEST(RandomDaemon, DeterministicPerSeed) {
+  RandomDaemon a(42);
+  RandomDaemon b(42);
+  const auto cands = three_candidates();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.choose(cands), b.choose(cands));
+}
+
+TEST(RandomDaemon, EventuallyPicksEveryCandidate) {
+  RandomDaemon d(7);
+  const auto cands = three_candidates();
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) seen[d.choose(cands)] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(AdversarialAgeDaemon, PicksYoungest) {
+  AdversarialAgeDaemon d;
+  EXPECT_EQ(d.choose(three_candidates()), 1u);
+}
+
+TEST(AdversarialAgeDaemon, TieBreaksToFirst) {
+  AdversarialAgeDaemon d;
+  std::vector<EnabledAction> cands = {
+      EnabledAction{3, 0, 2},
+      EnabledAction{5, 0, 2},
+  };
+  EXPECT_EQ(d.choose(cands), 0u);
+}
+
+TEST(BiasedDaemon, AlwaysFirst) {
+  BiasedDaemon d;
+  EXPECT_EQ(d.choose(three_candidates()), 0u);
+  EXPECT_EQ(d.choose(three_candidates()), 0u);
+}
+
+TEST(MakeDaemon, KnownNames) {
+  EXPECT_EQ(make_daemon("round-robin", 1)->name(), "round-robin");
+  EXPECT_EQ(make_daemon("random", 1)->name(), "random");
+  EXPECT_EQ(make_daemon("adversarial-age", 1)->name(), "adversarial-age");
+  EXPECT_EQ(make_daemon("biased", 1)->name(), "biased");
+}
+
+TEST(MakeDaemon, UnknownNameThrows) {
+  EXPECT_THROW((void)make_daemon("fifo", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace diners::sim

@@ -1,0 +1,131 @@
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_programs.hpp"
+
+namespace diners::sim {
+namespace {
+
+using testing::CounterProgram;
+using testing::PingPongProgram;
+
+TEST(Engine, RejectsNullDaemon) {
+  CounterProgram prog(2, 5);
+  EXPECT_THROW(Engine(prog, nullptr), std::invalid_argument);
+}
+
+TEST(Engine, RejectsZeroFairnessBound) {
+  CounterProgram prog(2, 5);
+  EXPECT_THROW(Engine(prog, std::make_unique<RoundRobinDaemon>(), 0),
+               std::invalid_argument);
+}
+
+TEST(Engine, StepExecutesOneEnabledAction) {
+  CounterProgram prog(3, 5);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  const auto record = engine.step();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->step, 0u);
+  EXPECT_EQ(record->action_name, "inc");
+  EXPECT_EQ(engine.steps(), 1u);
+}
+
+TEST(Engine, TerminatesWhenNothingEnabled) {
+  CounterProgram prog(2, 3);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  const auto result = engine.run(1000);
+  EXPECT_EQ(result.outcome, RunOutcome::kTerminated);
+  EXPECT_EQ(result.steps_executed, 6u);  // 2 processes x limit 3
+  EXPECT_FALSE(engine.step().has_value());
+}
+
+TEST(Engine, StepLimitRespected) {
+  CounterProgram prog(2, 1000);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  const auto result = engine.run(17);
+  EXPECT_EQ(result.outcome, RunOutcome::kStepLimit);
+  EXPECT_EQ(result.steps_executed, 17u);
+}
+
+TEST(Engine, StopPredicateShortCircuits) {
+  CounterProgram prog(1, 1000);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  const auto result =
+      engine.run(1000, [&] { return prog.count(0) >= 10; });
+  EXPECT_EQ(result.outcome, RunOutcome::kPredicateSatisfied);
+  EXPECT_EQ(prog.count(0), 10u);
+}
+
+TEST(Engine, DeadProcessNeverScheduled) {
+  CounterProgram prog(3, 1000);
+  prog.crash(1);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  engine.run(300);
+  EXPECT_EQ(prog.count(1), 0u);
+  EXPECT_GT(prog.count(0), 0u);
+  EXPECT_GT(prog.count(2), 0u);
+}
+
+TEST(Engine, WeakFairnessOverridesBiasedDaemon) {
+  // The biased daemon always picks process 0; the fairness bound must still
+  // force every continuously enabled action to run.
+  CounterProgram prog(4, 100000);
+  Engine engine(prog, std::make_unique<BiasedDaemon>(), /*fairness_bound=*/8);
+  engine.run(400);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_GT(prog.count(p), 0u) << "process " << p << " starved";
+  }
+}
+
+TEST(Engine, FairnessSharesStepsUnderRoundRobin) {
+  CounterProgram prog(4, 100000);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  engine.run(400);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(prog.count(p), 100u);
+  }
+}
+
+TEST(Engine, ObserverSeesEveryStep) {
+  CounterProgram prog(2, 5);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  std::uint64_t seen = 0;
+  engine.add_observer([&](const StepRecord& r) {
+    EXPECT_EQ(r.step, seen);
+    ++seen;
+  });
+  engine.run(100);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(Engine, EnabledCountReflectsProgram) {
+  CounterProgram prog(3, 1);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  EXPECT_EQ(engine.enabled_count(), 3u);
+  engine.run(100);
+  EXPECT_EQ(engine.enabled_count(), 0u);
+}
+
+TEST(Engine, AlternatingGuardsDoNotTripFairnessForcing) {
+  // ping/pong alternate; neither is *continuously* enabled, so the engine
+  // must keep alternating indefinitely without stalling.
+  PingPongProgram prog;
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>(), 4);
+  const auto result = engine.run(64);
+  EXPECT_EQ(result.outcome, RunOutcome::kStepLimit);
+}
+
+TEST(Engine, ResetAgesClearsForcing) {
+  CounterProgram prog(2, 100000);
+  Engine engine(prog, std::make_unique<BiasedDaemon>(), 16);
+  engine.run(15);
+  engine.reset_ages();
+  // After a reset, the biased daemon gets its way again for a full bound.
+  const auto before = prog.count(1);
+  engine.run(10);
+  EXPECT_EQ(prog.count(1), before);
+}
+
+}  // namespace
+}  // namespace diners::sim

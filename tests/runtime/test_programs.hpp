@@ -1,0 +1,67 @@
+// Miniature guarded-command programs used to exercise the engine and
+// daemons independently of the diners algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "runtime/program.hpp"
+
+namespace diners::sim::testing {
+
+/// Every process has one action "inc" that increments a local counter while
+/// it is below `limit`; processes can be crashed.
+class CounterProgram final : public Program {
+ public:
+  CounterProgram(ProcessId n, std::uint64_t limit)
+      : graph_(graph::make_path(n)),
+        limit_(limit),
+        counts_(n, 0),
+        alive_(n, 1) {}
+
+  const graph::Graph& topology() const override { return graph_; }
+  ActionIndex num_actions(ProcessId) const override { return 1; }
+  std::string_view action_name(ProcessId, ActionIndex) const override {
+    return "inc";
+  }
+  bool enabled(ProcessId p, ActionIndex) const override {
+    return counts_[p] < limit_;
+  }
+  void execute(ProcessId p, ActionIndex) override { ++counts_[p]; }
+  bool alive(ProcessId p) const override { return alive_[p] != 0; }
+
+  void crash(ProcessId p) { alive_[p] = 0; }
+  [[nodiscard]] std::uint64_t count(ProcessId p) const { return counts_[p]; }
+
+ private:
+  graph::Graph graph_;
+  std::uint64_t limit_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint8_t> alive_;
+};
+
+/// A process with two actions whose enabledness alternates: "ping" is
+/// enabled when the bit is 0, "pong" when it is 1. Used to check that ages
+/// reset when an action is disabled.
+class PingPongProgram final : public Program {
+ public:
+  PingPongProgram() : graph_(graph::make_path(1)) {}
+
+  const graph::Graph& topology() const override { return graph_; }
+  ActionIndex num_actions(ProcessId) const override { return 2; }
+  std::string_view action_name(ProcessId, ActionIndex a) const override {
+    return a == 0 ? "ping" : "pong";
+  }
+  bool enabled(ProcessId, ActionIndex a) const override {
+    return (a == 0) == (bit_ == 0);
+  }
+  void execute(ProcessId, ActionIndex) override { bit_ ^= 1; }
+  bool alive(ProcessId) const override { return true; }
+
+ private:
+  graph::Graph graph_;
+  int bit_ = 0;
+};
+
+}  // namespace diners::sim::testing

@@ -1,0 +1,74 @@
+#include "runtime/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_programs.hpp"
+
+namespace diners::sim {
+namespace {
+
+using testing::CounterProgram;
+
+TEST(TraceRecorder, RecordsEveryEvent) {
+  CounterProgram prog(2, 2);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  TraceRecorder trace;
+  trace.attach(engine);
+  engine.run(100);
+  EXPECT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events()[0].step, 0u);
+  EXPECT_EQ(trace.events()[0].action_name, "inc");
+}
+
+TEST(TraceRecorder, CountPerProcess) {
+  CounterProgram prog(3, 4);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  TraceRecorder trace;
+  trace.attach(engine);
+  engine.run(1000);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(trace.count(p, "inc"), 4u);
+    EXPECT_EQ(trace.count(p, "nothing"), 0u);
+  }
+}
+
+TEST(TraceRecorder, FirstOccurrence) {
+  CounterProgram prog(2, 3);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  TraceRecorder trace;
+  trace.attach(engine);
+  engine.run(100);
+  EXPECT_EQ(trace.first(0, "inc"), 0u);
+  EXPECT_EQ(trace.first(1, "inc"), 1u);
+  EXPECT_EQ(trace.first(0, "absent"), static_cast<std::uint64_t>(-1));
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  CounterProgram prog(1, 1);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  TraceRecorder trace;
+  trace.attach(engine);
+  engine.run(10);
+  ASSERT_FALSE(trace.events().empty());
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceRecorder, PrintUsesNamer) {
+  CounterProgram prog(1, 1);
+  Engine engine(prog, std::make_unique<RoundRobinDaemon>());
+  TraceRecorder trace;
+  trace.attach(engine);
+  engine.run(10);
+  std::ostringstream os;
+  trace.print(os, [](ProcessId) { return std::string("alice"); });
+  EXPECT_EQ(os.str(), "step 0: alice inc\n");
+  std::ostringstream os2;
+  trace.print(os2);
+  EXPECT_EQ(os2.str(), "step 0: p0 inc\n");
+}
+
+}  // namespace
+}  // namespace diners::sim

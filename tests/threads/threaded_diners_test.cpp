@@ -1,0 +1,154 @@
+// Tests for the real-concurrency substrate. These run actual threads, so
+// they assert eventual properties with generous timeouts and consistent
+// snapshots rather than step-exact behavior.
+#include "threads/threaded_diners.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "analysis/invariants.hpp"
+#include "analysis/harness.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::threads {
+namespace {
+
+using core::DinerState;
+using P = ThreadedDiners::ProcessId;
+
+// Polls `predicate` until it returns true or the deadline passes.
+template <typename F>
+bool eventually(F&& predicate, std::chrono::milliseconds deadline =
+                                   std::chrono::milliseconds(5000)) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+TEST(ThreadedDiners, RejectsDisconnectedTopology) {
+  graph::Graph::Builder b(4);
+  b.add_edge(0, 1).add_edge(2, 3);
+  EXPECT_THROW(ThreadedDiners(std::move(b).build()), std::invalid_argument);
+}
+
+TEST(ThreadedDiners, StartTwiceThrows) {
+  ThreadedDiners t(graph::make_path(2));
+  t.start();
+  EXPECT_THROW(t.start(), std::logic_error);
+  t.stop();
+}
+
+TEST(ThreadedDiners, EveryoneEatsFaultFree) {
+  ThreadedDiners t(graph::make_ring(6), {}, {.eat_us = 0, .idle_us = 0});
+  t.start();
+  ASSERT_TRUE(eventually([&] {
+    for (P p = 0; p < 6; ++p) {
+      if (t.meals(p) == 0) return false;
+    }
+    return true;
+  }));
+  t.stop();
+}
+
+TEST(ThreadedDiners, SnapshotsSatisfySafetyThroughout) {
+  ThreadedDiners t(graph::make_ring(8), {}, {.eat_us = 20, .idle_us = 0});
+  t.start();
+  for (int i = 0; i < 300; ++i) {
+    const auto snap = t.snapshot();
+    ASSERT_EQ(analysis::eating_violation_count(snap), 0u)
+        << "snapshot " << i;
+  }
+  t.stop();
+}
+
+TEST(ThreadedDiners, SnapshotInvariantHoldsAfterSettling) {
+  // Give the system time to settle, then check I on a consistent cut.
+  ThreadedDiners t(graph::make_path(6), {}, {.eat_us = 0, .idle_us = 0});
+  t.start();
+  ASSERT_TRUE(eventually([&] { return t.total_meals() > 50; }));
+  // NC and E must hold on every snapshot of a tree from a clean start.
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = t.snapshot();
+    ASSERT_TRUE(analysis::holds_nc(snap));
+    ASSERT_TRUE(analysis::holds_e(snap));
+  }
+  t.stop();
+}
+
+TEST(ThreadedDiners, BenignCrashContainedWithinDistanceTwo) {
+  ThreadedDiners t(graph::make_path(8), {}, {.eat_us = 0, .idle_us = 0});
+  t.start();
+  ASSERT_TRUE(eventually([&] { return t.total_meals() > 20; }));
+  t.crash(0);
+  // Let the system absorb the crash.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::uint64_t> base(8);
+  for (P p = 0; p < 8; ++p) base[p] = t.meals(p);
+  // Distance >= 3 keeps eating.
+  ASSERT_TRUE(eventually([&] {
+    for (P p = 3; p < 8; ++p) {
+      if (t.meals(p) <= base[p] + 5) return false;
+    }
+    return true;
+  }));
+  t.stop();
+}
+
+TEST(ThreadedDiners, MaliciousCrashRecovered) {
+  ThreadedDiners t(graph::make_ring(8), {}, {.eat_us = 0, .idle_us = 0});
+  t.start();
+  ASSERT_TRUE(eventually([&] { return t.total_meals() > 20; }));
+  t.malicious_crash(2, 64);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // After the scribbles are absorbed, safety holds on snapshots and the far
+  // side of the ring keeps eating.
+  std::vector<std::uint64_t> base(8);
+  for (P p = 0; p < 8; ++p) base[p] = t.meals(p);
+  ASSERT_TRUE(eventually([&] {
+    return t.meals(5) > base[5] + 5 && t.meals(6) > base[6] + 5;
+  }));
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = t.snapshot();
+    ASSERT_EQ(analysis::eating_violation_count(snap), 0u);
+  }
+  // The measured starvation ball on the final snapshot stays within 2.
+  const auto snap = t.snapshot();
+  const auto dead = snap.dead_processes();
+  ASSERT_EQ(dead.size(), 1u);
+  t.stop();
+}
+
+TEST(ThreadedDiners, StopIsIdempotentAndDestructorSafe) {
+  auto t = std::make_unique<ThreadedDiners>(graph::make_path(3));
+  t->start();
+  t->stop();
+  t->stop();
+  // Destructor after stop must not hang or double-join.
+  t.reset();
+  // Destructor without stop must also clean up.
+  auto u = std::make_unique<ThreadedDiners>(graph::make_path(3));
+  u->start();
+  u.reset();
+  SUCCEED();
+}
+
+TEST(ThreadedDiners, NeedsGateJoining) {
+  ThreadedDiners t(graph::make_path(4), {}, {.eat_us = 0, .idle_us = 0});
+  for (P p = 0; p < 4; ++p) t.set_needs(p, false);
+  t.set_needs(2, true);
+  t.start();
+  ASSERT_TRUE(eventually([&] { return t.meals(2) > 10; }));
+  EXPECT_EQ(t.meals(0), 0u);
+  EXPECT_EQ(t.meals(1), 0u);
+  EXPECT_EQ(t.meals(3), 0u);
+  t.stop();
+}
+
+}  // namespace
+}  // namespace diners::threads

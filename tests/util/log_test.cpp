@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace diners::util {
+namespace {
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(before);
+}
+
+TEST(Log, OffSuppressesEverything) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  DINERS_LOG_INFO << "should not appear";
+  log_line(LogLevel::kError, "nor this");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  set_log_level(before);
+}
+
+TEST(Log, EmitsAtOrAboveThreshold) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  DINERS_LOG_DEBUG << "hidden";
+  DINERS_LOG_INFO << "visible " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[INFO] visible 42"), std::string::npos);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace diners::util

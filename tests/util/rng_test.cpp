@@ -1,0 +1,157 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace diners::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 from the public-domain reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BelowZeroIsZero) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256, BelowOneIsZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256, BetweenInclusiveBounds) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BetweenSingleton) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.between(9, 9), 9);
+}
+
+TEST(Xoshiro256, BetweenThrowsOnInvertedBounds) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW((void)rng.between(2, 1), std::invalid_argument);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceRoughlyCalibrated) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Xoshiro256, UnitInHalfOpenInterval) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, ShufflePreservesMultiset) {
+  Xoshiro256 rng(23);
+  std::vector<int> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = xs;
+  rng.shuffle(std::span<int>(xs));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(xs, sorted);
+}
+
+TEST(Xoshiro256, ShuffleActuallyPermutes) {
+  Xoshiro256 rng(23);
+  std::vector<int> xs(64);
+  for (int i = 0; i < 64; ++i) xs[i] = i;
+  const auto original = xs;
+  rng.shuffle(std::span<int>(xs));
+  EXPECT_NE(xs, original);  // astronomically unlikely to be identity
+}
+
+TEST(Xoshiro256, SampleIndicesDistinctAndInRange) {
+  Xoshiro256 rng(29);
+  const auto idx = rng.sample_indices(50, 20);
+  ASSERT_EQ(idx.size(), 20u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (auto i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(Xoshiro256, SampleIndicesFullPopulation) {
+  Xoshiro256 rng(29);
+  const auto idx = rng.sample_indices(5, 5);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Xoshiro256, SampleIndicesThrowsWhenKExceedsN) {
+  Xoshiro256 rng(29);
+  EXPECT_THROW((void)rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+}
+
+}  // namespace
+}  // namespace diners::util

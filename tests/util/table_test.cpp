@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace diners::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), std::invalid_argument);
+}
+
+TEST(Table, StoresRows) {
+  Table t({"n", "steps"});
+  t.add_row({std::int64_t{8}, 12.5}).add_row({std::int64_t{16}, 40.25});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>(t.row(0)[0]), 8);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("x"), std::int64_t{1}});
+  t.add_row({std::string("longer"), std::int64_t{123456}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // Header + rule + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, PrintCsv) {
+  Table t({"a", "b"}, 2);
+  t.add_row({std::int64_t{1}, 0.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,0.50\n");
+}
+
+TEST(Table, DoublePrecisionRespected) {
+  Table t({"v"}, 1);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.1\n");
+}
+
+TEST(Fixed, FormatsWithPrecision) {
+  EXPECT_EQ(fixed(1.0, 2), "1.00");
+  EXPECT_EQ(fixed(2.345, 1), "2.3");
+}
+
+}  // namespace
+}  // namespace diners::util

@@ -1,0 +1,226 @@
+// diners_sim — command-line driver for the simulation substrate.
+//
+// Runs the paper's algorithm (or a baseline/ablation) on a chosen topology
+// under a chosen daemon and fault schedule, and reports per-process and
+// aggregate results, optionally as CSV time series.
+//
+// Examples:
+//   diners_sim --topology=ring --n=24 --steps=50000
+//   diners_sim --topology=grid --n=36 --crash=1000:7:32 --crash=2000:20:0
+//   diners_sim --algorithm=chandy-misra --topology=path --n=16
+//   diners_sim --threshold=sound --workload=random-toggle --csv
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/chandy_misra.hpp"
+#include "algorithms/ordered_resource.hpp"
+#include "analysis/harness.hpp"
+#include "analysis/invariants.hpp"
+#include "analysis/dot_export.hpp"
+#include "analysis/red_green.hpp"
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "fault/workload.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using diners::core::DinersConfig;
+using diners::core::DinersSystem;
+using diners::graph::NodeId;
+
+diners::graph::Graph build_topology(const std::string& kind, NodeId n,
+                                    std::uint64_t seed) {
+  if (kind == "ring") return diners::graph::make_ring(n);
+  if (kind == "path") return diners::graph::make_path(n);
+  if (kind == "star") return diners::graph::make_star(n);
+  if (kind == "complete") return diners::graph::make_complete(n);
+  if (kind == "grid") return diners::graph::make_grid(n / 4 ? n / 4 : 1, 4);
+  if (kind == "torus") return diners::graph::make_torus(n / 4 ? n / 4 : 3, 4);
+  if (kind == "tree") return diners::graph::make_random_tree(n, seed);
+  if (kind == "wheel") return diners::graph::make_wheel(n);
+  if (kind == "barbell") return diners::graph::make_barbell(n / 2, 2);
+  if (kind == "gnp") return diners::graph::make_connected_gnp(n, 0.1, seed);
+  if (kind == "figure2") return diners::graph::make_figure2_topology();
+  throw std::invalid_argument("unknown topology: " + kind);
+}
+
+// "--crash=STEP:VICTIM:MALICE" (MALICE optional).
+diners::fault::CrashEvent parse_crash(const std::string& spec) {
+  diners::fault::CrashEvent e;
+  const auto c1 = spec.find(':');
+  if (c1 == std::string::npos) {
+    throw std::invalid_argument("crash spec needs STEP:VICTIM[:MALICE]");
+  }
+  e.at_step = std::stoull(spec.substr(0, c1));
+  const auto c2 = spec.find(':', c1 + 1);
+  if (c2 == std::string::npos) {
+    e.process = static_cast<NodeId>(std::stoul(spec.substr(c1 + 1)));
+  } else {
+    e.process =
+        static_cast<NodeId>(std::stoul(spec.substr(c1 + 1, c2 - c1 - 1)));
+    e.malicious_steps =
+        static_cast<std::uint32_t>(std::stoul(spec.substr(c2 + 1)));
+  }
+  return e;
+}
+
+int run_diners(const diners::util::Flags& flags) {
+  const auto n = static_cast<NodeId>(flags.i64("n"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const auto steps = static_cast<std::uint64_t>(flags.i64("steps"));
+  auto g = build_topology(flags.str("topology"), n, seed);
+
+  DinersConfig cfg;
+  const std::string threshold = flags.str("threshold");
+  if (threshold == "sound") {
+    cfg.diameter_override = g.num_nodes() - 1;
+  } else if (threshold != "paper") {
+    cfg.diameter_override = static_cast<std::uint32_t>(std::stoul(threshold));
+  }
+  cfg.enable_dynamic_threshold = !flags.flag("no-threshold");
+  cfg.enable_cycle_breaking = !flags.flag("no-cycle-breaking");
+
+  DinersSystem system(std::move(g), cfg);
+  if (flags.flag("corrupt")) {
+    diners::util::Xoshiro256 rng(seed);
+    diners::fault::corrupt_global_state(system, rng);
+  }
+
+  std::vector<diners::fault::CrashEvent> events;
+  // Repeated --crash flags aren't supported by the tiny parser; accept a
+  // comma-separated list instead.
+  const std::string crashes = flags.str("crash");
+  for (std::size_t pos = 0; pos < crashes.size();) {
+    const auto comma = crashes.find(',', pos);
+    const auto token = crashes.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!token.empty()) events.push_back(parse_crash(token));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  diners::analysis::HarnessOptions options;
+  options.daemon = flags.str("daemon");
+  options.seed = seed;
+  std::unique_ptr<diners::fault::Workload> workload;
+  if (flags.str("workload") != "none") {
+    workload = diners::fault::make_workload(flags.str("workload"), seed);
+  }
+  diners::analysis::ExperimentHarness harness(
+      system, std::move(workload),
+      diners::fault::CrashPlan(std::move(events)), options);
+
+  const bool csv = flags.flag("csv");
+  const bool dot = flags.flag("dot");
+  const std::uint64_t sample = flags.i64("sample");
+  if (csv) std::cout << "step,total_meals,violations,invariant\n";
+  std::uint64_t done = 0;
+  while (done < steps) {
+    const auto chunk = std::min<std::uint64_t>(sample, steps - done);
+    const auto result = harness.run(chunk);
+    done += result.steps_executed;
+    if (csv) {
+      std::cout << done << ',' << system.total_meals() << ','
+                << diners::analysis::eating_violation_count(system) << ','
+                << (diners::analysis::holds_invariant(system) ? 1 : 0)
+                << '\n';
+    }
+    if (result.outcome == diners::sim::RunOutcome::kTerminated) break;
+  }
+
+  if (dot) {
+    std::cout << diners::analysis::to_dot(system);
+    return 0;
+  }
+  if (!csv) {
+    const auto dead = system.dead_processes();
+    const auto dist = diners::graph::distances_to_set(
+        system.topology(), std::span<const NodeId>(dead));
+    const auto red = diners::analysis::red_processes(system);
+    diners::util::Table t({"process", "state", "meals", "dist", "class"});
+    for (NodeId p = 0; p < system.topology().num_nodes(); ++p) {
+      t.add_row({static_cast<std::int64_t>(p),
+                 std::string(diners::core::to_string(system.state(p))) +
+                     (system.alive(p) ? "" : " (dead)"),
+                 static_cast<std::int64_t>(system.meals(p)),
+                 dead.empty() ? std::string("-")
+                              : std::to_string(dist[p]),
+                 red[p] ? std::string("red") : std::string("green")});
+    }
+    t.print(std::cout);
+    std::cout << "total meals: " << system.total_meals()
+              << "; invariant I: "
+              << (diners::analysis::holds_invariant(system) ? "holds"
+                                                            : "violated")
+              << "; steps executed: " << done << "\n";
+  }
+  return 0;
+}
+
+template <typename System>
+int run_baseline(const diners::util::Flags& flags) {
+  const auto n = static_cast<NodeId>(flags.i64("n"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  System system(build_topology(flags.str("topology"), n, seed));
+  diners::sim::Engine engine(
+      system, diners::sim::make_daemon(flags.str("daemon"), seed), 256);
+  engine.run(static_cast<std::uint64_t>(flags.i64("steps")));
+  diners::util::Table t({"process", "state", "meals"});
+  for (NodeId p = 0; p < system.topology().num_nodes(); ++p) {
+    t.add_row({static_cast<std::int64_t>(p),
+               std::string(diners::core::to_string(system.state(p))),
+               static_cast<std::int64_t>(system.meals(p))});
+  }
+  t.print(std::cout);
+  std::cout << "total meals: " << system.total_meals() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  diners::util::Flags flags;
+  flags.define("algorithm", "nesterenko-arora",
+               "nesterenko-arora | chandy-misra | ordered-resource")
+      .define("topology", "ring",
+              "ring|path|star|complete|grid|torus|tree|wheel|barbell|gnp|figure2")
+      .define("n", "16", "system size")
+      .define("steps", "20000", "scheduler steps to run")
+      .define("daemon", "round-robin",
+              "round-robin|random|adversarial-age|biased")
+      .define("seed", "1", "rng seed")
+      .define("threshold", "paper",
+              "cycle threshold: paper (=diameter) | sound (=n-1) | <int>")
+      .define("workload", "saturation", "saturation|random-toggle|none")
+      .define("crash", "", "comma list of STEP:VICTIM[:MALICE]")
+      .define("corrupt", "false", "start from a corrupted state")
+      .define("no-threshold", "false", "ablation A1: disable leave")
+      .define("no-cycle-breaking", "false", "ablation A2: disable fixdepth")
+      .define("csv", "false", "emit CSV time series instead of a table")
+      .define("dot", "false", "emit the final priority graph as Graphviz DOT")
+      .define("sample", "500", "CSV sampling interval in steps");
+  if (!flags.parse(argc, argv)) return 1;
+
+  try {
+    const std::string algorithm = flags.str("algorithm");
+    if (algorithm == "nesterenko-arora") return run_diners(flags);
+    if (algorithm == "chandy-misra") {
+      return run_baseline<diners::algorithms::ChandyMisraSystem>(flags);
+    }
+    if (algorithm == "ordered-resource") {
+      return run_baseline<diners::algorithms::OrderedResourceSystem>(flags);
+    }
+    std::cerr << "unknown algorithm: " << algorithm << "\n";
+    return 1;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}
