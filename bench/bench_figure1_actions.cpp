@@ -47,7 +47,26 @@ void BM_EngineStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EngineStep)->Arg(8)->Arg(32)->Arg(128)->ArgName("n");
+BENCHMARK(BM_EngineStep)->Arg(8)->Arg(32)->Arg(128)->Arg(192)->ArgName("n");
+
+// The classic engine (full guard scan every step), for comparison against
+// the incremental enabled-set default above.
+void BM_EngineStepFullScan(benchmark::State& state) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  DinersSystem system(make_ring(n));
+  diners::sim::Engine engine(system, diners::sim::make_daemon("round-robin", 1),
+                             256, diners::sim::ScanMode::kFullScan);
+  for (auto _ : state) {
+    if (!engine.step()) state.SkipWithError("program terminated");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineStepFullScan)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(192)
+    ->ArgName("n");
 
 void BM_MealsThroughput(benchmark::State& state) {
   const auto n = static_cast<diners::graph::NodeId>(state.range(0));

@@ -38,7 +38,11 @@ sim::RunResult ExperimentHarness::run(std::uint64_t max_steps) {
       return sim::RunResult{sim::RunOutcome::kTerminated, executed};
     }
     ++executed;
-    if (workload_) workload_->tick(system_, engine_->steps());
+    if (workload_ && workload_->tick(system_, engine_->steps())) {
+      // Appetite writes are external mutation: the incremental engine must
+      // re-evaluate guards (ages of still-enabled actions are preserved).
+      engine_->invalidate_all();
+    }
   }
   return sim::RunResult{sim::RunOutcome::kStepLimit, executed};
 }

@@ -1,0 +1,23 @@
+#include "core/config.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace diners::core {
+
+std::optional<std::uint32_t> parse_threshold(const std::string& text,
+                                             std::uint32_t num_nodes) {
+  if (text == "paper") return std::nullopt;
+  if (text == "sound") return num_nodes == 0 ? 0 : num_nodes - 1;
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty()) {
+    throw std::invalid_argument(
+        "bad threshold '" + text +
+        "': want 'paper', 'sound', or a non-negative decimal integer");
+  }
+  return value;
+}
+
+}  // namespace diners::core

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace diners::core {
 
@@ -27,5 +28,17 @@ struct DinersConfig {
   /// deadlocks the cycle forever.
   bool enable_cycle_breaking = true;
 };
+
+/// Parses the user-facing cycle-threshold spelling (the diners_sim
+/// --threshold grammar) into a DinersConfig::diameter_override value:
+///
+///   "paper"  -> nullopt (use the true topology diameter, the paper's D)
+///   "sound"  -> num_nodes - 1 (an upper bound on any simple path)
+///   "<int>"  -> that value (plain non-negative decimal, <= 2^32 - 1)
+///
+/// Anything else throws std::invalid_argument with a friendly message, so
+/// CLI front-ends can turn typos into usage errors instead of aborting.
+[[nodiscard]] std::optional<std::uint32_t> parse_threshold(
+    const std::string& text, std::uint32_t num_nodes);
 
 }  // namespace diners::core

@@ -195,6 +195,14 @@ void DinersSystem::execute(ProcessId p, sim::ActionIndex a) {
   }
 }
 
+bool DinersSystem::affected(ProcessId p, sim::ActionIndex,
+                            std::vector<ProcessId>& out) const {
+  // The engine re-evaluates p itself; the rest of N[p] is its neighbors.
+  const auto& nbrs = graph_.neighbors(p);
+  out.insert(out.end(), nbrs.begin(), nbrs.end());
+  return true;
+}
+
 void DinersSystem::set_needs(ProcessId p, bool wants) {
   needs_.at(p) = wants ? 1 : 0;
 }

@@ -64,6 +64,14 @@ class DinersSystem final : public PhilosopherProgram {
   void execute(ProcessId p, sim::ActionIndex a) override;
   bool alive(ProcessId p) const override { return alive_[p] != 0; }
 
+  /// Exact locality for the incremental engine: every Figure 1 guard of a
+  /// process q reads only q's own variables, its neighbors' state/depth,
+  /// and its incident priority variables, while executing any action of p
+  /// writes only p's state/depth and p's incident priority variables — so
+  /// only the closed neighborhood N[p] can change enabledness.
+  bool affected(ProcessId p, sim::ActionIndex a,
+                std::vector<ProcessId>& out) const override;
+
   // --- PhilosopherProgram interface / observers ---------------------------
   [[nodiscard]] DinerState state(ProcessId p) const override {
     return states_.at(p);

@@ -1,7 +1,11 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "graph/algorithms.hpp"
 
@@ -84,6 +88,66 @@ void malicious_crash(DinersSystem& system, ProcessId p,
   system.crash(p);
 }
 
+namespace {
+
+// Strict non-negative decimal parse: the whole token must be digits and fit
+// in `Max`. std::stoul-style parsing is too lenient here (accepts leading
+// signs/whitespace, ignores trailing junk) and aborts the CLI with an
+// uncaught exception on non-numeric input.
+std::uint64_t parse_crash_field(const std::string& spec, std::string_view token,
+                                const char* field, std::uint64_t max) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      token.empty() || value > max) {
+    throw std::invalid_argument(
+        "bad crash spec '" + spec + "': " + field + " '" +
+        std::string(token) +
+        "' is not a non-negative decimal integer in range (want "
+        "STEP:VICTIM[:MALICE])");
+  }
+  return value;
+}
+
+}  // namespace
+
+CrashEvent parse_crash_event(const std::string& spec) {
+  const auto c1 = spec.find(':');
+  if (c1 == std::string::npos) {
+    throw std::invalid_argument("bad crash spec '" + spec +
+                                "': want STEP:VICTIM[:MALICE]");
+  }
+  const auto c2 = spec.find(':', c1 + 1);
+  const std::string_view view(spec);
+  CrashEvent e;
+  e.at_step = parse_crash_field(spec, view.substr(0, c1), "STEP",
+                                std::numeric_limits<std::uint64_t>::max());
+  const auto victim_end = c2 == std::string::npos ? spec.size() : c2;
+  e.process = static_cast<ProcessId>(
+      parse_crash_field(spec, view.substr(c1 + 1, victim_end - c1 - 1),
+                        "VICTIM", graph::kNoNode - 1));
+  if (c2 != std::string::npos) {
+    e.malicious_steps = static_cast<std::uint32_t>(
+        parse_crash_field(spec, view.substr(c2 + 1), "MALICE",
+                          std::numeric_limits<std::uint32_t>::max()));
+  }
+  return e;
+}
+
+std::vector<CrashEvent> parse_crash_list(const std::string& csv) {
+  std::vector<CrashEvent> events;
+  for (std::size_t pos = 0; pos < csv.size();) {
+    const auto comma = csv.find(',', pos);
+    const auto token = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!token.empty()) events.push_back(parse_crash_event(token));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return events;
+}
+
 CrashPlan::CrashPlan(std::vector<CrashEvent> events)
     : events_(std::move(events)) {
   std::stable_sort(events_.begin(), events_.end(),
@@ -111,7 +175,7 @@ CrashPlan CrashPlan::spread(const graph::Graph& g, std::uint32_t count,
                             std::uint64_t at_step,
                             std::uint32_t malicious_steps,
                             std::uint32_t min_separation,
-                            util::Xoshiro256& rng) {
+                            util::Xoshiro256& rng, bool require_exact) {
   std::vector<ProcessId> order(g.num_nodes());
   for (ProcessId p = 0; p < g.num_nodes(); ++p) order[p] = p;
   rng.shuffle(std::span<ProcessId>(order));
@@ -126,6 +190,13 @@ CrashPlan CrashPlan::spread(const graph::Graph& g, std::uint32_t count,
       }
     }
     if (far_enough) chosen.push_back(candidate);
+  }
+  if (require_exact && chosen.size() < count) {
+    throw std::runtime_error(
+        "CrashPlan::spread: only " + std::to_string(chosen.size()) + " of " +
+        std::to_string(count) + " victims fit at pairwise separation > " +
+        std::to_string(min_separation) +
+        " on this graph; relax min_separation or lower the count");
   }
   std::vector<CrashEvent> events;
   events.reserve(chosen.size());

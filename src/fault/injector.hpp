@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/diners_system.hpp"
@@ -58,6 +59,16 @@ struct CrashEvent {
   std::uint32_t malicious_steps = 0;  ///< 0 = benign crash
 };
 
+/// Parses one "STEP:VICTIM[:MALICE]" crash spec (the diners_sim --crash
+/// grammar). Every field must be a plain non-negative decimal integer;
+/// anything else throws std::invalid_argument with a message naming the
+/// offending token.
+[[nodiscard]] CrashEvent parse_crash_event(const std::string& spec);
+
+/// Parses a comma-separated list of crash specs. Empty tokens (and an empty
+/// list) are ignored; malformed tokens throw std::invalid_argument.
+[[nodiscard]] std::vector<CrashEvent> parse_crash_list(const std::string& csv);
+
 /// A deterministic schedule of crash events, sorted by at_step.
 class CrashPlan {
  public:
@@ -71,15 +82,27 @@ class CrashPlan {
                           util::Xoshiro256& rng);
 
   /// Picks victims pairwise at graph distance > `min_separation`, so their
-  /// failure-locality balls do not merge (best effort; stops early if no
-  /// such victim exists). Useful for clean locality measurements.
+  /// failure-locality balls do not merge. Useful for clean locality
+  /// measurements.
+  ///
+  /// When the graph cannot host `count` victims at that separation the plan
+  /// holds *fewer* events: by default this is best-effort and the caller
+  /// must read the achieved count back via size()/victims() (experiments
+  /// that report "k crashes" without doing so under-report the injection).
+  /// With `require_exact` the shortfall throws std::runtime_error instead,
+  /// naming both counts.
   static CrashPlan spread(const graph::Graph& g, std::uint32_t count,
                           std::uint64_t at_step, std::uint32_t malicious_steps,
-                          std::uint32_t min_separation, util::Xoshiro256& rng);
+                          std::uint32_t min_separation, util::Xoshiro256& rng,
+                          bool require_exact = false);
 
   [[nodiscard]] const std::vector<CrashEvent>& events() const noexcept {
     return events_;
   }
+
+  /// Number of crash events actually planned — the real victim count, which
+  /// for spread() may be smaller than the count requested.
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
 
   /// Fires every event with at_step <= now that has not fired yet. Returns
   /// the number fired.

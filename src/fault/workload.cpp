@@ -24,15 +24,21 @@ void RandomToggleWorkload::prime(core::DinersSystem& system) {
   }
 }
 
-void RandomToggleWorkload::tick(core::DinersSystem& system, std::uint64_t) {
+bool RandomToggleWorkload::tick(core::DinersSystem& system, std::uint64_t) {
+  bool mutated = false;
   for (graph::NodeId p = 0; p < system.topology().num_nodes(); ++p) {
     if (system.state(p) != core::DinerState::kThinking) continue;
     if (system.needs(p)) {
-      if (rng_.chance(p_off_)) system.set_needs(p, false);
+      if (rng_.chance(p_off_)) {
+        system.set_needs(p, false);
+        mutated = true;
+      }
     } else if (rng_.chance(p_on_)) {
       system.set_needs(p, true);
+      mutated = true;
     }
   }
+  return mutated;
 }
 
 SubsetWorkload::SubsetWorkload(

@@ -19,8 +19,10 @@ class Workload {
   /// Called once before the run starts.
   virtual void prime(core::DinersSystem& system) = 0;
 
-  /// Called after every engine step; may call system.set_needs.
-  virtual void tick(core::DinersSystem& system, std::uint64_t step) = 0;
+  /// Called after every engine step; may call system.set_needs. Returns
+  /// true iff it mutated system state, so the harness can tell the
+  /// incremental engine to re-evaluate guards (Engine::invalidate_all).
+  virtual bool tick(core::DinersSystem& system, std::uint64_t step) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -30,7 +32,7 @@ class Workload {
 class SaturationWorkload final : public Workload {
  public:
   void prime(core::DinersSystem& system) override;
-  void tick(core::DinersSystem&, std::uint64_t) override {}
+  bool tick(core::DinersSystem&, std::uint64_t) override { return false; }
   std::string name() const override { return "saturation"; }
 };
 
@@ -42,7 +44,7 @@ class RandomToggleWorkload final : public Workload {
  public:
   RandomToggleWorkload(double p_on, double p_off, std::uint64_t seed);
   void prime(core::DinersSystem& system) override;
-  void tick(core::DinersSystem& system, std::uint64_t step) override;
+  bool tick(core::DinersSystem& system, std::uint64_t step) override;
   std::string name() const override { return "random-toggle"; }
 
  private:
@@ -57,7 +59,7 @@ class SubsetWorkload final : public Workload {
  public:
   explicit SubsetWorkload(std::vector<core::DinersSystem::ProcessId> hungry);
   void prime(core::DinersSystem& system) override;
-  void tick(core::DinersSystem&, std::uint64_t) override {}
+  bool tick(core::DinersSystem&, std::uint64_t) override { return false; }
   std::string name() const override { return "subset"; }
 
  private:

@@ -1,42 +1,106 @@
 #include "runtime/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace diners::sim {
 
 Engine::Engine(Program& program, std::unique_ptr<Daemon> daemon,
-               std::uint64_t fairness_bound)
+               std::uint64_t fairness_bound, ScanMode mode)
     : program_(program),
       daemon_(std::move(daemon)),
-      fairness_bound_(fairness_bound) {
+      fairness_bound_(fairness_bound),
+      mode_(mode) {
   if (!daemon_) throw std::invalid_argument("Engine: null daemon");
   if (fairness_bound_ == 0) {
     throw std::invalid_argument("Engine: fairness bound must be positive");
   }
   const auto n = program_.topology().num_nodes();
-  ages_.resize(n);
+  offset_.resize(n + 1);
+  offset_[0] = 0;
   for (ProcessId p = 0; p < n; ++p) {
-    ages_[p].assign(program_.num_actions(p), 0);
+    offset_[p + 1] = offset_[p] + program_.num_actions(p);
   }
+  const std::size_t slots = offset_[n];
+  slot_owner_.resize(slots);
+  for (ProcessId p = 0; p < n; ++p) {
+    for (std::size_t s = offset_[p]; s < offset_[p + 1]; ++s) {
+      slot_owner_[s] = p;
+    }
+  }
+  enabled_bit_.assign(slots, 0);
+  enabled_since_.assign(slots, 0);
+  enabled_slots_.reserve(slots);
+  // The first build is deferred to the first step so that state written
+  // between construction and stepping (workload priming, scripted initial
+  // states) is observed, exactly like the classic scan-per-step engine.
 }
 
-void Engine::collect_enabled(std::vector<EnabledAction>& out) const {
-  out.clear();
+void Engine::rebuild(bool keep_ages) const {
   const auto n = program_.topology().num_nodes();
+  enabled_slots_.clear();
   for (ProcessId p = 0; p < n; ++p) {
-    if (!program_.alive(p)) continue;
-    const ActionIndex count = program_.num_actions(p);
-    for (ActionIndex a = 0; a < count; ++a) {
-      if (program_.enabled(p, a)) {
-        out.push_back(EnabledAction{p, a, ages_[p][a]});
+    const bool alive = program_.alive(p);
+    for (Slot s = static_cast<Slot>(offset_[p]);
+         s < static_cast<Slot>(offset_[p + 1]); ++s) {
+      const bool now =
+          alive && program_.enabled(p, static_cast<ActionIndex>(s - offset_[p]));
+      if (now) {
+        if (!keep_ages || !enabled_bit_[s]) enabled_since_[s] = steps_;
+        enabled_bit_[s] = 1;
+        enabled_slots_.push_back(s);
+      } else {
+        enabled_bit_[s] = 0;
       }
     }
   }
 }
 
+void Engine::refresh_process(ProcessId p) const {
+  const bool alive = program_.alive(p);
+  for (Slot s = static_cast<Slot>(offset_[p]);
+       s < static_cast<Slot>(offset_[p + 1]); ++s) {
+    const bool now =
+        alive && program_.enabled(p, static_cast<ActionIndex>(s - offset_[p]));
+    if (now == (enabled_bit_[s] != 0)) continue;
+    const auto it =
+        std::lower_bound(enabled_slots_.begin(), enabled_slots_.end(), s);
+    if (now) {
+      enabled_bit_[s] = 1;
+      enabled_since_[s] = steps_;
+      enabled_slots_.insert(it, s);
+    } else {
+      enabled_bit_[s] = 0;
+      enabled_slots_.erase(it);
+    }
+  }
+}
+
+void Engine::ensure_fresh() const {
+  if (pending_ != Refresh::kNone) {
+    rebuild(/*keep_ages=*/pending_ == Refresh::kKeepAges);
+    dirty_.clear();
+    pending_ = Refresh::kNone;
+  } else if (!dirty_.empty()) {
+    for (ProcessId q : dirty_) refresh_process(q);
+    dirty_.clear();
+  }
+}
+
 std::optional<StepRecord> Engine::step() {
-  collect_enabled(scratch_);
-  if (scratch_.empty()) return std::nullopt;
+  ensure_fresh();
+  scratch_.clear();
+  for (Slot s : enabled_slots_) {
+    const ProcessId p = slot_owner_[s];
+    scratch_.push_back(EnabledAction{p, static_cast<ActionIndex>(s - offset_[p]),
+                                     steps_ - enabled_since_[s]});
+  }
+  if (scratch_.empty()) {
+    // Never cache termination: external writes may re-enable guards before
+    // the next call, and the classic engine re-scanned on every step.
+    if (pending_ == Refresh::kNone) pending_ = Refresh::kKeepAges;
+    return std::nullopt;
+  }
 
   // Weak fairness: if anything has aged past the bound, force the oldest
   // (first such in scan order for stability).
@@ -55,36 +119,33 @@ std::optional<StepRecord> Engine::step() {
   }
 
   const EnabledAction picked = scratch_[chosen];
-
-  // Age bookkeeping: the executed action resets; every other *currently
-  // enabled* action ages by one. Actions that are disabled in the new state
-  // are reset lazily on the next collect (see below).
-  for (const auto& c : scratch_) {
-    if (c.process == picked.process && c.action == picked.action) {
-      ages_[c.process][c.action] = 0;
-    } else {
-      ++ages_[c.process][c.action];
-    }
-  }
-
   program_.execute(picked.process, picked.action);
-
-  // Weak fairness cares about *continuous* enabledness: any action disabled
-  // by this step must restart its age. Re-scan and clear ages of actions no
-  // longer enabled.
-  const auto n = program_.topology().num_nodes();
-  for (ProcessId p = 0; p < n; ++p) {
-    const ActionIndex count = program_.num_actions(p);
-    for (ActionIndex a = 0; a < count; ++a) {
-      if (ages_[p][a] != 0 && (!program_.alive(p) || !program_.enabled(p, a))) {
-        ages_[p][a] = 0;
-      }
-    }
-  }
 
   StepRecord record{steps_, picked.process, picked.action,
                     program_.action_name(picked.process, picked.action)};
   ++steps_;
+
+  // The executed action restarts its continuous-enabledness age whether or
+  // not it stays enabled (if it is now disabled the refresh below clears
+  // the slot; if re-enabled later the stamp is rewritten anyway).
+  enabled_since_[slot_of(picked.process, picked.action)] = steps_;
+
+  // Schedule the guard re-evaluation the execution necessitates. Deferring
+  // it to the next ensure_fresh() keeps guard evaluation at the same point
+  // of the step cycle as the classic engine's per-step scan.
+  if (mode_ == ScanMode::kIncremental) {
+    affected_scratch_.clear();
+    if (program_.affected(picked.process, picked.action, affected_scratch_)) {
+      dirty_.push_back(picked.process);
+      dirty_.insert(dirty_.end(), affected_scratch_.begin(),
+                    affected_scratch_.end());
+    } else if (pending_ == Refresh::kNone) {
+      pending_ = Refresh::kKeepAges;
+    }
+  } else if (pending_ == Refresh::kNone) {
+    pending_ = Refresh::kKeepAges;
+  }
+
   for (const auto& observer : observers_) observer(record);
   return record;
 }
@@ -106,15 +167,14 @@ void Engine::add_observer(std::function<void(const StepRecord&)> observer) {
 }
 
 std::size_t Engine::enabled_count() const {
-  std::vector<EnabledAction> tmp;
-  collect_enabled(tmp);
-  return tmp.size();
+  ensure_fresh();
+  return enabled_slots_.size();
 }
 
-void Engine::reset_ages() {
-  for (auto& per_process : ages_) {
-    for (auto& age : per_process) age = 0;
-  }
+void Engine::invalidate_all() {
+  if (pending_ != Refresh::kZeroAges) pending_ = Refresh::kKeepAges;
 }
+
+void Engine::reset_ages() { pending_ = Refresh::kZeroAges; }
 
 }  // namespace diners::sim

@@ -1,5 +1,13 @@
 // The simulation engine: executes a Program under a Daemon, one action per
 // step, with enforced weak fairness — the paper's computation model.
+//
+// The engine maintains the set of enabled (process, action) pairs
+// incrementally: executing an action at process p re-evaluates only the
+// guards Program::affected() reports as possibly changed (for the paper's
+// algorithm that is the closed neighborhood N[p]), so a step costs
+// O(deg(p) · actions) guard evaluations instead of the classic
+// O(n · actions) full scan. Programs that do not override affected() fall
+// back to the full scan and behave exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -26,13 +34,24 @@ struct RunResult {
   std::uint64_t steps_executed;
 };
 
+/// How the engine keeps its enabled-set current between steps.
+enum class ScanMode {
+  /// Dirty-region updates driven by Program::affected() (the default).
+  kIncremental,
+  /// Re-evaluate every guard before every step — the classic engine.
+  /// Semantically identical to kIncremental whenever affected() is sound;
+  /// kept as the differential-testing and debugging reference.
+  kFullScan,
+};
+
 class Engine {
  public:
   /// The engine borrows the program; the daemon is owned. `fairness_bound`:
   /// an action continuously enabled for this many steps is forcibly
   /// executed, guaranteeing weak fairness under any daemon. It must be > 0.
   Engine(Program& program, std::unique_ptr<Daemon> daemon,
-         std::uint64_t fairness_bound = 4096);
+         std::uint64_t fairness_bound = 4096,
+         ScanMode mode = ScanMode::kIncremental);
 
   /// Executes one step. Returns the step record, or nullopt if no action of
   /// any live process is enabled (the computation has terminated).
@@ -49,25 +68,63 @@ class Engine {
   /// Steps executed since construction.
   [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
 
-  /// Number of currently enabled actions of live processes (recomputed).
+  /// Number of currently enabled actions of live processes — O(1) off the
+  /// maintained enabled-set. Reflects external mutation only after
+  /// invalidate_all()/reset_ages(), like the rest of the engine.
   [[nodiscard]] std::size_t enabled_count() const;
 
   [[nodiscard]] Daemon& daemon() noexcept { return *daemon_; }
+  [[nodiscard]] ScanMode scan_mode() const noexcept { return mode_; }
 
-  /// Resets fairness ages (use after externally mutating program state, e.g.
-  /// fault injection, so stale ages do not force spurious executions).
+  /// Announces external mutation of program state (fault injection, crash,
+  /// harness writes): every guard is re-evaluated before the next step.
+  /// Fairness ages of actions that remain enabled are preserved.
+  void invalidate_all();
+
+  /// invalidate_all() plus a reset of all fairness ages (use after fault
+  /// injection, so stale ages do not force spurious executions).
   void reset_ages();
 
  private:
-  void collect_enabled(std::vector<EnabledAction>& out) const;
+  /// Flattened (process, action) index; ascending slot order is exactly the
+  /// (process, action)-ascending candidate order the daemons rely on.
+  using Slot = std::uint32_t;
+
+  [[nodiscard]] Slot slot_of(ProcessId p, ActionIndex a) const {
+    return static_cast<Slot>(offset_[p] + a);
+  }
+
+  /// Applies any pending rebuild/dirty refresh so the enabled-set matches
+  /// the program state. Called before reading the set.
+  void ensure_fresh() const;
+  /// Recomputes enabledness of every slot. keep_ages preserves the
+  /// enabled-since stamp of slots that stay enabled.
+  void rebuild(bool keep_ages) const;
+  /// Recomputes enabledness of every action of `p`.
+  void refresh_process(ProcessId p) const;
+
+  enum class Refresh : std::uint8_t { kNone, kKeepAges, kZeroAges };
 
   Program& program_;
   std::unique_ptr<Daemon> daemon_;
   std::uint64_t fairness_bound_;
+  ScanMode mode_;
   std::uint64_t steps_ = 0;
-  // ages_[p][a]: consecutive steps (p, a) has been enabled without running.
-  std::vector<std::vector<std::uint64_t>> ages_;
+
+  std::vector<std::size_t> offset_;     ///< per-process slot base; size n+1
+  std::vector<ProcessId> slot_owner_;   ///< slot -> process
+
+  // Enabled-set state (mutable: refreshed lazily from const readers).
+  mutable std::vector<std::uint8_t> enabled_bit_;  ///< per slot
+  /// enabled_since_[s]: step count at which slot s last became continuously
+  /// enabled without executing; age = steps_ - enabled_since_[s].
+  mutable std::vector<std::uint64_t> enabled_since_;
+  mutable std::vector<Slot> enabled_slots_;  ///< sorted ascending
+  mutable std::vector<ProcessId> dirty_;     ///< processes to re-evaluate
+  mutable Refresh pending_ = Refresh::kZeroAges;  ///< initial build pending
+
   std::vector<EnabledAction> scratch_;
+  std::vector<ProcessId> affected_scratch_;
   std::vector<std::function<void(const StepRecord&)>> observers_;
 };
 

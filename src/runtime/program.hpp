@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -53,6 +54,30 @@ class Program {
   /// False once the process has crashed; the engine never schedules actions
   /// of dead processes (the paper's implicit crash action).
   [[nodiscard]] virtual bool alive(ProcessId p) const = 0;
+
+  /// Locality hook for the incremental engine. After `execute(p, a)` the
+  /// engine must re-evaluate every guard whose value may have changed.
+  ///
+  /// An override appends to `out` the ids of every process *other than p*
+  /// whose guards (or liveness) may have been affected by executing (p, a) —
+  /// the engine always re-evaluates p itself — and returns true. The set
+  /// must be a *sound over-approximation*: listing too many processes only
+  /// costs time; omitting one whose guard changed makes the engine's cached
+  /// enabled-set stale and the schedule wrong. Duplicates are harmless.
+  ///
+  /// The default returns false, meaning "unknown — re-evaluate everything",
+  /// which is always sound and reproduces the classic full-scan engine.
+  ///
+  /// Note: this covers only the program's own action effects. External
+  /// mutation (fault injection, harness writes) must be announced to the
+  /// engine via Engine::invalidate_all() or Engine::reset_ages().
+  [[nodiscard]] virtual bool affected(ProcessId p, ActionIndex a,
+                                      std::vector<ProcessId>& out) const {
+    (void)p;
+    (void)a;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace diners::sim

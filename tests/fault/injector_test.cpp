@@ -159,5 +159,77 @@ TEST(CrashPlan, SpreadStopsEarlyWhenImpossible) {
   EXPECT_EQ(plan.victims().size(), 1u);
 }
 
+TEST(CrashPlan, SpreadExposesActualVictimCount) {
+  // Regression: experiments reading back only the *requested* count would
+  // report "4 crashes" while the plan silently injects 1.
+  const auto g = graph::make_path(4);
+  util::Xoshiro256 rng(11);
+  const auto plan = CrashPlan::spread(g, 4, 0, 0, /*min_separation=*/10, rng);
+  EXPECT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.size(), plan.victims().size());
+}
+
+TEST(CrashPlan, SpreadRequireExactThrowsOnShortfall) {
+  const auto g = graph::make_path(4);
+  util::Xoshiro256 rng(11);
+  EXPECT_THROW(CrashPlan::spread(g, 4, 0, 0, /*min_separation=*/10, rng,
+                                 /*require_exact=*/true),
+               std::runtime_error);
+}
+
+TEST(CrashPlan, SpreadRequireExactSucceedsWhenFeasible) {
+  const auto g = graph::make_path(30);
+  util::Xoshiro256 rng(10);
+  const auto plan = CrashPlan::spread(g, 3, 0, 0, /*min_separation=*/5, rng,
+                                      /*require_exact=*/true);
+  EXPECT_EQ(plan.size(), 3u);
+}
+
+TEST(ParseCrash, ParsesFullSpec) {
+  const auto e = parse_crash_event("1000:7:32");
+  EXPECT_EQ(e.at_step, 1000u);
+  EXPECT_EQ(e.process, 7u);
+  EXPECT_EQ(e.malicious_steps, 32u);
+}
+
+TEST(ParseCrash, MaliceDefaultsToBenign) {
+  const auto e = parse_crash_event("250:3");
+  EXPECT_EQ(e.at_step, 250u);
+  EXPECT_EQ(e.process, 3u);
+  EXPECT_EQ(e.malicious_steps, 0u);
+}
+
+TEST(ParseCrash, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_crash_event("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("100"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("100:seven"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("100:7:many"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("-5:7"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("100:7 "), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("100::3"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event(":7"), std::invalid_argument);
+  EXPECT_THROW(parse_crash_event("100:7:4294967296"),  // 2^32: overflow
+               std::invalid_argument);
+}
+
+TEST(ParseCrash, ListSplitsOnCommasAndSkipsEmptyTokens) {
+  const auto events = parse_crash_list("500:3:8,,1500:13:0,");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at_step, 500u);
+  EXPECT_EQ(events[0].process, 3u);
+  EXPECT_EQ(events[0].malicious_steps, 8u);
+  EXPECT_EQ(events[1].at_step, 1500u);
+  EXPECT_EQ(events[1].process, 13u);
+  EXPECT_EQ(events[1].malicious_steps, 0u);
+}
+
+TEST(ParseCrash, EmptyListIsEmpty) {
+  EXPECT_TRUE(parse_crash_list("").empty());
+}
+
+TEST(ParseCrash, ListRejectsMalformedToken) {
+  EXPECT_THROW(parse_crash_list("500:3:8,bogus"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace diners::fault

@@ -51,25 +51,14 @@ diners::graph::Graph build_topology(const std::string& kind, NodeId n,
   throw std::invalid_argument("unknown topology: " + kind);
 }
 
-// "--crash=STEP:VICTIM:MALICE" (MALICE optional).
-diners::fault::CrashEvent parse_crash(const std::string& spec) {
-  diners::fault::CrashEvent e;
-  const auto c1 = spec.find(':');
-  if (c1 == std::string::npos) {
-    throw std::invalid_argument("crash spec needs STEP:VICTIM[:MALICE]");
-  }
-  e.at_step = std::stoull(spec.substr(0, c1));
-  const auto c2 = spec.find(':', c1 + 1);
-  if (c2 == std::string::npos) {
-    e.process = static_cast<NodeId>(std::stoul(spec.substr(c1 + 1)));
-  } else {
-    e.process =
-        static_cast<NodeId>(std::stoul(spec.substr(c1 + 1, c2 - c1 - 1)));
-    e.malicious_steps =
-        static_cast<std::uint32_t>(std::stoul(spec.substr(c2 + 1)));
-  }
-  return e;
-}
+/// Exit code 2: malformed user input (vs 1 for runtime failures).
+constexpr int kUsageError = 2;
+
+/// Thrown for malformed flag values; main() turns it into a friendly
+/// message plus exit code 2.
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 int run_diners(const diners::util::Flags& flags) {
   const auto n = static_cast<NodeId>(flags.i64("n"));
@@ -78,11 +67,24 @@ int run_diners(const diners::util::Flags& flags) {
   auto g = build_topology(flags.str("topology"), n, seed);
 
   DinersConfig cfg;
-  const std::string threshold = flags.str("threshold");
-  if (threshold == "sound") {
-    cfg.diameter_override = g.num_nodes() - 1;
-  } else if (threshold != "paper") {
-    cfg.diameter_override = static_cast<std::uint32_t>(std::stoul(threshold));
+  // Validated inputs: a typo'd --threshold or --crash must produce a usage
+  // message and exit code 2, not an uncaught std::stoul abort.
+  std::vector<diners::fault::CrashEvent> events;
+  try {
+    cfg.diameter_override =
+        diners::core::parse_threshold(flags.str("threshold"), g.num_nodes());
+    // Repeated --crash flags aren't supported by the tiny parser; accept a
+    // comma-separated list instead.
+    events = diners::fault::parse_crash_list(flags.str("crash"));
+  } catch (const std::invalid_argument& err) {
+    throw UsageError(err.what());
+  }
+  for (const auto& e : events) {
+    if (e.process >= g.num_nodes()) {
+      throw UsageError("bad crash spec: victim " + std::to_string(e.process) +
+                       " is out of range for n = " +
+                       std::to_string(g.num_nodes()));
+    }
   }
   cfg.enable_dynamic_threshold = !flags.flag("no-threshold");
   cfg.enable_cycle_breaking = !flags.flag("no-cycle-breaking");
@@ -91,19 +93,6 @@ int run_diners(const diners::util::Flags& flags) {
   if (flags.flag("corrupt")) {
     diners::util::Xoshiro256 rng(seed);
     diners::fault::corrupt_global_state(system, rng);
-  }
-
-  std::vector<diners::fault::CrashEvent> events;
-  // Repeated --crash flags aren't supported by the tiny parser; accept a
-  // comma-separated list instead.
-  const std::string crashes = flags.str("crash");
-  for (std::size_t pos = 0; pos < crashes.size();) {
-    const auto comma = crashes.find(',', pos);
-    const auto token = crashes.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    if (!token.empty()) events.push_back(parse_crash(token));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
   }
 
   diners::analysis::HarnessOptions options;
@@ -219,6 +208,10 @@ int main(int argc, char** argv) {
     }
     std::cerr << "unknown algorithm: " << algorithm << "\n";
     return 1;
+  } catch (const UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << "\n";
     return 1;
