@@ -1,0 +1,89 @@
+// Batch-runner scaling: trials/sec of the parallel sweep versus worker
+// count, against the serial (jobs = 1) baseline, at n in {64, 192}.
+//
+// Each trial is a full stabilization run (corrupted ring, sound threshold),
+// so the workload is CPU-bound and embarrassingly parallel. Reported
+// speedup is bounded by the machine's core count — on a 1-core container
+// every jobs setting collapses to roughly the serial rate (plus thread
+// overhead), and that is the honest number to report there.
+//
+// The merged aggregate is asserted bit-identical to the serial baseline on
+// every iteration: the speedup must not come at the cost of determinism.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "analysis/batch_runner.hpp"
+
+namespace {
+
+using diners::analysis::BatchOptions;
+using diners::analysis::BatchResult;
+using diners::analysis::ScenarioOptions;
+
+ScenarioOptions sweep_scenario(diners::graph::NodeId n) {
+  ScenarioOptions scenario;
+  scenario.topology = "ring";
+  scenario.n = n;
+  scenario.daemon = "round-robin";
+  scenario.fairness_bound = 64;
+  scenario.corrupt = true;
+  scenario.diameter_override = n - 1;  // sound threshold
+  scenario.max_steps = 200000;
+  scenario.check_every = 16;
+  return scenario;
+}
+
+BatchOptions sweep_batch(unsigned jobs) {
+  BatchOptions batch;
+  batch.trials = 32;
+  batch.jobs = jobs;
+  batch.master_seed = 2024;
+  return batch;
+}
+
+// Aggregate equality, bitwise (doubles compared exactly on purpose).
+bool same_aggregate(const BatchResult& a, const BatchResult& b) {
+  return a.trials == b.trials && a.converged == b.converged &&
+         a.primary.count() == b.primary.count() &&
+         a.primary.mean() == b.primary.mean() &&
+         a.primary.variance() == b.primary.variance() &&
+         a.primary.min() == b.primary.min() &&
+         a.primary.max() == b.primary.max() &&
+         a.meals.mean() == b.meals.mean() &&
+         a.starved.mean() == b.starved.mean() &&
+         a.max_locality_radius == b.max_locality_radius &&
+         a.primary_hist.bins() == b.primary_hist.bins();
+}
+
+void BM_BatchTrials(benchmark::State& state) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  const auto jobs = static_cast<unsigned>(state.range(1));
+  const ScenarioOptions scenario = sweep_scenario(n);
+
+  const BatchResult reference =
+      diners::analysis::run_scenario_batch(scenario, sweep_batch(1));
+
+  double trials_per_sec = 0;
+  for (auto _ : state) {
+    const BatchResult result =
+        diners::analysis::run_scenario_batch(scenario, sweep_batch(jobs));
+    if (!same_aggregate(result, reference)) {
+      state.SkipWithError("parallel aggregate diverged from serial baseline");
+      break;
+    }
+    trials_per_sec = result.trials_per_sec;
+    benchmark::DoNotOptimize(result.converged);
+  }
+  state.counters["trials_per_sec"] = trials_per_sec;
+  state.counters["speedup_vs_serial"] =
+      reference.trials_per_sec > 0
+          ? trials_per_sec / reference.trials_per_sec
+          : 0.0;
+}
+BENCHMARK(BM_BatchTrials)
+    ->ArgsProduct({{64, 192}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "jobs"})
+    ->Iterations(1);
+
+}  // namespace

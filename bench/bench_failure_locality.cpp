@@ -11,8 +11,11 @@
 // distance from a starving process to the dead one.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "algorithms/chandy_misra.hpp"
 #include "algorithms/ordered_resource.hpp"
+#include "analysis/batch_runner.hpp"
 #include "analysis/harness.hpp"
 #include "core/diners_system.hpp"
 #include "graph/algorithms.hpp"
@@ -137,29 +140,50 @@ BENCHMARK(BM_LocalityOrderedResource)
 // spread() is best-effort: when the separation constraint cannot host the
 // requested count it injects fewer, and labeling the row with the requested
 // k would misreport the experiment.
+//
+// Runs as a batch of independent trials (distinct derive_seed streams pick
+// distinct victim sets); the reported radius is the max over all trials, so
+// the <= 2 claim is checked against several victim placements rather than
+// one fixed draw.
 void BM_LocalityMultipleCrashes(benchmark::State& state) {
   const auto crashes = static_cast<std::uint32_t>(state.range(0));
-  diners::analysis::StarvationReport last;
-  std::size_t injected = 0;
-  for (auto _ : state) {
+  std::size_t min_injected = crashes;
+  auto trial = [&](std::uint64_t /*trial*/, std::uint64_t seed) {
     DinersSystem system(diners::graph::make_grid(8, 8));
-    diners::util::Xoshiro256 rng(7);
+    diners::util::Xoshiro256 rng(seed);
     auto plan = diners::fault::CrashPlan::spread(
         system.topology(), crashes, /*at_step=*/500, /*malicious_steps=*/16,
         /*min_separation=*/4, rng);
-    injected = plan.size();
+    min_injected = std::min(min_injected, plan.size());
     diners::analysis::HarnessOptions options;
-    options.seed = 7;
+    options.seed = seed;
     diners::analysis::ExperimentHarness harness(
         system, std::make_unique<diners::fault::SaturationWorkload>(),
         std::move(plan), options);
     harness.run(60000);
-    last = diners::analysis::measure_starvation(harness, 60000);
+    const auto r = diners::analysis::measure_starvation(harness, 60000);
+    diners::analysis::TrialOutput out;
+    out.meals = r.meals_in_window;
+    out.starved = r.starved.size();
+    out.locality_radius = r.locality_radius;
+    return out;
+  };
+  diners::analysis::BatchResult merged;
+  for (auto _ : state) {
+    diners::analysis::BatchOptions batch;
+    batch.trials = 4;
+    batch.master_seed = 7;
+    merged = diners::analysis::run_batch(batch, trial);
   }
-  report(state, last);
+  state.counters["starved_mean"] = merged.starved.mean();
+  state.counters["locality_radius"] =
+      merged.max_locality_radius == diners::graph::kUnreachable
+          ? -1.0
+          : static_cast<double>(merged.max_locality_radius);
+  state.counters["meals_in_window_mean"] = merged.meals.mean();
   state.counters["crashes_requested"] = static_cast<double>(crashes);
-  state.counters["crashes_injected"] = static_cast<double>(injected);
-  if (injected < crashes) state.SetLabel("UNDER-INJECTED");
+  state.counters["crashes_injected_min"] = static_cast<double>(min_injected);
+  if (min_injected < crashes) state.SetLabel("UNDER-INJECTED");
 }
 BENCHMARK(BM_LocalityMultipleCrashes)
     ->Arg(1)->Arg(2)->Arg(3)->ArgName("crashes")->Iterations(1);

@@ -6,50 +6,69 @@
 // (the victim can only poison its own variables and incident edges, so the
 // damage is bounded by its neighborhood regardless of budget), supporting
 // the paper's thesis that malicious crashes are cheap to tolerate.
+//
+// The Monte Carlo rows run through the batch-runner scenario path with
+// derive_seed trial streams (the victim draw, the malicious writes, and the
+// daemon stream are all decorrelated per trial).
 #include <benchmark/benchmark.h>
 
-#include "analysis/invariants.hpp"
-#include "analysis/monitors.hpp"
+#include "analysis/batch_runner.hpp"
+#include "analysis/stats.hpp"
 #include "core/diners_system.hpp"
 #include "fault/injector.hpp"
 #include "graph/generators.hpp"
 #include "runtime/engine.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
+using diners::analysis::Accumulator;
+using diners::analysis::ScenarioOptions;
+using diners::analysis::TrialOutput;
 using diners::core::DinersSystem;
+
+// Fixed G(24, 0.12) instance (topology_seed below); sound threshold n-1.
+ScenarioOptions recovery_scenario() {
+  ScenarioOptions scenario;
+  scenario.topology = "gnp";
+  scenario.n = 24;
+  scenario.gnp_p = 0.12;
+  scenario.topology_seed = 5;
+  scenario.daemon = "round-robin";
+  scenario.fairness_bound = 64;
+  scenario.diameter_override = 23;
+  scenario.max_steps = 200000;
+  scenario.check_every = 8;
+  return scenario;
+}
 
 void BM_MaliciousRecoverySteps(benchmark::State& state) {
   const auto malice = static_cast<std::uint32_t>(state.range(0));
-  double total = 0;
-  double worst = 0;
+  ScenarioOptions scenario = recovery_scenario();
+  // One uniformly drawn victim crashes after 3000 steady-state steps; the
+  // crash fires inside the warmup window so the convergence phase measures
+  // pure post-crash recovery.
+  scenario.random_crashes = 1;
+  scenario.random_crash_step = 3000;
+  scenario.random_crash_malice = malice;
+  scenario.warmup_steps = 3001;
+
+  Accumulator recovery;
   std::uint64_t runs = 0;
   std::uint64_t failures = 0;
   for (auto _ : state) {
-    diners::core::DinersConfig cfg;
-    cfg.diameter_override = 23;  // sound threshold for n = 24
-    DinersSystem system(diners::graph::make_connected_gnp(24, 0.12, 5), cfg);
-    diners::sim::Engine engine(
-        system, diners::sim::make_daemon("round-robin", runs), 64);
-    engine.run(3000);  // reach steady state
-    diners::util::Xoshiro256 rng(runs + 1);
-    diners::fault::malicious_crash(
-        system, static_cast<diners::graph::NodeId>(rng.below(24)), malice,
-        rng);
-    engine.reset_ages();
-    const auto steps =
-        diners::analysis::steps_until_invariant(system, engine, 200000, 8);
-    if (steps) {
-      total += static_cast<double>(*steps);
-      worst = std::max(worst, static_cast<double>(*steps));
+    const TrialOutput out = diners::analysis::run_scenario_trial(
+        scenario, runs, diners::util::derive_seed(1, runs));
+    if (out.converged) {
+      recovery.add(out.primary);
     } else {
       ++failures;
     }
     ++runs;
   }
   state.counters["mean_recovery_steps"] =
-      runs > failures ? total / static_cast<double>(runs - failures) : -1.0;
-  state.counters["worst_recovery_steps"] = worst;
+      recovery.count() > 0 ? recovery.mean() : -1.0;
+  state.counters["worst_recovery_steps"] = recovery.max();
   state.counters["non_converged"] = static_cast<double>(failures);
 }
 BENCHMARK(BM_MaliciousRecoverySteps)
@@ -60,19 +79,16 @@ BENCHMARK(BM_MaliciousRecoverySteps)
 // corrupted, nobody crashes) — strictly more damage than any malicious
 // crash can do.
 void BM_TransientRecoverySteps(benchmark::State& state) {
+  ScenarioOptions scenario = recovery_scenario();
+  scenario.corrupt = true;
+
   double total = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    diners::core::DinersConfig cfg;
-    cfg.diameter_override = 23;
-    DinersSystem system(diners::graph::make_connected_gnp(24, 0.12, 5), cfg);
-    diners::util::Xoshiro256 rng(runs + 1);
-    diners::fault::corrupt_global_state(system, rng);
-    diners::sim::Engine engine(
-        system, diners::sim::make_daemon("round-robin", runs), 64);
-    const auto steps =
-        diners::analysis::steps_until_invariant(system, engine, 200000, 8);
-    total += steps ? static_cast<double>(*steps) : 200000.0;
+    const TrialOutput out = diners::analysis::run_scenario_trial(
+        scenario, runs, diners::util::derive_seed(1, runs));
+    total += out.converged ? out.primary
+                           : static_cast<double>(scenario.max_steps);
     ++runs;
   }
   state.counters["mean_recovery_steps"] = total / static_cast<double>(runs);
@@ -80,7 +96,9 @@ void BM_TransientRecoverySteps(benchmark::State& state) {
 BENCHMARK(BM_TransientRecoverySteps)->Iterations(5);
 
 // Meals lost to a malicious crash: throughput of the green region before
-// and after, as a function of malice budget.
+// and after, as a function of malice budget. Deterministic scripted
+// scenario (fixed victim, fixed seeds), so it stays on the direct engine
+// path rather than the batch runner.
 void BM_MaliciousThroughputDip(benchmark::State& state) {
   const auto malice = static_cast<std::uint32_t>(state.range(0));
   double before_rate = 0;

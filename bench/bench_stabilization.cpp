@@ -6,59 +6,63 @@
 // Expected shape: convergence cost grows roughly linearly with n on sparse
 // topologies (depth propagation + one spurious exit per poisoned chain) and
 // is dominated by cycle breaking on cyclic ones.
+//
+// Each iteration runs one scenario trial through the batch-runner trial
+// path (analysis::run_scenario_trial), with its seed derived from a master
+// seed via util::derive_seed — trial streams are decorrelated, unlike the
+// old `seed = base + runs` scheme where adjacent runs shared most of their
+// seed bits.
 #include <benchmark/benchmark.h>
 
 #include <string>
 
-#include "analysis/monitors.hpp"
-#include "core/diners_system.hpp"
-#include "fault/injector.hpp"
-#include "graph/generators.hpp"
-#include "runtime/engine.hpp"
+#include "analysis/batch_runner.hpp"
+#include "analysis/stats.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
-using diners::core::DinersConfig;
-using diners::core::DinersSystem;
-using diners::graph::Graph;
+using diners::analysis::Accumulator;
+using diners::analysis::ScenarioOptions;
+using diners::analysis::TrialOutput;
 
-Graph topology(const std::string& kind, diners::graph::NodeId n,
-               std::uint64_t seed) {
-  if (kind == "ring") return diners::graph::make_ring(n);
-  if (kind == "path") return diners::graph::make_path(n);
-  if (kind == "grid") return diners::graph::make_grid(n / 4, 4);
-  if (kind == "tree") return diners::graph::make_random_tree(n, seed);
-  return diners::graph::make_connected_gnp(n, 0.1, seed);
+constexpr std::uint64_t kMasterSeed = 1000;
+
+ScenarioOptions stabilization_scenario(const std::string& kind,
+                                       diners::graph::NodeId n) {
+  ScenarioOptions scenario;
+  scenario.topology = kind;
+  scenario.n = n;
+  scenario.daemon = "round-robin";
+  scenario.fairness_bound = 64;
+  scenario.corrupt = true;
+  // Sound threshold: every family here has exactly n nodes (grid is
+  // (n/4) x 4 with n divisible by 4 in all registered args).
+  scenario.diameter_override = n - 1;
+  scenario.max_steps = 500000;
+  scenario.check_every = 16;
+  return scenario;
 }
 
 void run_case(benchmark::State& state, const std::string& kind) {
   const auto n = static_cast<diners::graph::NodeId>(state.range(0));
-  double total_steps = 0;
-  double worst = 0;
+  const ScenarioOptions scenario = stabilization_scenario(kind, n);
+  Accumulator steps_to_i;
   std::uint64_t failures = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    const std::uint64_t seed = 1000 + runs;
-    auto g = topology(kind, n, seed);
-    DinersConfig cfg;
-    cfg.diameter_override = g.num_nodes() - 1;
-    DinersSystem system(std::move(g), cfg);
-    diners::util::Xoshiro256 rng(seed);
-    diners::fault::corrupt_global_state(system, rng);
-    diners::sim::Engine engine(
-        system, diners::sim::make_daemon("round-robin", seed), 64);
-    const auto steps =
-        diners::analysis::steps_until_invariant(system, engine, 500000, 16);
-    if (steps) {
-      total_steps += static_cast<double>(*steps);
-      worst = std::max(worst, static_cast<double>(*steps));
+    const TrialOutput out = diners::analysis::run_scenario_trial(
+        scenario, runs, diners::util::derive_seed(kMasterSeed, runs));
+    if (out.converged) {
+      steps_to_i.add(out.primary);
     } else {
       ++failures;
     }
     ++runs;
   }
-  state.counters["mean_steps_to_I"] = total_steps / static_cast<double>(runs);
-  state.counters["worst_steps_to_I"] = worst;
+  state.counters["mean_steps_to_I"] =
+      steps_to_i.count() > 0 ? steps_to_i.mean() : 0.0;
+  state.counters["worst_steps_to_I"] = steps_to_i.max();
   state.counters["non_converged"] = static_cast<double>(failures);
 }
 
@@ -79,21 +83,24 @@ BENCHMARK(BM_StabilizeGnp)->Arg(16)->Arg(32)->Arg(64)->ArgName("n")->Iterations(
 // converges promptly.
 void BM_ThresholdErratum(benchmark::State& state) {
   const bool sound = state.range(0) != 0;
+  ScenarioOptions scenario;
+  scenario.topology = "complete";
+  scenario.n = 8;
+  scenario.daemon = "round-robin";
+  scenario.fairness_bound = 64;
+  scenario.corrupt = true;
+  if (sound) scenario.diameter_override = 7;  // n - 1
+  scenario.max_steps = 60000;
+  scenario.check_every = 16;
+
+  Accumulator steps_to_i;
   std::uint64_t failures = 0;
   std::uint64_t runs = 0;
-  double total_steps = 0;
   for (auto _ : state) {
-    DinersConfig cfg;
-    if (sound) cfg.diameter_override = 7;  // n - 1
-    DinersSystem system(diners::graph::make_complete(8), cfg);
-    diners::util::Xoshiro256 rng(42 + runs);
-    diners::fault::corrupt_global_state(system, rng);
-    diners::sim::Engine engine(system,
-                               diners::sim::make_daemon("round-robin", 1), 64);
-    const auto steps =
-        diners::analysis::steps_until_invariant(system, engine, 60000, 16);
-    if (steps) {
-      total_steps += static_cast<double>(*steps);
+    const TrialOutput out = diners::analysis::run_scenario_trial(
+        scenario, runs, diners::util::derive_seed(42, runs));
+    if (out.converged) {
+      steps_to_i.add(out.primary);
     } else {
       ++failures;
     }
@@ -102,7 +109,7 @@ void BM_ThresholdErratum(benchmark::State& state) {
   state.counters["non_converged"] = static_cast<double>(failures);
   state.counters["runs"] = static_cast<double>(runs);
   state.counters["mean_steps_to_I"] =
-      failures == runs ? -1.0 : total_steps / static_cast<double>(runs - failures);
+      steps_to_i.count() > 0 ? steps_to_i.mean() : -1.0;
 }
 BENCHMARK(BM_ThresholdErratum)->Arg(0)->Arg(1)->ArgName("sound")->Iterations(3);
 

@@ -22,7 +22,7 @@ ExperimentHarness::ExperimentHarness(DinersSystem& system,
   engine_ = std::make_unique<sim::Engine>(
       system_,
       sim::make_daemon(options_.daemon, util::derive_seed(options_.seed, 1)),
-      options_.fairness_bound);
+      options_.fairness_bound, options_.scan_mode);
   if (workload_) workload_->prime(system_);
 }
 

@@ -24,6 +24,9 @@ struct HarnessOptions {
   std::uint64_t fairness_bound = 256;
   std::uint64_t seed = 1;
   fault::CorruptionOptions corruption;
+  /// Engine enabled-set maintenance; kFullScan is the differential-testing
+  /// reference path.
+  sim::ScanMode scan_mode = sim::ScanMode::kIncremental;
 };
 
 class ExperimentHarness {

@@ -68,4 +68,21 @@ std::optional<std::uint64_t> steps_until_invariant(DinersSystem& system,
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> steps_until_invariant(ExperimentHarness& harness,
+                                                   std::uint64_t max_steps,
+                                                   std::uint64_t check_every) {
+  if (check_every == 0) check_every = 1;
+  if (holds_invariant(harness.system())) return 0;
+  std::uint64_t executed = 0;
+  while (executed < max_steps) {
+    const std::uint64_t burst =
+        std::min<std::uint64_t>(check_every, max_steps - executed);
+    const auto result = harness.run(burst);
+    executed += result.steps_executed;
+    if (holds_invariant(harness.system())) return executed;
+    if (result.outcome == sim::RunOutcome::kTerminated) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 }  // namespace diners::analysis

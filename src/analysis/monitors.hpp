@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/harness.hpp"
 #include "analysis/stats.hpp"
 #include "core/diners_system.hpp"
 #include "core/philosopher_program.hpp"
@@ -59,6 +60,13 @@ class MealLatencyMonitor {
 /// executed before I held, or nullopt on timeout.
 [[nodiscard]] std::optional<std::uint64_t> steps_until_invariant(
     core::DinersSystem& system, sim::Engine& engine, std::uint64_t max_steps,
+    std::uint64_t check_every = 1);
+
+/// Same measurement driven through an ExperimentHarness, so due crash
+/// events and workload ticks interleave with the steps exactly as in a
+/// normal harness run.
+[[nodiscard]] std::optional<std::uint64_t> steps_until_invariant(
+    ExperimentHarness& harness, std::uint64_t max_steps,
     std::uint64_t check_every = 1);
 
 }  // namespace diners::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace diners::analysis {
 
@@ -28,6 +29,82 @@ Summary summarize(std::vector<double> xs) {
   s.p50 = rank(0.50);
   s.p95 = rank(0.95);
   return s;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (!(lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  auto i = static_cast<std::size_t>((x - lo_) / width);
+  // Guard the x just below hi_ that rounds up to bins_.size().
+  i = std::min(i, bins_.size() - 1);
+  ++bins_[i];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      bins_.size() != other.bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: mismatched layouts");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t t = underflow_ + overflow_;
+  for (const auto b : bins_) t += b;
+  return t;
 }
 
 }  // namespace diners::analysis

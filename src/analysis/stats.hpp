@@ -1,4 +1,5 @@
-// Small descriptive-statistics helper for experiment outputs.
+// Descriptive-statistics helpers for experiment outputs: one-shot summaries
+// plus *mergeable* accumulators for sharded (multi-threaded) experiments.
 #pragma once
 
 #include <cstdint>
@@ -19,5 +20,64 @@ struct Summary {
 /// Computes count/mean/stddev/min/max/median/p95 of `xs`. Empty input yields
 /// an all-zero summary. Percentiles use the nearest-rank method.
 [[nodiscard]] Summary summarize(std::vector<double> xs);
+
+/// Streaming count/mean/variance (Welford) plus min/max, with a parallel
+/// merge (Chan et al.) so per-shard accumulators can be combined after a
+/// fan-out. Merging shard accumulators yields the same result as a single
+/// accumulator over the concatenated stream up to floating-point rounding
+/// (mean/variance agree to within a few ulps; count/min/max exactly).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  ///< sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` equal bins plus
+/// underflow/overflow counters. Counts are integers, so merges are exact
+/// and order-independent. Two histograms merge only if their layouts match
+/// (std::invalid_argument otherwise).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
 
 }  // namespace diners::analysis

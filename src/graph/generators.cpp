@@ -175,4 +175,20 @@ const char* figure2_name(NodeId p) {
   return names[p];
 }
 
+Graph make_named(const std::string& kind, NodeId n, std::uint64_t seed,
+                 double gnp_p) {
+  if (kind == "ring") return make_ring(n);
+  if (kind == "path") return make_path(n);
+  if (kind == "star") return make_star(n);
+  if (kind == "complete") return make_complete(n);
+  if (kind == "grid") return make_grid(n / 4 ? n / 4 : 1, 4);
+  if (kind == "torus") return make_torus(n / 4 ? n / 4 : 3, 4);
+  if (kind == "tree") return make_random_tree(n, seed);
+  if (kind == "wheel") return make_wheel(n);
+  if (kind == "barbell") return make_barbell(n / 2, 2);
+  if (kind == "gnp") return make_connected_gnp(n, gnp_p, seed);
+  if (kind == "figure2") return make_figure2_topology();
+  throw std::invalid_argument("make_named: unknown topology '" + kind + "'");
+}
+
 }  // namespace diners::graph

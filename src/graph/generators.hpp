@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -64,5 +65,17 @@ namespace diners::graph {
 
 /// Node name helper for the Figure 2 topology: 0->"a" ... 6->"g".
 [[nodiscard]] const char* figure2_name(NodeId p);
+
+/// Factory by family name — the shared vocabulary of diners_sim, the batch
+/// runner, and the benches:
+///
+///   ring | path | star | complete | grid (n/4 x 4) | torus (n/4 x 4) |
+///   tree (random, seeded) | wheel | barbell (two n/2-cliques, 2-bridge) |
+///   gnp (connected G(n, p), seeded) | figure2
+///
+/// `seed` feeds the seeded families; `gnp_p` is the G(n, p) edge
+/// probability. Throws std::invalid_argument for an unknown kind.
+[[nodiscard]] Graph make_named(const std::string& kind, NodeId n,
+                               std::uint64_t seed, double gnp_p = 0.1);
 
 }  // namespace diners::graph

@@ -1,26 +1,29 @@
 #include "runtime/daemon.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace diners::sim {
 
 std::size_t RoundRobinDaemon::choose(
     std::span<const EnabledAction> candidates) {
-  // Candidates are sorted by (process, action) — the engine builds them by
-  // scanning in order. Pick the first candidate strictly after the cursor,
-  // wrapping around.
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto& c = candidates[i];
-    if (c.process > last_process_ ||
-        (c.process == last_process_ && c.action > last_action_)) {
-      last_process_ = c.process;
-      last_action_ = c.action;
-      return i;
-    }
-  }
-  last_process_ = candidates[0].process;
-  last_action_ = candidates[0].action;
-  return 0;
+  // Candidates are sorted by (process, action), so the first candidate
+  // strictly after the cursor is an upper_bound; wrap around past the end.
+  const auto cursor = std::make_pair(last_process_, last_action_);
+  const auto it = std::upper_bound(
+      candidates.begin(), candidates.end(), cursor,
+      [](const std::pair<ProcessId, ActionIndex>& key,
+         const EnabledAction& c) {
+        return key < std::make_pair(c.process, c.action);
+      });
+  const std::size_t i =
+      it == candidates.end()
+          ? 0
+          : static_cast<std::size_t>(it - candidates.begin());
+  last_process_ = candidates[i].process;
+  last_action_ = candidates[i].action;
+  return i;
 }
 
 std::size_t RandomDaemon::choose(std::span<const EnabledAction> candidates) {
@@ -29,9 +32,11 @@ std::size_t RandomDaemon::choose(std::span<const EnabledAction> candidates) {
 
 std::size_t AdversarialAgeDaemon::choose(
     std::span<const EnabledAction> candidates) {
+  // Youngest = most recently enabled = largest enabled_since stamp; ties
+  // break to the first (lowest (process, action)) as before.
   std::size_t best = 0;
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    if (candidates[i].age < candidates[best].age) best = i;
+    if (candidates[i].enabled_since > candidates[best].enabled_since) best = i;
   }
   return best;
 }

@@ -17,18 +17,27 @@
 
 namespace diners::sim {
 
-/// An action that is currently enabled, with its fairness age.
+/// An action that is currently enabled.
+///
+/// `enabled_since` is the engine step at which the action last became
+/// continuously enabled; its fairness age at step `now` is
+/// `now - enabled_since`. Storing the stamp instead of the age keeps the
+/// entry constant while the action stays enabled, which lets the engine
+/// maintain the candidate vector incrementally instead of rebuilding it
+/// every step. Among one candidate set, the *oldest* action is the one
+/// with the smallest stamp and the *youngest* the one with the largest.
 struct EnabledAction {
   ProcessId process;
   ActionIndex action;
-  std::uint64_t age;  ///< consecutive engine steps continuously enabled
+  std::uint64_t enabled_since;  ///< step the action last became enabled
 };
 
 class Daemon {
  public:
   virtual ~Daemon() = default;
 
-  /// Picks an index into `candidates` (non-empty).
+  /// Picks an index into `candidates` (non-empty, strictly ascending in
+  /// (process, action) — the engine maintains that order).
   [[nodiscard]] virtual std::size_t choose(
       std::span<const EnabledAction> candidates) = 0;
 

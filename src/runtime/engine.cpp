@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace diners::sim {
 
@@ -30,25 +31,45 @@ Engine::Engine(Program& program, std::unique_ptr<Daemon> daemon,
   }
   enabled_bit_.assign(slots, 0);
   enabled_since_.assign(slots, 0);
-  enabled_slots_.reserve(slots);
+  candidates_.reserve(slots);
   // The first build is deferred to the first step so that state written
   // between construction and stepping (workload priming, scripted initial
   // states) is observed, exactly like the classic scan-per-step engine.
 }
 
+std::size_t Engine::candidate_pos(Slot s) const {
+  const ProcessId p = slot_owner_[s];
+  const auto key =
+      std::make_pair(p, static_cast<ActionIndex>(s - offset_[p]));
+  const auto it = std::lower_bound(
+      candidates_.begin(), candidates_.end(), key,
+      [](const EnabledAction& c, const std::pair<ProcessId, ActionIndex>& k) {
+        return std::make_pair(c.process, c.action) < k;
+      });
+  return static_cast<std::size_t>(it - candidates_.begin());
+}
+
 void Engine::rebuild(bool keep_ages) const {
   const auto n = program_.topology().num_nodes();
-  enabled_slots_.clear();
+  candidates_.clear();
+  oldest_slot_ = kNoOldest;
+  std::uint64_t oldest_since = 0;
   for (ProcessId p = 0; p < n; ++p) {
     const bool alive = program_.alive(p);
     for (Slot s = static_cast<Slot>(offset_[p]);
          s < static_cast<Slot>(offset_[p + 1]); ++s) {
-      const bool now =
-          alive && program_.enabled(p, static_cast<ActionIndex>(s - offset_[p]));
+      const auto a = static_cast<ActionIndex>(s - offset_[p]);
+      const bool now = alive && program_.enabled(p, a);
       if (now) {
         if (!keep_ages || !enabled_bit_[s]) enabled_since_[s] = steps_;
         enabled_bit_[s] = 1;
-        enabled_slots_.push_back(s);
+        candidates_.push_back(EnabledAction{p, a, enabled_since_[s]});
+        // Slot-ascending scan + strict < keeps the first (lowest-slot)
+        // holder of the minimum stamp, matching forced-fairness tie-breaks.
+        if (oldest_slot_ == kNoOldest || enabled_since_[s] < oldest_since) {
+          oldest_slot_ = s;
+          oldest_since = enabled_since_[s];
+        }
       } else {
         enabled_bit_[s] = 0;
       }
@@ -60,18 +81,26 @@ void Engine::refresh_process(ProcessId p) const {
   const bool alive = program_.alive(p);
   for (Slot s = static_cast<Slot>(offset_[p]);
        s < static_cast<Slot>(offset_[p + 1]); ++s) {
-    const bool now =
-        alive && program_.enabled(p, static_cast<ActionIndex>(s - offset_[p]));
+    const auto a = static_cast<ActionIndex>(s - offset_[p]);
+    const bool now = alive && program_.enabled(p, a);
     if (now == (enabled_bit_[s] != 0)) continue;
-    const auto it =
-        std::lower_bound(enabled_slots_.begin(), enabled_slots_.end(), s);
+    const auto pos =
+        static_cast<std::ptrdiff_t>(candidate_pos(s));
     if (now) {
       enabled_bit_[s] = 1;
       enabled_since_[s] = steps_;
-      enabled_slots_.insert(it, s);
+      candidates_.insert(candidates_.begin() + pos,
+                         EnabledAction{p, a, steps_});
+      // A fresh stamp equals steps_ >= every existing stamp, so the cached
+      // oldest only changes on a tie broken by the lower slot.
+      if (oldest_slot_ != kNoOldest &&
+          enabled_since_[oldest_slot_] == steps_ && s < oldest_slot_) {
+        oldest_slot_ = s;
+      }
     } else {
       enabled_bit_[s] = 0;
-      enabled_slots_.erase(it);
+      candidates_.erase(candidates_.begin() + pos);
+      if (oldest_slot_ == s) oldest_slot_ = kNoOldest;
     }
   }
 }
@@ -87,15 +116,21 @@ void Engine::ensure_fresh() const {
   }
 }
 
+std::size_t Engine::oldest_candidate() const {
+  if (oldest_slot_ != kNoOldest) return candidate_pos(oldest_slot_);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates_.size(); ++i) {
+    if (candidates_[i].enabled_since < candidates_[best].enabled_since) {
+      best = i;
+    }
+  }
+  oldest_slot_ = slot_of(candidates_[best].process, candidates_[best].action);
+  return best;
+}
+
 std::optional<StepRecord> Engine::step() {
   ensure_fresh();
-  scratch_.clear();
-  for (Slot s : enabled_slots_) {
-    const ProcessId p = slot_owner_[s];
-    scratch_.push_back(EnabledAction{p, static_cast<ActionIndex>(s - offset_[p]),
-                                     steps_ - enabled_since_[s]});
-  }
-  if (scratch_.empty()) {
+  if (candidates_.empty()) {
     // Never cache termination: external writes may re-enable guards before
     // the next call, and the classic engine re-scanned on every step.
     if (pending_ == Refresh::kNone) pending_ = Refresh::kKeepAges;
@@ -103,22 +138,19 @@ std::optional<StepRecord> Engine::step() {
   }
 
   // Weak fairness: if anything has aged past the bound, force the oldest
-  // (first such in scan order for stability).
-  std::size_t chosen = scratch_.size();
-  std::size_t oldest_index = 0;
-  for (std::size_t i = 1; i < scratch_.size(); ++i) {
-    if (scratch_[i].age > scratch_[oldest_index].age) oldest_index = i;
-  }
-  if (scratch_[oldest_index].age >= fairness_bound_) {
-    chosen = oldest_index;
+  // (lowest (process, action) among the equally old, for stability).
+  std::size_t chosen;
+  const std::size_t oldest = oldest_candidate();
+  if (steps_ - candidates_[oldest].enabled_since >= fairness_bound_) {
+    chosen = oldest;
   } else {
-    chosen = daemon_->choose(scratch_);
-    if (chosen >= scratch_.size()) {
+    chosen = daemon_->choose(candidates_);
+    if (chosen >= candidates_.size()) {
       throw std::logic_error("Daemon returned out-of-range choice");
     }
   }
 
-  const EnabledAction picked = scratch_[chosen];
+  const EnabledAction picked = candidates_[chosen];
   program_.execute(picked.process, picked.action);
 
   StepRecord record{steps_, picked.process, picked.action,
@@ -128,7 +160,10 @@ std::optional<StepRecord> Engine::step() {
   // The executed action restarts its continuous-enabledness age whether or
   // not it stays enabled (if it is now disabled the refresh below clears
   // the slot; if re-enabled later the stamp is rewritten anyway).
-  enabled_since_[slot_of(picked.process, picked.action)] = steps_;
+  const Slot executed = slot_of(picked.process, picked.action);
+  enabled_since_[executed] = steps_;
+  candidates_[chosen].enabled_since = steps_;
+  if (oldest_slot_ == executed) oldest_slot_ = kNoOldest;
 
   // Schedule the guard re-evaluation the execution necessitates. Deferring
   // it to the next ensure_fresh() keeps guard evaluation at the same point
@@ -168,7 +203,7 @@ void Engine::add_observer(std::function<void(const StepRecord&)> observer) {
 
 std::size_t Engine::enabled_count() const {
   ensure_fresh();
-  return enabled_slots_.size();
+  return candidates_.size();
 }
 
 void Engine::invalidate_all() {

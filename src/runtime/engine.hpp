@@ -8,6 +8,13 @@
 // O(deg(p) · actions) guard evaluations instead of the classic
 // O(n · actions) full scan. Programs that do not override affected() fall
 // back to the full scan and behave exactly as before.
+//
+// The candidate list handed to the daemon is maintained incrementally as
+// well: because EnabledAction stores the enabled-since *stamp* (not the
+// age), an entry is constant while its action stays enabled, so the sorted
+// vector only changes where enabledness changed — no per-step rebuild. The
+// forced-fairness "oldest candidate" is cached and recomputed only when the
+// previous holder leaves the set or is re-stamped.
 #pragma once
 
 #include <cstdint>
@@ -103,6 +110,13 @@ class Engine {
   /// Recomputes enabledness of every action of `p`.
   void refresh_process(ProcessId p) const;
 
+  /// Index of `s`'s entry in candidates_ (present or insertion point).
+  [[nodiscard]] std::size_t candidate_pos(Slot s) const;
+  /// Index of the forced-fairness candidate: smallest enabled_since stamp,
+  /// ties to the lowest slot. Recomputes the cached holder if invalidated.
+  /// Precondition: candidates_ non-empty.
+  [[nodiscard]] std::size_t oldest_candidate() const;
+
   enum class Refresh : std::uint8_t { kNone, kKeepAges, kZeroAges };
 
   Program& program_;
@@ -119,11 +133,17 @@ class Engine {
   /// enabled_since_[s]: step count at which slot s last became continuously
   /// enabled without executing; age = steps_ - enabled_since_[s].
   mutable std::vector<std::uint64_t> enabled_since_;
-  mutable std::vector<Slot> enabled_slots_;  ///< sorted ascending
+  /// The daemon's candidate list, ascending in slot (= (process, action))
+  /// order, each entry mirroring enabled_since_ of its slot. Maintained
+  /// incrementally — this is the enabled-set representation.
+  mutable std::vector<EnabledAction> candidates_;
   mutable std::vector<ProcessId> dirty_;     ///< processes to re-evaluate
   mutable Refresh pending_ = Refresh::kZeroAges;  ///< initial build pending
 
-  std::vector<EnabledAction> scratch_;
+  /// Cached forced-fairness candidate (slot id); kNoOldest = recompute.
+  static constexpr Slot kNoOldest = std::numeric_limits<Slot>::max();
+  mutable Slot oldest_slot_ = kNoOldest;
+
   std::vector<ProcessId> affected_scratch_;
   std::vector<std::function<void(const StepRecord&)>> observers_;
 };

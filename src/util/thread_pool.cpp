@@ -1,0 +1,49 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diners::util {
+
+TrialPool::TrialPool(unsigned jobs) : jobs_(jobs) {
+  if (jobs == 0) {
+    throw std::invalid_argument("TrialPool: jobs must be positive");
+  }
+}
+
+void TrialPool::run(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+  auto shard = [&fn, count, workers](unsigned w) {
+    for (std::size_t i = w; i < count; i += workers) fn(i);
+  };
+  if (workers == 1) {
+    shard(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    threads.emplace_back([&errors, &shard, w] {
+      try {
+        shard(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  try {
+    shard(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace diners::util

@@ -1,0 +1,51 @@
+// TrialPool: a fixed-shard fork-join pool for embarrassingly parallel
+// batches of independent trials.
+//
+// Sharding is static and work-stealing-free: with W = min(jobs, count)
+// active workers, item i is always processed by worker i % W (the caller
+// participates as worker 0). Assignment is a
+// pure function of the item index, so a batch is reproducible regardless of
+// thread scheduling — determinism comes from giving each item its own seed
+// (util::derive_seed) and writing results into per-item slots, never from
+// timing.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace diners::util {
+
+class TrialPool {
+ public:
+  /// A pool of `jobs` workers total (the calling thread counts as one, so
+  /// `jobs - 1` threads are spawned; jobs == 1 runs everything inline).
+  /// Throws std::invalid_argument for jobs == 0.
+  explicit TrialPool(unsigned jobs);
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, count), sharded round-robin across the
+  /// workers, and blocks until all items finish. fn must be safe to call
+  /// concurrently for distinct items. If any invocation throws, the
+  /// lowest-sharded exception is rethrown after the batch completes (the
+  /// other shards still run to completion).
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// A sensible default worker count for this machine: hardware
+  /// concurrency, at least 1.
+  [[nodiscard]] static unsigned hardware_jobs() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace diners::util

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace diners::analysis {
 namespace {
 
@@ -45,6 +53,159 @@ TEST(Summarize, P95PicksTail) {
   const Summary s = summarize(xs);
   EXPECT_DOUBLE_EQ(s.p95, 95.0);
   EXPECT_DOUBLE_EQ(s.p50, 50.0);
+}
+
+// --- Accumulator (Welford + Chan merge) ------------------------------------
+
+std::vector<double> sample_values(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mixed magnitudes stress the merge numerically.
+    xs.push_back(rng.unit() * 1000.0 - 300.0);
+  }
+  return xs;
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, KnownValues) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_NEAR(a.stddev(), 1.2909944, 1e-6);  // sample stddev, n-1
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a;
+  for (double x : {5.0, -2.0, 11.0}) a.add(x);
+  const Accumulator before = a;
+
+  a.merge(Accumulator{});  // right identity
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_EQ(a.mean(), before.mean());
+  EXPECT_EQ(a.variance(), before.variance());
+
+  Accumulator empty;  // left identity
+  empty.merge(before);
+  EXPECT_EQ(empty.count(), before.count());
+  EXPECT_EQ(empty.mean(), before.mean());
+  EXPECT_EQ(empty.variance(), before.variance());
+  EXPECT_EQ(empty.min(), before.min());
+  EXPECT_EQ(empty.max(), before.max());
+}
+
+// Any split of the stream into shards, merged in any order, must agree
+// with the single sequential accumulator to within a few ulps (checked as
+// a 1e-12 relative error, ~2000x tighter than any statistical use needs;
+// count/min/max must agree exactly).
+void expect_close(double got, double want, const char* what,
+                  std::size_t shards) {
+  EXPECT_NEAR(got, want, 1e-12 * std::max(1.0, std::abs(want)))
+      << what << ", " << shards << " shards";
+}
+
+TEST(Accumulator, ShardedMergeMatchesSequential) {
+  const auto xs = sample_values(1000, 77);
+
+  Accumulator sequential;
+  for (double x : xs) sequential.add(x);
+
+  for (std::size_t shards : {2u, 3u, 7u, 10u}) {
+    std::vector<Accumulator> parts(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i) parts[i % shards].add(xs[i]);
+
+    // Forward merge order.
+    Accumulator fwd;
+    for (const auto& p : parts) fwd.merge(p);
+    // Reverse merge order.
+    Accumulator rev;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) rev.merge(*it);
+    // Pairwise tree merge.
+    std::vector<Accumulator> level = parts;
+    while (level.size() > 1) {
+      std::vector<Accumulator> next;
+      for (std::size_t i = 0; i < level.size(); i += 2) {
+        Accumulator m = level[i];
+        if (i + 1 < level.size()) m.merge(level[i + 1]);
+        next.push_back(m);
+      }
+      level = std::move(next);
+    }
+
+    for (const Accumulator* merged : {&fwd, &rev, &level[0]}) {
+      EXPECT_EQ(merged->count(), sequential.count()) << shards << " shards";
+      expect_close(merged->mean(), sequential.mean(), "mean", shards);
+      expect_close(merged->variance(), sequential.variance(), "variance",
+                   shards);
+      // min/max are exact under any partition.
+      EXPECT_EQ(merged->min(), sequential.min()) << shards << " shards";
+      EXPECT_EQ(merged->max(), sequential.max()) << shards << " shards";
+    }
+  }
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-0.1);  // underflow
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(10.0);  // overflow ([lo, hi) half-open)
+  h.add(42.0);  // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+// Histogram counts are integers, so sharded merges must be *exact* in any
+// order, not just close.
+TEST(Histogram, ShardedMergeIsExact) {
+  const auto xs = sample_values(500, 99);
+
+  Histogram sequential(-300.0, 700.0, 16);
+  for (double x : xs) sequential.add(x);
+
+  for (std::size_t shards : {2u, 5u, 9u}) {
+    std::vector<Histogram> parts(shards, Histogram(-300.0, 700.0, 16));
+    for (std::size_t i = 0; i < xs.size(); ++i) parts[i % shards].add(xs[i]);
+
+    Histogram fwd(-300.0, 700.0, 16);
+    for (const auto& p : parts) fwd.merge(p);
+    Histogram rev(-300.0, 700.0, 16);
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) rev.merge(*it);
+
+    EXPECT_EQ(fwd.bins(), sequential.bins()) << shards << " shards";
+    EXPECT_EQ(rev.bins(), sequential.bins()) << shards << " shards";
+    EXPECT_EQ(fwd.underflow(), sequential.underflow());
+    EXPECT_EQ(fwd.overflow(), sequential.overflow());
+    EXPECT_EQ(fwd.total(), sequential.total());
+  }
+}
+
+TEST(Histogram, MergeRejectsLayoutMismatch) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 6)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 namespace diners::sim {
 namespace {
 
+// Stamps (enabled_since): process 1's action is the oldest (stamp 0),
+// process 2's the youngest (stamp 9).
 std::vector<EnabledAction> three_candidates() {
   return {
       EnabledAction{0, 0, 5},
@@ -62,8 +64,9 @@ TEST(RandomDaemon, EventuallyPicksEveryCandidate) {
 }
 
 TEST(AdversarialAgeDaemon, PicksYoungest) {
+  // Youngest = most recently enabled = largest enabled_since stamp.
   AdversarialAgeDaemon d;
-  EXPECT_EQ(d.choose(three_candidates()), 1u);
+  EXPECT_EQ(d.choose(three_candidates()), 2u);
 }
 
 TEST(AdversarialAgeDaemon, TieBreaksToFirst) {

@@ -153,5 +153,47 @@ TEST(DeriveSeed, StreamsAreIndependent) {
   EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
 }
 
+// The batch runner seeds trial i with derive_seed(master, i). Adjacent
+// trial indices differ in one low bit, so this guards against a weak
+// derivation where neighboring trials would replay overlapping or equal
+// RNG streams (the failure mode of the old `seed = base + run` scheme,
+// where generators seeded 1000, 1001, ... share most of their seed bits).
+TEST(DeriveSeed, AdjacentTrialStreamPrefixesDoNotCollide) {
+  constexpr std::uint64_t kMaster = 1000;
+  constexpr int kTrials = 64;
+  constexpr int kPrefix = 32;
+
+  std::vector<std::vector<std::uint64_t>> prefixes;
+  for (int t = 0; t < kTrials; ++t) {
+    Xoshiro256 rng(derive_seed(kMaster, static_cast<std::uint64_t>(t)));
+    std::vector<std::uint64_t> prefix(kPrefix);
+    for (auto& x : prefix) x = rng.next();
+    prefixes.push_back(std::move(prefix));
+  }
+
+  std::set<std::uint64_t> all_draws;
+  for (int t = 0; t < kTrials; ++t) {
+    // No adjacent pair shares a prefix (checked element-wise so a shifted /
+    // overlapping replay would also be caught).
+    if (t + 1 < kTrials) {
+      for (int k = 0; k < kPrefix; ++k) {
+        EXPECT_NE(prefixes[t][k], prefixes[t + 1][k])
+            << "trials " << t << "," << t + 1 << " draw " << k;
+      }
+    }
+    for (auto x : prefixes[t]) all_draws.insert(x);
+  }
+  // Stronger: across all trials, every 64-bit draw is distinct (a birthday
+  // collision among 2048 draws is ~2^-43, so a hit means real correlation).
+  EXPECT_EQ(all_draws.size(),
+            static_cast<std::size_t>(kTrials) * kPrefix);
+}
+
+TEST(DeriveSeed, TrialSeedsPairwiseDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 4096; ++t) seeds.insert(derive_seed(7, t));
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
 }  // namespace
 }  // namespace diners::util

@@ -9,6 +9,8 @@
 //   diners_sim --topology=grid --n=36 --crash=1000:7:32 --crash=2000:20:0
 //   diners_sim --algorithm=chandy-misra --topology=path --n=16
 //   diners_sim --threshold=sound --workload=random-toggle --csv
+//   diners_sim --trials=200 --jobs=4 --corrupt --topology=gnp --n=48
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -16,6 +18,7 @@
 
 #include "algorithms/chandy_misra.hpp"
 #include "algorithms/ordered_resource.hpp"
+#include "analysis/batch_runner.hpp"
 #include "analysis/harness.hpp"
 #include "analysis/invariants.hpp"
 #include "analysis/dot_export.hpp"
@@ -28,6 +31,7 @@
 #include "runtime/engine.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -153,6 +157,84 @@ int run_diners(const diners::util::Flags& flags) {
   return 0;
 }
 
+/// Sweep mode (--trials > 0): fans independent Monte Carlo trials of the
+/// configured scenario across --jobs worker threads and prints the merged
+/// aggregate. The aggregate is bit-identical for a given seed regardless
+/// of --jobs (see analysis/batch_runner.hpp).
+int run_batch_mode(const diners::util::Flags& flags) {
+  namespace analysis = diners::analysis;
+
+  const auto n = static_cast<NodeId>(flags.i64("n"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+
+  analysis::ScenarioOptions scenario;
+  scenario.topology = flags.str("topology");
+  scenario.n = n;
+  scenario.daemon = flags.str("daemon");
+  scenario.fairness_bound = 256;  // match the single-run harness default
+  scenario.corrupt = flags.flag("corrupt");
+  scenario.workload = flags.str("workload");
+  scenario.max_steps = static_cast<std::uint64_t>(flags.i64("steps"));
+  scenario.window_steps = static_cast<std::uint64_t>(flags.i64("window"));
+
+  // Validate user input against a probe topology (seeded families resample
+  // per trial, but the node count is seed-independent for every family).
+  const auto probe = build_topology(scenario.topology, n, seed);
+  try {
+    scenario.diameter_override = diners::core::parse_threshold(
+        flags.str("threshold"), probe.num_nodes());
+    scenario.crashes = diners::fault::parse_crash_list(flags.str("crash"));
+  } catch (const std::invalid_argument& err) {
+    throw UsageError(err.what());
+  }
+  for (const auto& e : scenario.crashes) {
+    if (e.process >= probe.num_nodes()) {
+      throw UsageError("bad crash spec: victim " + std::to_string(e.process) +
+                       " is out of range for n = " +
+                       std::to_string(probe.num_nodes()));
+    }
+  }
+
+  analysis::BatchOptions batch;
+  batch.trials = static_cast<std::uint64_t>(flags.i64("trials"));
+  batch.master_seed = seed;
+  batch.hist_hi = static_cast<double>(scenario.max_steps ? scenario.max_steps
+                                                         : 1);
+  const auto jobs = flags.i64("jobs");
+  if (jobs < 0) throw UsageError("--jobs must be >= 0");
+  batch.jobs = jobs == 0 ? diners::util::TrialPool::hardware_jobs()
+                         : static_cast<unsigned>(jobs);
+
+  const auto result = analysis::run_scenario_batch(scenario, batch);
+
+  auto fmt = [](double x) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", x);
+    return std::string(buf);
+  };
+  diners::util::Table t({"metric", "mean", "stddev", "min", "max"});
+  t.add_row({std::string("steps-to-I"), fmt(result.primary.mean()),
+             fmt(result.primary.stddev()), fmt(result.primary.min()),
+             fmt(result.primary.max())});
+  t.add_row({std::string("meals"), fmt(result.meals.mean()),
+             fmt(result.meals.stddev()), fmt(result.meals.min()),
+             fmt(result.meals.max())});
+  if (scenario.window_steps > 0) {
+    t.add_row({std::string("starved"), fmt(result.starved.mean()),
+               fmt(result.starved.stddev()), fmt(result.starved.min()),
+               fmt(result.starved.max())});
+  }
+  t.print(std::cout);
+  std::cout << "trials: " << result.trials << "; converged: "
+            << result.converged << "; jobs: " << batch.jobs;
+  if (scenario.window_steps > 0) {
+    std::cout << "; max locality radius: " << result.max_locality_radius;
+  }
+  std::cout << "\nwall: " << fmt(result.wall_seconds) << " s ("
+            << fmt(result.trials_per_sec) << " trials/sec)\n";
+  return 0;
+}
+
 template <typename System>
 int run_baseline(const diners::util::Flags& flags) {
   const auto n = static_cast<NodeId>(flags.i64("n"));
@@ -194,11 +276,22 @@ int main(int argc, char** argv) {
       .define("no-cycle-breaking", "false", "ablation A2: disable fixdepth")
       .define("csv", "false", "emit CSV time series instead of a table")
       .define("dot", "false", "emit the final priority graph as Graphviz DOT")
-      .define("sample", "500", "CSV sampling interval in steps");
+      .define("sample", "500", "CSV sampling interval in steps")
+      .define("trials", "0", "sweep mode: run this many independent trials")
+      .define("jobs", "1", "sweep worker threads (0 = hardware)")
+      .define("window", "0", "sweep starvation window steps (0 = none)");
   if (!flags.parse(argc, argv)) return 1;
 
   try {
     const std::string algorithm = flags.str("algorithm");
+    if (flags.i64("trials") > 0) {
+      if (algorithm != "nesterenko-arora") {
+        std::cerr << "error: --trials sweep mode supports only the "
+                     "nesterenko-arora algorithm\n";
+        return kUsageError;
+      }
+      return run_batch_mode(flags);
+    }
     if (algorithm == "nesterenko-arora") return run_diners(flags);
     if (algorithm == "chandy-misra") {
       return run_baseline<diners::algorithms::ChandyMisraSystem>(flags);
