@@ -111,4 +111,93 @@ bool holds_invariant(const DinersSystem& system) {
   return holds_nc(system) && holds_st(system) && holds_e(system);
 }
 
+void ShallowContext::refresh(const DinersSystem& system) {
+  orientation_ = system.orientation();
+  const auto n = orientation_.ancestors.size();
+  descendants_.assign(n, {});
+  for (std::size_t p = 0; p < n; ++p) {
+    for (graph::NodeId anc : orientation_.ancestors[p]) {
+      descendants_[anc].push_back(static_cast<graph::NodeId>(p));
+    }
+  }
+  chain_ = graph::longest_live_ancestor_chain(orientation_, system.alive_fn());
+}
+
+bool holds_nc(const DinersSystem& system, const ShallowContext& ctx) {
+  return !graph::has_directed_cycle(ctx.orientation(), system.alive_fn());
+}
+
+std::vector<bool> shallow_processes(const DinersSystem& system,
+                                    const ShallowContext& ctx) {
+  const auto n = system.topology().num_nodes();
+  const auto& chain = ctx.chain();
+  const auto d = static_cast<std::int64_t>(system.diameter_constant());
+  std::vector<bool> shallow(n, false);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!system.alive(p)) {
+      shallow[p] = true;
+      continue;
+    }
+    if (system.depth(p) > d) continue;
+    const bool chain_bounded = chain[p] != graph::kUnreachable;
+    const auto lp = static_cast<std::int64_t>(chain[p]);
+    bool ok = true;
+    for (ProcessId q : ctx.descendants()[p]) {
+      const std::int64_t dq = system.depth(q);
+      const bool cannot_overflow = chain_bounded && dq + lp <= d;
+      const bool fixdepth_disabled = dq + 1 <= system.depth(p);
+      if (!cannot_overflow && !fixdepth_disabled) {
+        ok = false;
+        break;
+      }
+    }
+    shallow[p] = ok;
+  }
+  return shallow;
+}
+
+std::vector<bool> stably_shallow_processes(const DinersSystem& system,
+                                           const ShallowContext& ctx) {
+  const auto n = system.topology().num_nodes();
+  const auto shallow = shallow_processes(system, ctx);
+  std::vector<bool> reaches_deep(n, false);
+  std::deque<ProcessId> queue;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (system.alive(p) && !shallow[p]) {
+      reaches_deep[p] = true;
+      queue.push_back(p);
+    }
+  }
+  while (!queue.empty()) {
+    const ProcessId q = queue.front();
+    queue.pop_front();
+    for (ProcessId anc : ctx.orientation().ancestors[q]) {
+      if (!reaches_deep[anc]) {
+        reaches_deep[anc] = true;
+        queue.push_back(anc);
+      }
+    }
+  }
+  std::vector<bool> stable(n, false);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!system.alive(p)) {
+      stable[p] = true;
+    } else {
+      stable[p] = shallow[p] && !reaches_deep[p];
+    }
+  }
+  return stable;
+}
+
+bool holds_st(const DinersSystem& system, const ShallowContext& ctx) {
+  for (bool s : stably_shallow_processes(system, ctx)) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+bool holds_invariant(const DinersSystem& system, const ShallowContext& ctx) {
+  return holds_nc(system, ctx) && holds_st(system, ctx) && holds_e(system);
+}
+
 }  // namespace diners::analysis

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/diners_system.hpp"
+#include "graph/algorithms.hpp"
 
 namespace diners::analysis {
 
@@ -51,5 +52,58 @@ namespace diners::analysis {
 /// is zero under I).
 [[nodiscard]] std::size_t eating_violation_count(
     const core::DinersSystem& system);
+
+/// Precomputed per-state data shared by the shallowness predicates. The
+/// naive entry points above rebuild the priority orientation, the
+/// descendant lists, and the longest-live-ancestor-chain table on every
+/// call (holds_invariant rebuilds the orientation three times over); a
+/// ShallowContext computes each once and the overloads below reuse them.
+///
+/// Validity: the context depends only on the priority orientation and the
+/// alive set. state/depth/needs writes do NOT invalidate it; any priority
+/// write or crash does — call refresh() before the next query.
+class ShallowContext {
+ public:
+  ShallowContext() = default;
+  explicit ShallowContext(const core::DinersSystem& system) {
+    refresh(system);
+  }
+
+  /// Recomputes the orientation, descendant lists, and chain table from
+  /// `system`'s current priorities and alive set.
+  void refresh(const core::DinersSystem& system);
+
+  [[nodiscard]] const graph::Orientation& orientation() const noexcept {
+    return orientation_;
+  }
+  /// descendants()[p] lists p's direct descendants (edges p->q).
+  [[nodiscard]] const std::vector<std::vector<graph::NodeId>>& descendants()
+      const noexcept {
+    return descendants_;
+  }
+  /// The paper's l:p table (graph::longest_live_ancestor_chain).
+  [[nodiscard]] const std::vector<std::uint32_t>& chain() const noexcept {
+    return chain_;
+  }
+
+ private:
+  graph::Orientation orientation_;
+  std::vector<std::vector<graph::NodeId>> descendants_;
+  std::vector<std::uint32_t> chain_;
+};
+
+/// Context overloads: identical results to the same-named naive entry
+/// points (a property test pins this), without re-deriving the orientation
+/// or chain per call.
+[[nodiscard]] bool holds_nc(const core::DinersSystem& system,
+                            const ShallowContext& ctx);
+[[nodiscard]] std::vector<bool> shallow_processes(
+    const core::DinersSystem& system, const ShallowContext& ctx);
+[[nodiscard]] std::vector<bool> stably_shallow_processes(
+    const core::DinersSystem& system, const ShallowContext& ctx);
+[[nodiscard]] bool holds_st(const core::DinersSystem& system,
+                            const ShallowContext& ctx);
+[[nodiscard]] bool holds_invariant(const core::DinersSystem& system,
+                                   const ShallowContext& ctx);
 
 }  // namespace diners::analysis

@@ -1,0 +1,159 @@
+#include "core/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace diners::core {
+
+namespace {
+
+DinerState parse_state(const std::string& token) {
+  if (token == "T") return DinerState::kThinking;
+  if (token == "H") return DinerState::kHungry;
+  if (token == "E") return DinerState::kEating;
+  throw std::invalid_argument("read_snapshot: bad state token '" + token +
+                              "'");
+}
+
+/// Reads the rest of `line` as whitespace-separated tokens.
+std::vector<std::string> tokens_of(std::istringstream& line) {
+  std::vector<std::string> out;
+  std::string token;
+  while (line >> token) out.push_back(token);
+  return out;
+}
+
+std::int64_t parse_i64(const std::string& token, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("read_snapshot: bad ") + what +
+                                " token '" + token + "'");
+  }
+}
+
+}  // namespace
+
+SystemSnapshot capture(const DinersSystem& system) {
+  const auto& g = system.topology();
+  SystemSnapshot s;
+  s.states.reserve(g.num_nodes());
+  s.depths.reserve(g.num_nodes());
+  s.needs.reserve(g.num_nodes());
+  s.alive.reserve(g.num_nodes());
+  for (DinersSystem::ProcessId p = 0; p < g.num_nodes(); ++p) {
+    s.states.push_back(system.state(p));
+    s.depths.push_back(system.depth(p));
+    s.needs.push_back(system.needs(p) ? 1 : 0);
+    s.alive.push_back(system.alive(p) ? 1 : 0);
+  }
+  s.priority.reserve(g.num_edges());
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    s.priority.push_back(system.priority(edge.u, edge.v));
+  }
+  return s;
+}
+
+void restore(DinersSystem& system, const SystemSnapshot& snapshot) {
+  const auto& g = system.topology();
+  if (snapshot.states.size() != g.num_nodes() ||
+      snapshot.depths.size() != g.num_nodes() ||
+      snapshot.needs.size() != g.num_nodes() ||
+      snapshot.alive.size() != g.num_nodes() ||
+      snapshot.priority.size() != g.num_edges()) {
+    throw std::invalid_argument(
+        "restore: snapshot does not match the system's topology");
+  }
+  for (DinersSystem::ProcessId p = 0; p < g.num_nodes(); ++p) {
+    if (!system.alive(p) && snapshot.alive[p]) {
+      throw std::invalid_argument(
+          "restore: cannot revive dead process " + std::to_string(p));
+    }
+    system.set_state(p, snapshot.states[p]);
+    system.set_depth(p, snapshot.depths[p]);
+    system.set_needs(p, snapshot.needs[p] != 0);
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    system.set_priority(edge.u, edge.v, snapshot.priority[e]);
+  }
+  for (DinersSystem::ProcessId p = 0; p < g.num_nodes(); ++p) {
+    if (!snapshot.alive[p]) system.crash(p);
+  }
+}
+
+DinersSystem clone_with_state(const DinersSystem& prototype,
+                              const SystemSnapshot& snapshot) {
+  DinersSystem copy(prototype.topology(), prototype.config());
+  restore(copy, snapshot);
+  return copy;
+}
+
+DinersSystem clone(const DinersSystem& prototype) {
+  return clone_with_state(prototype, capture(prototype));
+}
+
+void write_snapshot(std::ostream& os, const SystemSnapshot& snapshot) {
+  os << "state";
+  for (DinerState s : snapshot.states) os << ' ' << to_string(s);
+  os << "\ndepth";
+  for (std::int64_t d : snapshot.depths) os << ' ' << d;
+  os << "\nneeds";
+  for (std::uint8_t v : snapshot.needs) os << ' ' << int(v);
+  os << "\nalive";
+  for (std::uint8_t v : snapshot.alive) os << ' ' << int(v);
+  os << "\npriority";
+  for (auto owner : snapshot.priority) os << ' ' << owner;
+  os << '\n';
+}
+
+SystemSnapshot read_snapshot(std::istream& is) {
+  SystemSnapshot s;
+  bool saw[5] = {false, false, false, false, false};
+  for (int i = 0; i < 5; ++i) {
+    std::string raw;
+    if (!std::getline(is, raw)) {
+      throw std::invalid_argument("read_snapshot: truncated snapshot");
+    }
+    std::istringstream line(raw);
+    std::string head;
+    line >> head;
+    const auto toks = tokens_of(line);
+    if (head == "state" && !saw[0]) {
+      for (const auto& t : toks) s.states.push_back(parse_state(t));
+      saw[0] = true;
+    } else if (head == "depth" && !saw[1]) {
+      for (const auto& t : toks) s.depths.push_back(parse_i64(t, "depth"));
+      saw[1] = true;
+    } else if (head == "needs" && !saw[2]) {
+      for (const auto& t : toks) {
+        s.needs.push_back(parse_i64(t, "needs") != 0 ? 1 : 0);
+      }
+      saw[2] = true;
+    } else if (head == "alive" && !saw[3]) {
+      for (const auto& t : toks) {
+        s.alive.push_back(parse_i64(t, "alive") != 0 ? 1 : 0);
+      }
+      saw[3] = true;
+    } else if (head == "priority" && !saw[4]) {
+      for (const auto& t : toks) {
+        s.priority.push_back(
+            static_cast<DinersSystem::ProcessId>(parse_i64(t, "priority")));
+      }
+      saw[4] = true;
+    } else {
+      throw std::invalid_argument("read_snapshot: unexpected line '" + raw +
+                                  "'");
+    }
+  }
+  return s;
+}
+
+}  // namespace diners::core

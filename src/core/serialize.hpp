@@ -1,0 +1,61 @@
+// Whole-system state snapshots: capture/restore of every protocol variable
+// (states, depths, needs, alive, edge priorities) plus a line-oriented text
+// form. Used by the verification subsystem to pin counterexample start
+// states into replayable trace files, and by anything that needs to clone a
+// DinersSystem mid-run (crashed-system exploration, differential tests).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/diners_system.hpp"
+
+namespace diners::core {
+
+/// A full copy of the protocol and environment state of a DinersSystem.
+/// `priority[e]` is the ancestor endpoint id of edge e (same convention as
+/// DinersSystem::priority()). Meal counters are statistics, not protocol
+/// state, and are deliberately not captured.
+struct SystemSnapshot {
+  std::vector<DinerState> states;
+  std::vector<std::int64_t> depths;
+  std::vector<std::uint8_t> needs;
+  std::vector<std::uint8_t> alive;
+  std::vector<DinersSystem::ProcessId> priority;
+
+  friend bool operator==(const SystemSnapshot&, const SystemSnapshot&) =
+      default;
+};
+
+/// Captures every variable of `system`.
+[[nodiscard]] SystemSnapshot capture(const DinersSystem& system);
+
+/// Writes `snapshot` back into `system` through the environment mutators.
+/// Dead-in-snapshot processes are crashed; a process that is dead in
+/// `system` but alive in the snapshot cannot be revived and throws
+/// std::invalid_argument. Throws on size mismatches.
+void restore(DinersSystem& system, const SystemSnapshot& snapshot);
+
+/// A fresh DinersSystem over the same topology and config, carrying
+/// `snapshot`'s state (meal counters zeroed).
+[[nodiscard]] DinersSystem clone_with_state(const DinersSystem& prototype,
+                                            const SystemSnapshot& snapshot);
+
+/// clone_with_state(prototype, capture(prototype)).
+[[nodiscard]] DinersSystem clone(const DinersSystem& prototype);
+
+/// Text form, one line per variable family:
+///
+///   state T H E ...
+///   depth 0 -1 4 ...
+///   needs 1 0 ...
+///   alive 1 1 0 ...
+///   priority 0 2 2 ...
+void write_snapshot(std::ostream& os, const SystemSnapshot& snapshot);
+
+/// Parses the write_snapshot() form. Throws std::invalid_argument on
+/// malformed input, naming the offending line.
+[[nodiscard]] SystemSnapshot read_snapshot(std::istream& is);
+
+}  // namespace diners::core

@@ -88,6 +88,44 @@ void malicious_crash(DinersSystem& system, ProcessId p,
   system.crash(p);
 }
 
+std::uint64_t num_crash_assignments(const DinersSystem& system,
+                                    ProcessId victim, std::int64_t depth_min,
+                                    std::int64_t depth_max) {
+  if (victim >= system.topology().num_nodes()) {
+    throw std::out_of_range("num_crash_assignments: bad victim id");
+  }
+  if (depth_max < depth_min) {
+    throw std::invalid_argument("num_crash_assignments: empty depth range");
+  }
+  const auto deg = system.topology().neighbors(victim).size();
+  const auto depths = static_cast<std::uint64_t>(depth_max - depth_min + 1);
+  return 3u * depths * (std::uint64_t{1} << deg);
+}
+
+void apply_crash_assignment(DinersSystem& system, ProcessId victim,
+                            std::uint64_t index, std::int64_t depth_min,
+                            std::int64_t depth_max) {
+  const std::uint64_t total =
+      num_crash_assignments(system, victim, depth_min, depth_max);
+  if (index >= total) {
+    throw std::out_of_range("apply_crash_assignment: index " +
+                            std::to_string(index) + " >= " +
+                            std::to_string(total));
+  }
+  // Mixed-radix decode: state (3) is the least significant digit, then the
+  // depth, then one bit per incident edge in neighbor order.
+  system.set_state(victim, core::kAllDinerStates[index % 3]);
+  index /= 3;
+  const auto depths = static_cast<std::uint64_t>(depth_max - depth_min + 1);
+  system.set_depth(victim,
+                   depth_min + static_cast<std::int64_t>(index % depths));
+  index /= depths;
+  for (ProcessId q : system.topology().neighbors(victim)) {
+    system.set_priority(victim, q, (index & 1) != 0 ? victim : q);
+    index >>= 1;
+  }
+}
+
 namespace {
 
 // Strict non-negative decimal parse: the whole token must be digits and fit

@@ -52,6 +52,25 @@ void malicious_crash(core::DinersSystem& system,
                      std::uint32_t arbitrary_steps, util::Xoshiro256& rng,
                      const CorruptionOptions& options = {});
 
+/// Exhaustive counterpart of malicious_crash(), for the model checker: the
+/// set of states a malicious crash of `victim` can leave behind is exactly
+/// {every assignment of the victim's own writable variables} — its state
+/// (3 values), its depth (depth_min..depth_max inclusive), and each incident
+/// shared priority edge (2 endpoints) — after which the victim is dead.
+/// Returns the number of such assignments.
+[[nodiscard]] std::uint64_t num_crash_assignments(
+    const core::DinersSystem& system, core::DinersSystem::ProcessId victim,
+    std::int64_t depth_min, std::int64_t depth_max);
+
+/// Writes assignment `index` (in [0, num_crash_assignments)) into the
+/// victim's variables. Does NOT crash the victim: the caller decides when
+/// (the verifier crashes once per crashed-system exploration). Throws
+/// std::out_of_range on a bad index.
+void apply_crash_assignment(core::DinersSystem& system,
+                            core::DinersSystem::ProcessId victim,
+                            std::uint64_t index, std::int64_t depth_min,
+                            std::int64_t depth_max);
+
 /// One scheduled fault event of a run.
 struct CrashEvent {
   std::uint64_t at_step = 0;  ///< engine step count at which to fire

@@ -1,0 +1,153 @@
+#include "verify/canonical.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace diners::verify {
+
+namespace {
+
+constexpr std::uint64_t low_mask(std::uint32_t width) noexcept {
+  return width >= 64 ? ~0ULL : (1ULL << width) - 1;
+}
+
+std::uint64_t get_bits(const Key& k, std::uint32_t pos, std::uint32_t width) {
+  std::uint64_t out;
+  if (pos < 64) {
+    out = k.lo >> pos;
+    if (pos + width > 64) out |= k.hi << (64 - pos);
+  } else {
+    out = k.hi >> (pos - 64);
+  }
+  return out & low_mask(width);
+}
+
+/// Precondition: the field's bits in `k` are currently zero.
+void set_bits(Key& k, std::uint32_t pos, std::uint32_t width,
+              std::uint64_t value) {
+  if (pos < 64) {
+    k.lo |= value << pos;
+    if (pos + width > 64) k.hi |= value >> (64 - pos);
+  } else {
+    k.hi |= value << (pos - 64);
+  }
+}
+
+}  // namespace
+
+StateCodec::StateCodec(const graph::Graph& g, std::int64_t depth_min,
+                       std::int64_t depth_max)
+    : graph_(&g), depth_min_(depth_min), depth_max_(depth_max) {
+  if (depth_max < depth_min) {
+    throw std::invalid_argument("StateCodec: depth_max < depth_min");
+  }
+  const std::uint64_t depth_values =
+      static_cast<std::uint64_t>(depth_max - depth_min) + 1;
+  depth_bits_ = static_cast<std::uint32_t>(std::bit_width(depth_values - 1));
+  per_process_bits_ = 2 + depth_bits_;
+  edge_base_ = g.num_nodes() * per_process_bits_;
+  total_bits_ = edge_base_ + g.num_edges();
+  if (total_bits_ > 128) {
+    throw std::invalid_argument(
+        "StateCodec: instance needs " + std::to_string(total_bits_) +
+        " bits (> 128); use a smaller topology or a tighter depth box");
+  }
+}
+
+Key StateCodec::encode(const core::DinersSystem& system) const {
+  Key k;
+  const auto n = graph_->num_nodes();
+  for (graph::NodeId p = 0; p < n; ++p) {
+    const std::uint32_t base = proc_base(p);
+    set_bits(k, base, 2, static_cast<std::uint64_t>(system.state(p)));
+    const std::int64_t d =
+        std::clamp(system.depth(p), depth_min_, depth_max_);
+    set_bits(k, base + 2, depth_bits_,
+             static_cast<std::uint64_t>(d - depth_min_));
+  }
+  const auto& edges = graph_->edges();
+  for (graph::EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    if (system.priority(edges[e].u, edges[e].v) == edges[e].v) {
+      set_bits(k, edge_base_ + e, 1, 1);
+    }
+  }
+  return k;
+}
+
+void StateCodec::decode(const Key& key, core::DinersSystem& system) const {
+  const auto n = graph_->num_nodes();
+  for (graph::NodeId p = 0; p < n; ++p) {
+    system.set_state(p, state_of(key, p));
+    system.set_depth(p, depth_of(key, p));
+  }
+  const auto& edges = graph_->edges();
+  for (graph::EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    system.set_priority(edges[e].u, edges[e].v, edge_owner(key, e));
+  }
+}
+
+core::DinerState StateCodec::state_of(const Key& key, graph::NodeId p) const {
+  return static_cast<core::DinerState>(get_bits(key, proc_base(p), 2));
+}
+
+std::int64_t StateCodec::depth_of(const Key& key, graph::NodeId p) const {
+  return depth_min_ +
+         static_cast<std::int64_t>(get_bits(key, proc_base(p) + 2,
+                                            depth_bits_));
+}
+
+graph::NodeId StateCodec::edge_owner(const Key& key, graph::EdgeId e) const {
+  const auto& edge = graph_->edge(e);
+  return get_bits(key, edge_base_ + e, 1) != 0 ? edge.v : edge.u;
+}
+
+Key StateCodec::process_mask(graph::NodeId p) const {
+  Key m;
+  set_bits(m, proc_base(p), per_process_bits_,
+           low_mask(per_process_bits_));
+  for (graph::EdgeId e : graph_->incident_edges(p)) {
+    set_bits(m, edge_base_ + e, 1, 1);
+  }
+  return m;
+}
+
+std::uint64_t StateCodec::domain_size() const {
+  const std::uint64_t limit = std::uint64_t{1} << 63;
+  std::uint64_t size = 1;
+  const auto mul = [&](std::uint64_t f) {
+    if (size > limit / f) {
+      throw std::overflow_error(
+          "StateCodec::domain_size: state box exceeds 2^63");
+    }
+    size *= f;
+  };
+  for (graph::NodeId p = 0; p < graph_->num_nodes(); ++p) {
+    mul(3);
+    mul(num_depth_values());
+  }
+  for (graph::EdgeId e = 0; e < graph_->num_edges(); ++e) mul(2);
+  return size;
+}
+
+Key StateCodec::domain_key(std::uint64_t i) const {
+  Key k;
+  const auto n = graph_->num_nodes();
+  const std::uint64_t dv = num_depth_values();
+  for (graph::NodeId p = 0; p < n; ++p) {
+    const std::uint32_t base = proc_base(p);
+    set_bits(k, base, 2, i % 3);
+    i /= 3;
+    set_bits(k, base + 2, depth_bits_, i % dv);
+    i /= dv;
+  }
+  for (graph::EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    set_bits(k, edge_base_ + e, 1, i & 1);
+    i >>= 1;
+  }
+  return k;
+}
+
+}  // namespace diners::verify

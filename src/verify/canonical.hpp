@@ -1,0 +1,122 @@
+// Canonical 128-bit packing of a DinersSystem global protocol state.
+//
+// A Key holds, bit-packed: per process its diner state (2 bits) and its
+// depth (offset against a configurable [depth_min, depth_max] box, with
+// saturation — see encode()), and per edge one orientation bit. needs and
+// alive are NOT part of the key: they are environment configuration, held
+// constant over one exploration (the explorer's scratch system carries
+// them).
+//
+// The packing is the model checker's state identity: two global states are
+// the same vertex of the transition graph iff their keys are equal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/diners_system.hpp"
+#include "graph/graph.hpp"
+
+namespace diners::verify {
+
+/// A packed global state. Instances of up to 128 bits are supported; the
+/// codec constructor throws for anything wider.
+struct Key {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+[[nodiscard]] constexpr Key key_or(Key a, Key b) noexcept {
+  return {a.lo | b.lo, a.hi | b.hi};
+}
+[[nodiscard]] constexpr Key key_and(Key a, Key b) noexcept {
+  return {a.lo & b.lo, a.hi & b.hi};
+}
+/// a with mask's bits cleared.
+[[nodiscard]] constexpr Key key_andnot(Key a, Key mask) noexcept {
+  return {a.lo & ~mask.lo, a.hi & ~mask.hi};
+}
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    std::uint64_t h = k.lo * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h += k.hi * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    h *= 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+/// Bidirectional state <-> Key packing over a fixed topology and depth box.
+///
+/// Depth saturation: encode() clamps each depth into [depth_min, depth_max].
+/// With depth_max > D this is the standard saturating abstraction for the
+/// unbounded depth counter: every guard of Figure 1 compares depths either
+/// against D or against a neighbor's depth + 1, and clamping preserves both
+/// (clamped depths keep their relative order up to the cap and stay > D iff
+/// big enough), so every concrete transition maps to a transition between
+/// the clamped states. The abstraction can only *add* behaviors (e.g. a
+/// fixdepth self-loop at the cap, which is fairness-infeasible because exit
+/// is co-enabled there), making the checks conservative.
+class StateCodec {
+ public:
+  /// Throws std::invalid_argument if depth_max < depth_min or the packed
+  /// instance exceeds 128 bits.
+  StateCodec(const graph::Graph& g, std::int64_t depth_min,
+             std::int64_t depth_max);
+
+  [[nodiscard]] Key encode(const core::DinersSystem& system) const;
+
+  /// Writes the key back through set_state / set_depth / set_priority.
+  /// needs and alive are untouched.
+  void decode(const Key& key, core::DinersSystem& system) const;
+
+  [[nodiscard]] const graph::Graph& topology() const noexcept {
+    return *graph_;
+  }
+  [[nodiscard]] std::uint32_t bits() const noexcept { return total_bits_; }
+  [[nodiscard]] std::int64_t depth_min() const noexcept { return depth_min_; }
+  [[nodiscard]] std::int64_t depth_max() const noexcept { return depth_max_; }
+  [[nodiscard]] std::uint64_t num_depth_values() const noexcept {
+    return static_cast<std::uint64_t>(depth_max_ - depth_min_) + 1;
+  }
+
+  // --- field readers (used for counterexample rendering) ------------------
+  [[nodiscard]] core::DinerState state_of(const Key& key,
+                                          graph::NodeId p) const;
+  [[nodiscard]] std::int64_t depth_of(const Key& key, graph::NodeId p) const;
+  /// The ancestor endpoint id held by edge `e` in `key`.
+  [[nodiscard]] graph::NodeId edge_owner(const Key& key,
+                                         graph::EdgeId e) const;
+
+  /// 1-bits at every position process `p` can write: its state and depth
+  /// fields and its incident edge bits. Malicious-crash write patterns live
+  /// inside this mask.
+  [[nodiscard]] Key process_mask(graph::NodeId p) const;
+
+  /// Size of the full key domain 3^n · (depth values)^n · 2^m — the
+  /// arbitrary-start state box of Theorem 1. Throws std::overflow_error
+  /// if it does not fit in 63 bits.
+  [[nodiscard]] std::uint64_t domain_size() const;
+
+  /// The i-th key of the domain in mixed-radix order, i < domain_size().
+  [[nodiscard]] Key domain_key(std::uint64_t i) const;
+
+ private:
+  [[nodiscard]] std::uint32_t proc_base(graph::NodeId p) const noexcept {
+    return p * per_process_bits_;
+  }
+
+  const graph::Graph* graph_;
+  std::int64_t depth_min_;
+  std::int64_t depth_max_;
+  std::uint32_t depth_bits_;
+  std::uint32_t per_process_bits_;
+  std::uint32_t edge_base_;
+  std::uint32_t total_bits_;
+};
+
+}  // namespace diners::verify

@@ -1,0 +1,102 @@
+// Counterexample traces: shortest-stem extraction from a StateGraph's BFS
+// tree, a self-contained text file format (topology + config + start
+// snapshot + events), and replay against a genuine DinersSystem via
+// analysis::replay_trace — the `diners_sim --replay` path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/diners_system.hpp"
+#include "core/serialize.hpp"
+#include "graph/graph.hpp"
+#include "verify/canonical.hpp"
+#include "verify/explorer.hpp"
+
+namespace diners::verify {
+
+/// One replayable event. Protocol steps are kAction; a malicious crash
+/// appears as kCrash (the victim stops) surrounded by kWrite events (the
+/// victim's arbitrary writes — rendered from the demonic arcs of the
+/// explorer, or recorded by the fuzzer).
+struct CexEvent {
+  enum class Kind { kAction, kCrash, kWrite };
+
+  Kind kind = Kind::kAction;
+  sim::ProcessId process = graph::kNoNode;
+  sim::ActionIndex action = 0;  ///< kAction only
+
+  // kWrite payload: the process's full owned-variable assignment.
+  core::DinerState wstate = core::DinerState::kThinking;
+  std::int64_t wdepth = 0;
+  /// Owner endpoint per incident edge, aligned with
+  /// topology().incident_edges(process).
+  std::vector<sim::ProcessId> wowners;
+
+  friend bool operator==(const CexEvent&, const CexEvent&) = default;
+};
+
+struct Counterexample {
+  std::string property;
+  std::string detail;
+  core::SystemSnapshot start;
+  std::vector<CexEvent> events;
+  /// events[stem_length..] form a cycle: replaying them returns the system
+  /// to the state reached after the stem, so the violation repeats forever.
+  std::size_t stem_length = 0;
+};
+
+/// The BFS-tree move path from a seed to `state`.
+struct Stem {
+  std::uint32_t seed = kNoIndex;  ///< state index the path starts from
+  std::vector<CexEvent> events;
+};
+
+/// Reconstructs the shortest event path ending at `state`. Demonic moves
+/// are rendered as kWrite events of `victim` (required if the graph was
+/// explored with one).
+[[nodiscard]] Stem stem_to(const StateGraph& g, const StateCodec& codec,
+                           std::optional<sim::ProcessId> victim,
+                           std::uint32_t state);
+
+/// Converts protocol arcs (e.g. a Violation's witness cycle) to events.
+[[nodiscard]] std::vector<CexEvent> arcs_to_events(
+    const std::vector<StateGraph::Arc>& arcs);
+
+/// Writes the self-contained text form (see counterexample.cpp for the
+/// grammar).
+void write_counterexample(std::ostream& os, const graph::Graph& g,
+                          const core::DinersConfig& config,
+                          const Counterexample& cex);
+
+struct LoadedCounterexample {
+  graph::Graph graph;
+  core::DinersConfig config;
+  Counterexample cex;
+};
+
+/// Parses the write_counterexample() form; throws std::invalid_argument on
+/// malformed input, naming the offending line.
+[[nodiscard]] LoadedCounterexample read_counterexample(std::istream& is);
+
+struct CexReplayResult {
+  bool legal = true;  ///< every kAction was enabled when executed
+  std::size_t failed_index = 0;
+  std::string reason;
+  /// When the counterexample has a cycle: the cycle's replay returned the
+  /// system to the exact post-stem state, so the run repeats forever.
+  bool cycle_closes = false;
+  bool invariant_at_end = false;  ///< I after replaying all events
+};
+
+/// Replays `cex` against `system`, which must be in the start state
+/// (core::restore the snapshot first). kAction events go through
+/// analysis::replay_trace; kCrash/kWrite through the environment mutators.
+[[nodiscard]] CexReplayResult replay_counterexample(
+    core::DinersSystem& system, const Counterexample& cex);
+
+}  // namespace diners::verify

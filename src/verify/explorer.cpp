@@ -1,0 +1,118 @@
+#include "verify/explorer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "fault/injector.hpp"
+
+namespace diners::verify {
+
+Explorer::Explorer(core::DinersSystem& scratch, const StateCodec& codec,
+                   Options options)
+    : scratch_(scratch),
+      codec_(codec),
+      options_(options),
+      program_(scratch, options.mutation) {
+  if (scratch_.topology().num_nodes() * core::DinersSystem::kNumActions >
+      64) {
+    throw std::invalid_argument(
+        "Explorer: > 12 processes overflow the 64-bit enabled mask");
+  }
+  if (!options_.demon_victim) return;
+  const sim::ProcessId victim = *options_.demon_victim;
+  if (scratch_.alive(victim)) {
+    throw std::invalid_argument(
+        "Explorer: demon victim must be dead in the scratch system");
+  }
+  demon_mask_ = codec_.process_mask(victim);
+  const std::uint64_t count = fault::num_crash_assignments(
+      scratch_, victim, codec_.depth_min(), codec_.depth_max());
+  if (count > kSeedMove - kDemonMoveBase) {
+    throw std::invalid_argument(
+        "Explorer: too many crash assignments for the move encoding");
+  }
+  demon_patterns_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    fault::apply_crash_assignment(scratch_, victim, i, codec_.depth_min(),
+                                  codec_.depth_max());
+    demon_patterns_.push_back(
+        key_and(codec_.encode(scratch_), demon_mask_));
+  }
+}
+
+StateGraph Explorer::explore(std::span<const Key> seeds) {
+  StateGraph g;
+  g.index.reserve(seeds.size() * 2);
+
+  const auto push = [&g](const Key& k, std::uint32_t parent,
+                         std::uint16_t move) -> std::uint32_t {
+    const auto [it, fresh] =
+        g.index.try_emplace(k, static_cast<std::uint32_t>(g.keys.size()));
+    if (fresh) {
+      g.keys.push_back(k);
+      g.parent.push_back(parent);
+      g.parent_move.push_back(move);
+    }
+    return it->second;
+  };
+
+  for (const Key& s : seeds) push(s, kNoIndex, kSeedMove);
+  g.num_seeds = g.num_states();
+
+  const auto n = scratch_.topology().num_nodes();
+  g.succ_begin.push_back(0);
+
+  // The discovery-ordered keys vector IS the BFS queue.
+  for (std::uint32_t head = 0; head < g.num_states(); ++head) {
+    if (g.num_states() > options_.max_states) {
+      g.complete = false;
+      break;
+    }
+    const Key k = g.keys[head];
+
+    codec_.decode(k, scratch_);
+    std::uint64_t mask = 0;
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      if (!scratch_.alive(p)) continue;
+      for (sim::ActionIndex a = 0; a < core::DinersSystem::kNumActions;
+           ++a) {
+        if (program_.enabled(p, a)) {
+          mask |= std::uint64_t{1} << protocol_move(p, a);
+        }
+      }
+    }
+    g.enabled.push_back(mask);
+
+    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+      const auto move =
+          static_cast<std::uint16_t>(std::countr_zero(bits));
+      codec_.decode(k, scratch_);  // reset after the previous execute
+      program_.execute(move_process(move), move_action(move));
+      const std::uint32_t to = push(codec_.encode(scratch_), head, move);
+      g.succ.push_back({to, move});
+    }
+
+    for (std::uint16_t i = 0;
+         i < static_cast<std::uint16_t>(demon_patterns_.size()); ++i) {
+      const Key k2 = key_or(key_andnot(k, demon_mask_), demon_patterns_[i]);
+      if (!(k2 == k)) {
+        push(k2, head, static_cast<std::uint16_t>(kDemonMoveBase + i));
+      }
+    }
+
+    g.succ_begin.push_back(static_cast<std::uint32_t>(g.succ.size()));
+  }
+
+  // BFS layer count: parents precede children in discovery order.
+  if (g.complete) {
+    std::vector<std::uint32_t> depth(g.num_states(), 0);
+    for (std::uint32_t i = g.num_seeds; i < g.num_states(); ++i) {
+      depth[i] = depth[g.parent[i]] + 1;
+      g.layers = std::max(g.layers, depth[i]);
+    }
+  }
+  return g;
+}
+
+}  // namespace diners::verify

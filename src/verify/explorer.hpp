@@ -1,0 +1,129 @@
+// Exhaustive breadth-first exploration of the global-state transition
+// relation of a DinersSystem under an arbitrary (fully nondeterministic)
+// daemon — the model checker's state-graph construction.
+//
+// Vertices are canonical Keys (canonical.hpp); arcs are single enabled
+// actions of live processes. The BFS tree (parent + parent_move per state)
+// yields shortest counterexample stems for free; the per-state enabled
+// mask feeds the weak-fairness SCC analysis in properties.hpp.
+//
+// Malicious crashes are explored exhaustively through a *demonic victim*:
+// when Options::demon_victim is set, the victim is dead in the scratch
+// system (it executes no protocol action) but every state additionally
+// reaches, for every possible assignment of the victim's own writable
+// variables, the state with that assignment written — exactly the set of
+// states a crashing process's finite arbitrary write sequence can produce,
+// interleaved arbitrarily with the rest of the system. Demonic arcs drive
+// reachability and appear in the BFS tree (so counterexample stems can
+// include the malicious writes), but are excluded from the successor lists:
+// the victim writes only finitely often, so the eventual (post-crash)
+// behavior analysed by the SCC machinery is victim-silent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/diners_system.hpp"
+#include "verify/canonical.hpp"
+#include "verify/mutation.hpp"
+
+namespace diners::verify {
+
+inline constexpr std::uint32_t kNoIndex = static_cast<std::uint32_t>(-1);
+
+/// Moves below kDemonMoveBase are protocol moves, flattened as
+/// process * kNumActions + action. kDemonMoveBase + i is the demonic
+/// victim write with crash-assignment index i (fault::apply_crash_assignment
+/// over the codec's depth box).
+inline constexpr std::uint16_t kDemonMoveBase = 0x8000;
+/// parent_move value of seed states (no parent).
+inline constexpr std::uint16_t kSeedMove = 0xFFFF;
+
+[[nodiscard]] constexpr std::uint16_t protocol_move(
+    sim::ProcessId p, sim::ActionIndex a) noexcept {
+  return static_cast<std::uint16_t>(p * core::DinersSystem::kNumActions + a);
+}
+[[nodiscard]] constexpr sim::ProcessId move_process(std::uint16_t m) noexcept {
+  return m / core::DinersSystem::kNumActions;
+}
+[[nodiscard]] constexpr sim::ActionIndex move_action(
+    std::uint16_t m) noexcept {
+  return m % core::DinersSystem::kNumActions;
+}
+
+/// The explored transition graph. States are dense indices in BFS
+/// discovery order; seeds occupy [0, num_seeds).
+struct StateGraph {
+  struct Arc {
+    std::uint32_t to;
+    std::uint16_t move;  ///< always a protocol move (demonic arcs are not
+                         ///< stored; they appear only as parent_move)
+  };
+
+  std::vector<Key> keys;
+  std::unordered_map<Key, std::uint32_t, KeyHash> index;
+
+  /// Per state: bit protocol_move(p, a) set iff the (possibly mutated)
+  /// program has (p, a) enabled there and p is alive.
+  std::vector<std::uint64_t> enabled;
+
+  std::vector<std::uint32_t> parent;       ///< BFS tree; kNoIndex for seeds
+  std::vector<std::uint16_t> parent_move;  ///< kSeedMove for seeds
+
+  /// CSR successor lists over protocol arcs: state i's arcs are
+  /// succ[succ_begin[i] .. succ_begin[i+1]).
+  std::vector<std::uint32_t> succ_begin;
+  std::vector<Arc> succ;
+
+  std::uint32_t num_seeds = 0;
+  /// Max BFS layer reached — the eccentricity of the seed set in the state
+  /// graph (the "diameter" column of the EXPERIMENTS table).
+  std::uint32_t layers = 0;
+  /// False iff exploration stopped at Options::max_states; the property
+  /// checks are only meaningful on a complete graph.
+  bool complete = true;
+
+  [[nodiscard]] std::uint32_t num_states() const noexcept {
+    return static_cast<std::uint32_t>(keys.size());
+  }
+  [[nodiscard]] std::span<const Arc> arcs_of(std::uint32_t i) const {
+    return {succ.data() + succ_begin[i], succ.data() + succ_begin[i + 1]};
+  }
+};
+
+class Explorer {
+ public:
+  struct Options {
+    GuardMutation mutation = GuardMutation::kNone;
+    std::uint32_t max_states = 4'000'000;
+    /// Demonic malicious-crash victim (see file comment). The victim must
+    /// already be dead in the scratch system.
+    std::optional<sim::ProcessId> demon_victim;
+  };
+
+  /// `scratch` supplies the topology, config, needs and alive sets — all
+  /// constant over an exploration (needs is environment input; crashes
+  /// happen between explorations). Its state/depth/priority variables are
+  /// clobbered. Both `scratch` and `codec` must outlive the Explorer.
+  Explorer(core::DinersSystem& scratch, const StateCodec& codec,
+           Options options);
+
+  /// BFS from `seeds` (deduplicated, order preserved) to the full
+  /// reachable set.
+  [[nodiscard]] StateGraph explore(std::span<const Key> seeds);
+
+ private:
+  core::DinersSystem& scratch_;
+  const StateCodec& codec_;
+  Options options_;
+  MutatedDiners program_;
+  /// Demon write patterns: victim-owned bit assignments, and the victim's
+  /// owned-bit mask. Computed once at construction when demon_victim set.
+  std::vector<Key> demon_patterns_;
+  Key demon_mask_;
+};
+
+}  // namespace diners::verify

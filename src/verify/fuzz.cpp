@@ -1,0 +1,227 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+
+#include "analysis/harness.hpp"
+#include "analysis/invariants.hpp"
+#include "core/serialize.hpp"
+#include "fault/injector.hpp"
+#include "runtime/daemon.hpp"
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+namespace diners::verify {
+
+namespace {
+
+using core::DinersSystem;
+
+/// Replays action events on a fresh MutatedDiners and reports whether they
+/// still witness a closure loss: every event legal, I held at some point,
+/// and ¬I at the end. The shrinker's keep-this-removal predicate.
+bool still_fails(const graph::Graph& g, const core::DinersConfig& config,
+                 GuardMutation mutation, const core::SystemSnapshot& start,
+                 const std::vector<CexEvent>& events) {
+  DinersSystem system(g, config);
+  core::restore(system, start);
+  MutatedDiners program(system, mutation);
+  bool reached = analysis::holds_invariant(system);
+  for (const CexEvent& e : events) {
+    if (e.kind != CexEvent::Kind::kAction) return false;
+    if (!program.enabled(e.process, e.action)) return false;
+    program.execute(e.process, e.action);
+    if (analysis::holds_invariant(system)) reached = true;
+  }
+  return reached && !analysis::holds_invariant(system);
+}
+
+/// Greedy chunked ddmin: repeatedly delete the largest removable chunk,
+/// halving the chunk size whenever a full sweep removes nothing. Keeps the
+/// trace a genuine failure witness (still_fails) at every step.
+std::vector<CexEvent> shrink_events(const graph::Graph& g,
+                                    const core::DinersConfig& config,
+                                    GuardMutation mutation,
+                                    const core::SystemSnapshot& start,
+                                    std::vector<CexEvent> events) {
+  std::size_t chunk = std::max<std::size_t>(1, events.size() / 2);
+  while (chunk >= 1) {
+    bool removed_any = false;
+    for (std::size_t i = 0; i + chunk <= events.size();) {
+      std::vector<CexEvent> candidate;
+      candidate.reserve(events.size() - chunk);
+      candidate.insert(candidate.end(), events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(
+          candidate.end(),
+          events.begin() + static_cast<std::ptrdiff_t>(i + chunk),
+          events.end());
+      if (still_fails(g, config, mutation, start, candidate)) {
+        events = std::move(candidate);
+        removed_any = true;  // re-test position i against the shorter trace
+      } else {
+        i += chunk;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    } else {
+      chunk = std::min(chunk, std::max<std::size_t>(1, events.size() / 2));
+    }
+  }
+  return events;
+}
+
+Counterexample make_cex(std::string property, std::string detail,
+                        core::SystemSnapshot start,
+                        std::vector<CexEvent> events) {
+  Counterexample cex;
+  cex.property = std::move(property);
+  cex.detail = std::move(detail);
+  cex.start = std::move(start);
+  cex.stem_length = events.size();  // finite witness, no cycle
+  cex.events = std::move(events);
+  return cex;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const graph::Graph& g, const core::DinersConfig& config,
+                    const FuzzOptions& options) {
+  FuzzReport report;
+  const auto n = g.num_nodes();
+  const std::uint64_t steps =
+      options.steps != 0 ? options.steps : 64ull * n * n;
+  const std::uint64_t window =
+      options.window != 0 ? options.window : 256ull * n;
+
+  for (std::uint64_t t = 0; t < options.trials; ++t) {
+    const std::uint64_t trial_seed = util::derive_seed(options.seed, t);
+    ++report.trials_run;
+
+    // Phase 1 — stabilization from an arbitrary corrupted state: I must be
+    // reached within the step budget and never lost afterwards.
+    {
+      DinersSystem system(g, config);
+      for (DinersSystem::ProcessId p = 0; p < n; ++p) {
+        system.set_needs(p, true);
+      }
+      util::Xoshiro256 rng(trial_seed);
+      fault::corrupt_global_state(system, rng);
+      const core::SystemSnapshot start = core::capture(system);
+
+      MutatedDiners program(system, options.mutation);
+      sim::Engine engine(
+          program,
+          sim::make_daemon(options.daemon, util::derive_seed(trial_seed, 1)),
+          options.fairness_bound);
+
+      std::vector<CexEvent> events;
+      bool reached = analysis::holds_invariant(system);
+      bool lost = false;
+      bool terminated = false;
+      while (engine.steps() < steps) {
+        const auto record = engine.step();
+        if (!record) {
+          terminated = true;
+          break;
+        }
+        CexEvent e;
+        e.kind = CexEvent::Kind::kAction;
+        e.process = record->process;
+        e.action = record->action;
+        events.push_back(std::move(e));
+        const bool inv = analysis::holds_invariant(system);
+        if (!reached && inv) {
+          reached = true;
+          report.stabilization_steps_max =
+              std::max(report.stabilization_steps_max, engine.steps());
+        } else if (reached && !inv) {
+          lost = true;
+          break;
+        }
+      }
+
+      if (lost) {
+        if (options.shrink) {
+          events = shrink_events(g, config, options.mutation, start,
+                                 std::move(events));
+        }
+        report.ok = false;
+        report.detail = "I was reached and then lost (trial " +
+                        std::to_string(t) + ", " +
+                        std::to_string(events.size()) + " events" +
+                        (options.shrink ? " after shrinking" : "") + ")";
+        report.failing_seed = trial_seed;
+        report.cex = make_cex("closure", report.detail, start,
+                              std::move(events));
+        return report;
+      }
+      if (!reached) {
+        report.ok = false;
+        report.failing_seed = trial_seed;
+        if (terminated) {
+          report.detail = "computation terminated outside I after " +
+                          std::to_string(events.size()) + " steps (trial " +
+                          std::to_string(t) + ")";
+          report.cex = make_cex("convergence", report.detail, start,
+                                std::move(events));
+        } else {
+          report.detail = "I not reached within " +
+                          std::to_string(steps) + " steps (trial " +
+                          std::to_string(t) + "); unshrunk schedule kept";
+          report.cex = make_cex("convergence-timeout", report.detail, start,
+                                std::move(events));
+        }
+        return report;
+      }
+    }
+
+    // Phase 2 — failure locality under malicious crashes (only meaningful
+    // for the faithful program: a mutated guard has no locality theorem).
+    if (options.mutation == GuardMutation::kNone && options.crashes > 0) {
+      DinersSystem system(g, config);
+      for (DinersSystem::ProcessId p = 0; p < n; ++p) {
+        system.set_needs(p, true);
+      }
+      util::Xoshiro256 rng(util::derive_seed(trial_seed, 2));
+      sim::Engine engine(
+          system,
+          sim::make_daemon(options.daemon, util::derive_seed(trial_seed, 3)),
+          options.fairness_bound);
+      engine.run(16ull * n);  // warm up: reach steady protocol behavior
+
+      const auto count = std::min<std::size_t>(options.crashes, n - 1);
+      const auto picks = rng.sample_indices(n, count);
+      std::string victims;
+      for (const std::size_t v : picks) {
+        fault::malicious_crash(system,
+                               static_cast<DinersSystem::ProcessId>(v),
+                               options.malicious_steps, rng);
+        if (!victims.empty()) victims += ',';
+        victims += std::to_string(v);
+      }
+      engine.reset_ages();
+
+      const auto starvation =
+          analysis::measure_starvation(system, engine, window);
+      if (!starvation.starved.empty() && starvation.locality_radius > 2) {
+        report.ok = false;
+        report.failing_seed = trial_seed;
+        report.detail =
+            "locality: starvation radius " +
+            std::to_string(starvation.locality_radius) +
+            " > 2 after malicious crash of {" + victims + "} (trial " +
+            std::to_string(t) + ", " +
+            std::to_string(starvation.starved.size()) +
+            " starved, window " + std::to_string(window) + ")";
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace diners::verify

@@ -1,0 +1,57 @@
+// Property-based verification for instances beyond exhaustive reach: random
+// corrupted starts and random daemon schedules, with ddmin-style greedy
+// trace shrinking of any failure found.
+//
+// Each trial runs two phases:
+//   1. Stabilization: corrupt the whole state, run a seeded daemon, and
+//      require that I = NC ∧ ST ∧ E is reached within the step budget and
+//      never lost afterwards (convergence + closure along the schedule).
+//      A closure loss yields a shrunk, replayable Counterexample.
+//   2. Failure locality (mutation-free trials only): from a clean start,
+//      malicious-crash random victims mid-run and require the measured
+//      starvation locality radius to stay <= 2 (Theorems 2/3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "verify/counterexample.hpp"
+#include "verify/mutation.hpp"
+
+namespace diners::verify {
+
+struct FuzzOptions {
+  std::uint64_t trials = 500;
+  std::uint64_t seed = 1;
+  /// Steps per stabilization trial; 0 = 64 * n * n (generous for the
+  /// paper's convergence bound on small n).
+  std::uint64_t steps = 0;
+  bool shrink = true;
+  GuardMutation mutation = GuardMutation::kNone;
+  std::string daemon = "random";
+  std::uint64_t fairness_bound = 64;
+  /// Phase 2: victims per trial and malicious write budget per victim.
+  std::uint32_t crashes = 1;
+  std::uint32_t malicious_steps = 3;
+  /// Phase 2 starvation window; 0 = 256 * n.
+  std::uint64_t window = 0;
+};
+
+struct FuzzReport {
+  bool ok = true;
+  std::uint64_t trials_run = 0;
+  std::uint64_t stabilization_steps_max = 0;  ///< slowest observed trial
+  std::string detail;                         ///< failure description
+  std::uint64_t failing_seed = 0;             ///< derived trial seed
+  /// Phase-1 failures carry a (shrunk, if requested) replayable trace.
+  std::optional<Counterexample> cex;
+};
+
+[[nodiscard]] FuzzReport run_fuzz(const graph::Graph& g,
+                                  const core::DinersConfig& config,
+                                  const FuzzOptions& options);
+
+}  // namespace diners::verify

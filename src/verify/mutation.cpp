@@ -1,0 +1,61 @@
+#include "verify/mutation.hpp"
+
+#include <stdexcept>
+
+namespace diners::verify {
+
+GuardMutation parse_guard_mutation(const std::string& text) {
+  if (text == "none") return GuardMutation::kNone;
+  if (text == "no-fixdepth") return GuardMutation::kNoFixdepth;
+  if (text == "greedy-enter") return GuardMutation::kGreedyEnter;
+  throw std::invalid_argument("bad mutation '" + text +
+                              "' (want none|no-fixdepth|greedy-enter)");
+}
+
+std::string_view to_string(GuardMutation m) noexcept {
+  switch (m) {
+    case GuardMutation::kNone: return "none";
+    case GuardMutation::kNoFixdepth: return "no-fixdepth";
+    case GuardMutation::kGreedyEnter: return "greedy-enter";
+  }
+  return "?";
+}
+
+bool MutatedDiners::enabled(sim::ProcessId p, sim::ActionIndex a) const {
+  switch (mutation_) {
+    case GuardMutation::kNone:
+      break;
+    case GuardMutation::kNoFixdepth:
+      if (a == core::DinersSystem::kFixDepth) return false;
+      break;
+    case GuardMutation::kGreedyEnter:
+      if (a == core::DinersSystem::kEnter) {
+        if (system_.state(p) != core::DinerState::kHungry) return false;
+        for (sim::ProcessId q : system_.topology().neighbors(p)) {
+          if (system_.is_direct_ancestor(q, p) &&
+              system_.state(q) != core::DinerState::kThinking) {
+            return false;
+          }
+        }
+        return true;  // the no-eating-descendant conjunct is dropped
+      }
+      break;
+  }
+  return system_.enabled(p, a);
+}
+
+void MutatedDiners::execute(sim::ProcessId p, sim::ActionIndex a) {
+  // The greedy enter may fire when the genuine guard is false; the genuine
+  // execute() would throw, so apply the enter command directly.
+  if (mutation_ == GuardMutation::kGreedyEnter &&
+      a == core::DinersSystem::kEnter && !system_.enabled(p, a)) {
+    if (!enabled(p, a)) {
+      throw std::logic_error("MutatedDiners::execute: action is not enabled");
+    }
+    system_.set_state(p, core::DinerState::kEating);
+    return;
+  }
+  system_.execute(p, a);
+}
+
+}  // namespace diners::verify

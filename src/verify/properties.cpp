@@ -1,0 +1,308 @@
+#include "verify/properties.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "analysis/invariants.hpp"
+#include "graph/algorithms.hpp"
+
+namespace diners::verify {
+
+namespace {
+
+using core::DinersSystem;
+
+constexpr std::uint32_t kNoMove = static_cast<std::uint32_t>(-1);
+
+/// Bits of every process's join action — excluded from the fairness-forced
+/// set (see the file comment of properties.hpp).
+constexpr std::uint64_t join_bits() noexcept {
+  std::uint64_t m = 0;
+  for (unsigned pos = DinersSystem::kJoin; pos < 64;
+       pos += DinersSystem::kNumActions) {
+    m |= std::uint64_t{1} << pos;
+  }
+  return m;
+}
+constexpr std::uint64_t kJoinBits = join_bits();
+
+struct FairCycle {
+  std::uint32_t entry;
+  std::vector<StateGraph::Arc> cycle;
+  std::size_t scc_size;
+};
+
+/// Shortest cycle through `entry` using intra-SCC arcs (comp[x] == id,
+/// move != excluded). Precondition: such a cycle exists (the SCC has an
+/// intra-arc and is strongly connected).
+std::vector<StateGraph::Arc> shortest_cycle(
+    const StateGraph& g, const std::vector<std::uint32_t>& comp,
+    std::uint32_t id, std::uint32_t excluded_move, std::uint32_t entry) {
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  // BFS from entry; parent arc per reached member.
+  std::unordered_map<std::uint32_t, std::pair<std::uint32_t, StateGraph::Arc>>
+      parent;  // node -> (predecessor, arc into node)
+  std::deque<std::uint32_t> queue{entry};
+  std::uint32_t closing_from = kUnset;
+  StateGraph::Arc closing_arc{};
+  while (!queue.empty() && closing_from == kUnset) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (const auto& arc : g.arcs_of(u)) {
+      if (arc.move == excluded_move || comp[arc.to] != id) continue;
+      if (arc.to == entry) {
+        closing_from = u;
+        closing_arc = arc;
+        break;
+      }
+      if (arc.to != entry && !parent.contains(arc.to)) {
+        parent.emplace(arc.to, std::make_pair(u, arc));
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  std::vector<StateGraph::Arc> cycle;
+  cycle.push_back(closing_arc);
+  for (std::uint32_t v = closing_from; v != entry;) {
+    const auto& [pred, arc] = parent.at(v);
+    cycle.push_back(arc);
+    v = pred;
+  }
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+/// Iterative Tarjan over the subgraph induced by `in_set` minus
+/// `excluded_move` arcs; returns the first weakly-fair-feasible SCC found
+/// (see properties.hpp for the exactness argument).
+std::optional<FairCycle> find_fair_cycle(const StateGraph& g,
+                                         const std::vector<std::uint8_t>& in_set,
+                                         std::uint32_t excluded_move) {
+  const std::uint32_t n = g.num_states();
+  std::vector<std::uint32_t> idx(n, kNoIndex), low(n, 0), comp(n, kNoIndex);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t counter = 0, comp_counter = 0;
+
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t arc;
+  };
+  std::vector<Frame> dfs;
+
+  const auto allowed = [&](const StateGraph::Arc& arc) {
+    return arc.move != excluded_move && in_set[arc.to] != 0;
+  };
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (in_set[root] == 0 || idx[root] != kNoIndex) continue;
+    idx[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    dfs.push_back({root, g.succ_begin[root]});
+
+    while (!dfs.empty()) {
+      const std::uint32_t u = dfs.back().node;
+      if (dfs.back().arc < g.succ_begin[u + 1]) {
+        const StateGraph::Arc arc = g.succ[dfs.back().arc++];
+        if (!allowed(arc)) continue;
+        if (idx[arc.to] == kNoIndex) {
+          idx[arc.to] = low[arc.to] = counter++;
+          stack.push_back(arc.to);
+          on_stack[arc.to] = 1;
+          dfs.push_back({arc.to, g.succ_begin[arc.to]});
+        } else if (on_stack[arc.to]) {
+          low[u] = std::min(low[u], idx[arc.to]);
+        }
+        continue;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        low[dfs.back().node] = std::min(low[dfs.back().node], low[u]);
+      }
+      if (low[u] != idx[u]) continue;
+
+      // u is an SCC root: pop the members and test fairness feasibility.
+      const std::uint32_t id = comp_counter++;
+      std::vector<std::uint32_t> members;
+      for (;;) {
+        const std::uint32_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = 0;
+        comp[w] = id;
+        members.push_back(w);
+        if (w == u) break;
+      }
+      std::uint64_t always = ~std::uint64_t{0};
+      std::uint64_t executed = 0;
+      bool has_arc = false;
+      for (std::uint32_t m : members) {
+        always &= g.enabled[m];
+        for (const auto& arc : g.arcs_of(m)) {
+          if (!allowed(arc) || comp[arc.to] != id) continue;
+          has_arc = true;
+          executed |= std::uint64_t{1} << arc.move;
+        }
+      }
+      always &= ~kJoinBits;
+      if (!has_arc || (always & ~executed) != 0) continue;
+
+      const std::uint32_t entry =
+          *std::min_element(members.begin(), members.end());
+      return FairCycle{entry,
+                       shortest_cycle(g, comp, id, excluded_move, entry),
+                       members.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+bool terminal(const StateGraph& g, std::uint32_t i) {
+  return g.succ_begin[i + 1] == g.succ_begin[i];
+}
+
+Violation cycle_violation(std::string property, std::string detail,
+                          FairCycle&& fc) {
+  Violation v;
+  v.kind = Violation::Kind::kCycle;
+  v.property = std::move(property);
+  v.detail = std::move(detail) + " (fair-feasible SCC of " +
+             std::to_string(fc.scc_size) + " states, witness cycle length " +
+             std::to_string(fc.cycle.size()) + ")";
+  v.state = fc.entry;
+  v.cycle = std::move(fc.cycle);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> label_invariant(const StateGraph& g,
+                                          const StateCodec& codec,
+                                          core::DinersSystem& scratch) {
+  std::vector<std::uint8_t> inv(g.num_states(), 0);
+  analysis::ShallowContext ctx;
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    codec.decode(g.keys[i], scratch);
+    ctx.refresh(scratch);
+    inv[i] = analysis::holds_invariant(scratch, ctx) ? 1 : 0;
+  }
+  return inv;
+}
+
+std::vector<std::uint8_t> label_far_violation(
+    const StateGraph& g, const StateCodec& codec,
+    const core::DinersSystem& scratch,
+    const std::vector<std::uint32_t>& dist, std::uint32_t radius) {
+  std::vector<std::uint8_t> bad(g.num_states(), 0);
+  const auto& edges = codec.topology().edges();
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    for (graph::EdgeId e = 0; e < codec.topology().num_edges(); ++e) {
+      const auto u = edges[e].u, v = edges[e].v;
+      if (codec.state_of(g.keys[i], u) != core::DinerState::kEating ||
+          codec.state_of(g.keys[i], v) != core::DinerState::kEating) {
+        continue;
+      }
+      const bool far_live_endpoint =
+          (scratch.alive(u) && dist[u] > radius) ||
+          (scratch.alive(v) && dist[v] > radius);
+      if (far_live_endpoint) {
+        bad[i] = 1;
+        break;
+      }
+    }
+  }
+  return bad;
+}
+
+std::optional<Violation> check_closure(
+    const StateGraph& g, const std::vector<std::uint8_t>& invariant) {
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    if (invariant[i] == 0) continue;
+    for (const auto& arc : g.arcs_of(i)) {
+      if (invariant[arc.to] != 0) continue;
+      Violation v;
+      v.kind = Violation::Kind::kClosure;
+      v.property = "closure";
+      v.detail = "process " + std::to_string(move_process(arc.move)) +
+                 " action " + std::to_string(move_action(arc.move)) +
+                 " leads from an I-state to a state outside I";
+      v.state = i;
+      v.move = arc.move;
+      v.successor = arc.to;
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_convergence(
+    const StateGraph& g, const std::vector<std::uint8_t>& invariant) {
+  std::vector<std::uint8_t> bad(g.num_states());
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    bad[i] = invariant[i] == 0 ? 1 : 0;
+    if (bad[i] != 0 && terminal(g, i)) {
+      Violation v;
+      v.kind = Violation::Kind::kStuck;
+      v.property = "convergence";
+      v.detail = "terminal state outside I (no action enabled)";
+      v.state = i;
+      return v;
+    }
+  }
+  if (auto fc = find_fair_cycle(g, bad, kNoMove)) {
+    return cycle_violation("convergence",
+                           "weakly fair run stays outside I forever",
+                           std::move(*fc));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_far_safety(
+    const StateGraph& g, const std::vector<std::uint8_t>& far_bad) {
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    if (far_bad[i] != 0 && terminal(g, i)) {
+      Violation v;
+      v.kind = Violation::Kind::kStuck;
+      v.property = "far-safety";
+      v.detail = "terminal state keeps a far eating violation";
+      v.state = i;
+      return v;
+    }
+  }
+  if (auto fc = find_fair_cycle(g, far_bad, kNoMove)) {
+    return cycle_violation(
+        "far-safety", "weakly fair run keeps a far eating violation forever",
+        std::move(*fc));
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_no_starvation(const StateGraph& g,
+                                             const StateCodec& codec,
+                                             sim::ProcessId p) {
+  std::vector<std::uint8_t> hungry(g.num_states());
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    hungry[i] =
+        codec.state_of(g.keys[i], p) == core::DinerState::kHungry ? 1 : 0;
+    if (hungry[i] != 0 && terminal(g, i)) {
+      Violation v;
+      v.kind = Violation::Kind::kStuck;
+      v.property = "starvation";
+      v.detail = "process " + std::to_string(p) +
+                 " is hungry in a terminal state";
+      v.state = i;
+      return v;
+    }
+  }
+  if (auto fc = find_fair_cycle(g, hungry,
+                                protocol_move(p, DinersSystem::kEnter))) {
+    return cycle_violation("starvation",
+                           "process " + std::to_string(p) +
+                               " stays hungry forever without eating",
+                           std::move(*fc));
+  }
+  return std::nullopt;
+}
+
+}  // namespace diners::verify

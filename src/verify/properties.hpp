@@ -1,0 +1,100 @@
+// The paper's theorems as decidable properties of an explored StateGraph.
+//
+// Temporal reasoning under weak fairness is done at SCC granularity, and
+// the feasibility condition used is *exact* for this transition system: a
+// set of states C (strongly connected via a chosen arc set) hosts a weakly
+// fair infinite run iff C has at least one intra-arc and every action that
+// is enabled in EVERY state of C is executed by some intra-arc.
+//
+//   - If some action α is enabled throughout C but never executed inside C,
+//     any run staying in C keeps α continuously enabled and never fires it:
+//     not weakly fair. The same argument kills every strongly connected
+//     subset of C: α is enabled throughout the subset too, and the subset
+//     executes a subset of C's arcs.  (Checking maximal SCCs suffices.)
+//   - Conversely, the closed walk that traverses every intra-arc of C in
+//     turn (joining consecutive arcs by paths inside C) is an infinite fair
+//     run: any action continuously enabled from some point on is enabled in
+//     all of C, hence executed by one of the walk's arcs infinitely often.
+//
+// Weak fairness is per (process, action), matching the engine's fairness
+// machinery — with one deliberate exception: `join` is never treated as
+// fairness-forced. In the paper, becoming hungry is the environment's
+// choice (a philosopher may never hunger), so a convergence or locality
+// argument must not rely on a join being forced to fire. Excluding join
+// from the always-enabled set only admits more candidate runs, keeping the
+// checks conservative for every environment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/diners_system.hpp"
+#include "verify/canonical.hpp"
+#include "verify/explorer.hpp"
+
+namespace diners::verify {
+
+/// Per-state truth of I = NC ∧ ST ∧ E, by decoding every key into
+/// `scratch` (whose needs/alive must match the exploration's).
+[[nodiscard]] std::vector<std::uint8_t> label_invariant(
+    const StateGraph& g, const StateCodec& codec,
+    core::DinersSystem& scratch);
+
+/// Per-state: some edge has both endpoints eating with a live endpoint at
+/// graph distance > `radius` from the dead set (`dist` as produced by
+/// graph::distances_to_set over the dead processes) — an eating violation
+/// that failure locality `radius` forbids from persisting.
+[[nodiscard]] std::vector<std::uint8_t> label_far_violation(
+    const StateGraph& g, const StateCodec& codec,
+    const core::DinersSystem& scratch,
+    const std::vector<std::uint32_t>& dist, std::uint32_t radius);
+
+struct Violation {
+  enum class Kind {
+    kClosure,  ///< an I-state steps outside I
+    kStuck,    ///< a terminal state violates the target predicate
+    kCycle,    ///< a fair-feasible cycle stays inside the bad set
+  };
+
+  Kind kind;
+  std::string property;  ///< "closure", "convergence", "far-safety", ...
+  std::string detail;    ///< human-readable specifics
+
+  std::uint32_t state = kNoIndex;  ///< closure: the I-state; stuck: the
+                                   ///< terminal state; cycle: cycle entry
+  /// kClosure only: the violating move and the resulting ¬I state.
+  std::uint16_t move = kSeedMove;
+  std::uint32_t successor = kNoIndex;
+  /// kCycle only: a shortest cycle through `state` inside the (proven
+  /// fair-feasible) SCC, as consecutive arcs starting and ending at
+  /// `state`.
+  std::vector<StateGraph::Arc> cycle;
+};
+
+/// Closure of I: no state satisfying I has a one-step successor outside I.
+[[nodiscard]] std::optional<Violation> check_closure(
+    const StateGraph& g, const std::vector<std::uint8_t>& invariant);
+
+/// Convergence to I: no reachable terminal state violates I, and no
+/// fair-feasible cycle stays within ¬I — so every weakly fair path from
+/// every reachable state eventually satisfies I (and stays, by closure).
+[[nodiscard]] std::optional<Violation> check_convergence(
+    const StateGraph& g, const std::vector<std::uint8_t>& invariant);
+
+/// Failure-locality safety: far eating violations (label_far_violation)
+/// die out on every fair path — no terminal state carries one and no
+/// fair-feasible cycle stays within the far-violating set.
+[[nodiscard]] std::optional<Violation> check_far_safety(
+    const StateGraph& g, const std::vector<std::uint8_t>& far_bad);
+
+/// Failure-locality liveness for one far process p: p cannot remain hungry
+/// forever without eating — no terminal state has p hungry, and the states
+/// with p hungry host no fair-feasible cycle once (p, enter) arcs are
+/// removed. (A run leaving p's hungry set passes through p's leave or
+/// enter; leave-cycling is p's own protocol choice and is not starvation.)
+[[nodiscard]] std::optional<Violation> check_no_starvation(
+    const StateGraph& g, const StateCodec& codec, sim::ProcessId p);
+
+}  // namespace diners::verify

@@ -6,6 +6,7 @@
 #include "fault/injector.hpp"
 #include "graph/generators.hpp"
 #include "runtime/engine.hpp"
+#include "util/rng.hpp"
 
 namespace diners::analysis {
 namespace {
@@ -174,6 +175,59 @@ TEST(Invariant, RegressionK3ClosureWitnessUnderPaperThreshold) {
     s.execute(2, DinersSystem::kExit);
     EXPECT_TRUE(holds_invariant(s));
   }
+}
+
+TEST(Invariant, ClosedUnderEveryDaemon) {
+  // Closure of I (Theorem 1's closed half) must not depend on the schedule:
+  // from a legitimate hungry start under the sound threshold, every one of
+  // the four daemons keeps I at every step.
+  for (const char* daemon :
+       {"round-robin", "random", "adversarial-age", "biased"}) {
+    core::DinersConfig cfg;
+    cfg.diameter_override = 5;  // sound threshold n - 1 for ring-6
+    DinersSystem s(graph::make_ring(6), cfg);
+    for (P p = 0; p < 6; ++p) s.set_needs(p, true);
+    ASSERT_TRUE(holds_invariant(s)) << daemon;
+    sim::Engine engine(s, sim::make_daemon(daemon, 9), 64);
+    for (int i = 0; i < 1500; ++i) {
+      if (!engine.step()) break;
+      ASSERT_TRUE(holds_invariant(s))
+          << "I broken at step " << i << " under daemon " << daemon;
+    }
+  }
+}
+
+TEST(ShallowContext, MatchesTheNaivePredicatesOnCorruptedStates) {
+  // Differential test for the memoized path: on random graphs and random
+  // corrupted states (including crashes), every context overload agrees
+  // with its naive counterpart.
+  util::Xoshiro256 rng(21);
+  for (int round = 0; round < 8; ++round) {
+    DinersSystem s(graph::make_connected_gnp(7, 0.35, 100 + round));
+    ShallowContext ctx(s);
+    for (int trial = 0; trial < 25; ++trial) {
+      fault::corrupt_global_state(s, rng);
+      if (trial == 10) s.crash(static_cast<P>(round % 7));
+      ctx.refresh(s);  // priorities (and possibly alive) changed
+      EXPECT_EQ(holds_nc(s, ctx), holds_nc(s));
+      EXPECT_EQ(shallow_processes(s, ctx), shallow_processes(s));
+      EXPECT_EQ(stably_shallow_processes(s, ctx),
+                stably_shallow_processes(s));
+      EXPECT_EQ(holds_st(s, ctx), holds_st(s));
+      EXPECT_EQ(holds_invariant(s, ctx), holds_invariant(s));
+    }
+  }
+}
+
+TEST(ShallowContext, SurvivesStateAndDepthWritesWithoutRefresh) {
+  // The documented validity contract: state/depth writes do not invalidate
+  // the context.
+  DinersSystem s(graph::make_path(5));
+  ShallowContext ctx(s);
+  s.set_depth(2, 9);
+  s.set_state(1, DinerState::kEating);
+  EXPECT_EQ(holds_st(s, ctx), holds_st(s));
+  EXPECT_EQ(holds_invariant(s, ctx), holds_invariant(s));
 }
 
 TEST(Invariant, Figure2FrameIsTransientAndGetsRepaired) {

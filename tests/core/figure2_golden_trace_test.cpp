@@ -1,0 +1,83 @@
+// Golden-trace regression for the Figure 2 scenario: the exact event
+// sequence of the deterministic round-robin schedule is pinned to a
+// checked-in file. Any change to guards, action ordering, daemon
+// tie-breaking, or engine bookkeeping that alters the reproduced figure
+// shows up as a readable trace diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/invariants.hpp"
+#include "core/figure2.hpp"
+#include "runtime/daemon.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/trace.hpp"
+
+#ifndef DINERS_TEST_DATA_DIR
+#error "DINERS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace diners::core {
+namespace {
+
+std::string golden_path() {
+  return std::string(DINERS_TEST_DATA_DIR) + "/figure2_golden_trace.txt";
+}
+
+std::string process_name(sim::ProcessId p) {
+  return std::string(1, static_cast<char>('a' + p));
+}
+
+/// The canonical deterministic reproduction: round-robin daemon, fairness
+/// bound 64, 120 steps from the figure's first frame.
+std::string render_trace() {
+  DinersSystem s = make_figure2_system();
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  sim::TraceRecorder recorder;
+  recorder.attach(engine);
+  engine.run(120);
+  std::ostringstream os;
+  recorder.print(os, process_name);
+  return os.str();
+}
+
+TEST(Figure2Golden, TraceMatchesTheCheckedInFile) {
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << golden_path()
+      << " — regenerate with: diners_sim --topology=figure2 "
+         "--daemon=round-robin --seed=1 --steps=120 --trace";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(render_trace(), expected.str())
+      << "the deterministic Figure 2 trace changed; if intentional, update "
+      << golden_path();
+}
+
+TEST(Figure2Golden, TraceIsStableAcrossRuns) {
+  EXPECT_EQ(render_trace(), render_trace());
+}
+
+TEST(Figure2Golden, NarratedEventsAppearInOrder) {
+  // Independent of the exact golden bytes, the paper's narrated sequence
+  // must hold: d leaves, g exits the cycle, e eats.
+  DinersSystem s = make_figure2_system();
+  sim::Engine engine(s, sim::make_daemon("round-robin", 1), 64);
+  sim::TraceRecorder recorder;
+  recorder.attach(engine);
+  engine.run(120);
+  const auto d_leave = recorder.first(Figure2::d, "leave");
+  const auto g_exit = recorder.first(Figure2::g, "exit");
+  const auto e_enter = recorder.first(Figure2::e, "enter");
+  ASSERT_NE(d_leave, std::uint64_t(-1));
+  ASSERT_NE(g_exit, std::uint64_t(-1));
+  ASSERT_NE(e_enter, std::uint64_t(-1));
+  EXPECT_LT(g_exit, e_enter);
+  EXPECT_EQ(recorder.count(Figure2::b, "enter"), 0u);
+  EXPECT_EQ(recorder.count(Figure2::c, "enter"), 0u);
+}
+
+}  // namespace
+}  // namespace diners::core

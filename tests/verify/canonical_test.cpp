@@ -1,0 +1,117 @@
+#include "verify/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/diners_system.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace diners::verify {
+namespace {
+
+using core::DinerState;
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+TEST(StateCodec, RejectsBadBoxAndOversizedInstances) {
+  EXPECT_THROW(StateCodec(graph::make_ring(4), 3, 2), std::invalid_argument);
+  // 24 processes x (2 + depth bits) + 24 edges > 128 bits.
+  EXPECT_THROW(StateCodec(graph::make_ring(24), 0, 127),
+               std::invalid_argument);
+}
+
+TEST(StateCodec, EncodeDecodeRoundTripsRandomStates) {
+  DinersSystem s(graph::make_connected_gnp(6, 0.4, 7));
+  const StateCodec codec(s.topology(), 0, 6);
+  util::Xoshiro256 rng(11);
+  fault::CorruptionOptions box;
+  box.depth_slack = 0;  // keep depths inside the codec box
+  for (int trial = 0; trial < 200; ++trial) {
+    fault::corrupt_global_state(s, rng, box);
+    const Key k = codec.encode(s);
+    DinersSystem t(s.topology());
+    codec.decode(k, t);
+    for (P p = 0; p < 6; ++p) {
+      EXPECT_EQ(t.state(p), s.state(p));
+      EXPECT_EQ(t.depth(p), s.depth(p));
+    }
+    for (const auto& edge : s.topology().edges()) {
+      EXPECT_EQ(t.priority(edge.u, edge.v), s.priority(edge.u, edge.v));
+    }
+    EXPECT_EQ(codec.encode(t), k);
+  }
+}
+
+TEST(StateCodec, FieldReadersMatchTheSystem) {
+  DinersSystem s(graph::make_star(5));
+  const StateCodec codec(s.topology(), -1, 5);
+  s.set_state(2, DinerState::kEating);
+  s.set_depth(2, -1);
+  s.set_depth(0, 5);
+  s.set_priority(0, 3, 3);
+  const Key k = codec.encode(s);
+  EXPECT_EQ(codec.state_of(k, 2), DinerState::kEating);
+  EXPECT_EQ(codec.depth_of(k, 2), -1);
+  EXPECT_EQ(codec.depth_of(k, 0), 5);
+  EXPECT_EQ(codec.edge_owner(k, s.topology().edge_index(0, 3)), 3u);
+}
+
+TEST(StateCodec, DepthsSaturateIntoTheBox) {
+  DinersSystem s(graph::make_path(3));
+  const StateCodec codec(s.topology(), 0, 3);
+  s.set_depth(1, 99);
+  s.set_depth(2, -7);
+  const Key k = codec.encode(s);
+  EXPECT_EQ(codec.depth_of(k, 1), 3);
+  EXPECT_EQ(codec.depth_of(k, 2), 0);
+}
+
+TEST(StateCodec, DomainEnumerationIsABijection) {
+  // path-3, depths {0,1}: 3^3 * 2^3 * 2^2 = 864 distinct keys, each
+  // round-tripping through decode/encode.
+  DinersSystem s(graph::make_path(3));
+  const StateCodec codec(s.topology(), 0, 1);
+  ASSERT_EQ(codec.domain_size(), 864u);
+  std::unordered_set<Key, KeyHash> seen;
+  for (std::uint64_t i = 0; i < codec.domain_size(); ++i) {
+    const Key k = codec.domain_key(i);
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate domain key at " << i;
+    codec.decode(k, s);
+    EXPECT_EQ(codec.encode(s), k);
+  }
+}
+
+TEST(StateCodec, ProcessMaskCoversExactlyTheOwnedBits) {
+  DinersSystem s(graph::make_ring(4));
+  const StateCodec codec(s.topology(), 0, 3);
+  // Flipping everything p owns changes only bits inside process_mask(p).
+  const Key base = codec.encode(s);
+  s.set_state(1, DinerState::kEating);
+  s.set_depth(1, 3);
+  for (P q : s.topology().neighbors(1)) s.set_priority(1, q, 1);
+  const Key changed = codec.encode(s);
+  const Key diff{base.lo ^ changed.lo, base.hi ^ changed.hi};
+  const Key mask = codec.process_mask(1);
+  EXPECT_EQ(key_andnot(diff, mask), (Key{0, 0}));
+  // And the mask is wide enough to hold every crash assignment.
+  EXPECT_EQ(fault::num_crash_assignments(s, 1, 0, 3), 3u * 4u * 4u);
+}
+
+TEST(StateCodec, CrashAssignmentsEnumerateEveryVictimAssignment) {
+  DinersSystem s(graph::make_path(3));
+  const StateCodec codec(s.topology(), 0, 2);
+  const auto total = fault::num_crash_assignments(s, 1, 0, 2);
+  ASSERT_EQ(total, 3u * 3u * 4u);  // 3 states x 3 depths x 2 edges
+  std::unordered_set<Key, KeyHash> patterns;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    fault::apply_crash_assignment(s, 1, i, 0, 2);
+    patterns.insert(key_and(codec.encode(s), codec.process_mask(1)));
+  }
+  EXPECT_EQ(patterns.size(), total);
+}
+
+}  // namespace
+}  // namespace diners::verify

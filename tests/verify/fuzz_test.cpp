@@ -1,0 +1,114 @@
+#include "verify/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/invariants.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+#include "verify/counterexample.hpp"
+
+namespace diners::verify {
+namespace {
+
+using core::DinersConfig;
+using core::DinersSystem;
+
+DinersConfig sound_config(std::uint32_t n) {
+  DinersConfig cfg;
+  cfg.diameter_override = n - 1;  // the repo's documented sound threshold
+  return cfg;
+}
+
+TEST(Fuzz, CleanRunOnRing5SoundThreshold) {
+  FuzzOptions options;
+  options.trials = 40;
+  options.seed = 3;
+  FuzzReport report =
+      run_fuzz(graph::make_ring(5), sound_config(5), options);
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_EQ(report.trials_run, 40u);
+  EXPECT_GT(report.stabilization_steps_max, 0u);
+  EXPECT_FALSE(report.cex.has_value());
+}
+
+TEST(Fuzz, IsDeterministicForAFixedSeed) {
+  FuzzOptions options;
+  options.trials = 8;
+  options.seed = 17;
+  options.crashes = 0;  // phase 1 only, fully deterministic given the seed
+  const graph::Graph g = graph::make_ring(4);
+  const DinersConfig cfg = sound_config(4);
+  FuzzReport a = run_fuzz(g, cfg, options);
+  FuzzReport b = run_fuzz(g, cfg, options);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.stabilization_steps_max, b.stabilization_steps_max);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+TEST(Fuzz, GreedyEnterMutationYieldsAShrunkReplayableCounterexample) {
+  // kGreedyEnter drops the no-eating-descendant conjunct from enter: the
+  // fuzzer must catch a safety failure, and the shrunk witness must still
+  // fail under the *mutated* program when replayed from its snapshot.
+  FuzzOptions options;
+  options.trials = 200;
+  options.seed = 5;
+  options.mutation = GuardMutation::kGreedyEnter;
+  options.shrink = true;
+  const graph::Graph g = graph::make_ring(6);
+  const DinersConfig cfg = sound_config(6);
+  FuzzReport report = run_fuzz(g, cfg, options);
+  ASSERT_FALSE(report.ok);
+  ASSERT_TRUE(report.cex.has_value());
+  EXPECT_FALSE(report.cex->events.empty());
+
+  // Replay the shrunk events on a fresh mutated system: every event legal,
+  // and the invariant violated at the end (the witness survived shrinking).
+  DinersSystem system(g, cfg);
+  core::restore(system, report.cex->start);
+  MutatedDiners program(system, GuardMutation::kGreedyEnter);
+  for (const CexEvent& e : report.cex->events) {
+    ASSERT_EQ(e.kind, CexEvent::Kind::kAction);
+    ASSERT_TRUE(program.enabled(e.process, e.action));
+    program.execute(e.process, e.action);
+  }
+  EXPECT_FALSE(analysis::holds_invariant(system));
+
+  // Minimality of the greedy shrinker's fixpoint: no single remaining
+  // event is removable.
+  for (std::size_t skip = 0; skip < report.cex->events.size(); ++skip) {
+    DinersSystem s2(g, cfg);
+    core::restore(s2, report.cex->start);
+    MutatedDiners p2(s2, GuardMutation::kGreedyEnter);
+    bool legal = true;
+    bool reached = analysis::holds_invariant(s2);
+    for (std::size_t i = 0; i < report.cex->events.size(); ++i) {
+      if (i == skip) continue;
+      const CexEvent& e = report.cex->events[i];
+      if (!p2.enabled(e.process, e.action)) {
+        legal = false;
+        break;
+      }
+      p2.execute(e.process, e.action);
+      if (analysis::holds_invariant(s2)) reached = true;
+    }
+    EXPECT_FALSE(legal && reached && !analysis::holds_invariant(s2))
+        << "event " << skip << " is removable";
+  }
+}
+
+TEST(Fuzz, PaperThresholdRingLosesClosureUnderFuzzing) {
+  // The erratum, found by fuzzing alone: with D = diameter the unmutated
+  // program can reach I and then lose it on ring-8.
+  FuzzOptions options;
+  options.trials = 500;
+  options.seed = 1;
+  options.crashes = 0;
+  DinersConfig cfg;  // D defaults to the graph diameter = 4
+  FuzzReport report = run_fuzz(graph::make_ring(8), cfg, options);
+  ASSERT_FALSE(report.ok);
+  ASSERT_TRUE(report.cex.has_value());
+  EXPECT_EQ(report.cex->property, "closure");
+}
+
+}  // namespace
+}  // namespace diners::verify

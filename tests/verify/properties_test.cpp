@@ -1,0 +1,202 @@
+#include "verify/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "analysis/invariants.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+#include "verify/explorer.hpp"
+
+namespace diners::verify {
+namespace {
+
+using core::DinersConfig;
+using core::DinersSystem;
+using P = DinersSystem::ProcessId;
+
+/// Hand-built state graphs pin the weak-fairness SCC feasibility condition
+/// exactly (see properties.hpp for the proof sketch it implements).
+StateGraph tiny_graph(std::vector<std::uint64_t> enabled,
+                      std::vector<std::vector<StateGraph::Arc>> arcs) {
+  StateGraph g;
+  const auto n = enabled.size();
+  g.keys.resize(n);
+  g.enabled = std::move(enabled);
+  g.parent.assign(n, kNoIndex);
+  g.parent_move.assign(n, kSeedMove);
+  g.num_seeds = static_cast<std::uint32_t>(n);
+  g.succ_begin.push_back(0);
+  for (auto& out : arcs) {
+    for (const auto& a : out) g.succ.push_back(a);
+    g.succ_begin.push_back(static_cast<std::uint32_t>(g.succ.size()));
+  }
+  return g;
+}
+
+constexpr std::uint16_t kMoveA = protocol_move(0, DinersSystem::kLeave);
+constexpr std::uint16_t kMoveB = protocol_move(1, DinersSystem::kEnter);
+constexpr std::uint16_t kMoveJoin = protocol_move(1, DinersSystem::kJoin);
+
+TEST(FairCycle, CycleExecutingEveryAlwaysEnabledActionIsFeasible) {
+  // Two states looping via kMoveA; only kMoveA is enabled anywhere, so the
+  // loop executes everything weak fairness can force.
+  auto g = tiny_graph({std::uint64_t{1} << kMoveA, std::uint64_t{1} << kMoveA},
+                      {{{1, kMoveA}}, {{0, kMoveA}}});
+  const std::vector<std::uint8_t> bad{1, 1};
+  const auto v = check_convergence(g, {0, 0});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Violation::Kind::kCycle);
+  EXPECT_EQ(v->cycle.size(), 2u);
+  // The witness starts and ends at the reported entry state.
+  EXPECT_EQ(v->cycle.back().to, v->state);
+}
+
+TEST(FairCycle, ContinuouslyEnabledUnexecutedActionKillsTheCycle) {
+  // Same loop, but kMoveB is enabled in both states and never fired: any
+  // run staying in the loop is unfair, so no violation exists (both states
+  // are non-terminal, so the stuck check does not fire either).
+  const std::uint64_t both =
+      (std::uint64_t{1} << kMoveA) | (std::uint64_t{1} << kMoveB);
+  auto g = tiny_graph({both, both}, {{{1, kMoveA}}, {{0, kMoveA}}});
+  EXPECT_FALSE(check_convergence(g, {0, 0}).has_value());
+}
+
+TEST(FairCycle, JoinIsNeverFairnessForced) {
+  // The unexecuted action is a join: becoming hungry is the environment's
+  // choice, so the loop must still count as a fair run.
+  const std::uint64_t both =
+      (std::uint64_t{1} << kMoveA) | (std::uint64_t{1} << kMoveJoin);
+  auto g = tiny_graph({both, both}, {{{1, kMoveA}}, {{0, kMoveA}}});
+  const auto v = check_convergence(g, {0, 0});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Violation::Kind::kCycle);
+}
+
+TEST(FairCycle, TerminalBadStateReportedAsStuck) {
+  auto g = tiny_graph({0}, {{}});
+  const auto v = check_convergence(g, {0});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Violation::Kind::kStuck);
+  EXPECT_EQ(v->state, 0u);
+}
+
+TEST(Closure, ReportsTheViolatingMove) {
+  // State 0 in I steps to state 1 outside I.
+  auto g = tiny_graph({std::uint64_t{1} << kMoveA, 0}, {{{1, kMoveA}}, {}});
+  const auto v = check_closure(g, {1, 0});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Violation::Kind::kClosure);
+  EXPECT_EQ(v->state, 0u);
+  EXPECT_EQ(v->move, kMoveA);
+  EXPECT_EQ(v->successor, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end on real explorations.
+
+DinersSystem hungry_system(graph::Graph g, DinersConfig cfg = {}) {
+  DinersSystem s(std::move(g), cfg);
+  for (P p = 0; p < s.topology().num_nodes(); ++p) s.set_needs(p, true);
+  return s;
+}
+
+StateGraph explore_box(DinersSystem& scratch, const StateCodec& codec,
+                       Explorer::Options opts = {}) {
+  std::vector<Key> seeds;
+  for (std::uint64_t i = 0; i < codec.domain_size(); ++i) {
+    seeds.push_back(codec.domain_key(i));
+  }
+  Explorer explorer(scratch, codec, opts);
+  return explorer.explore(seeds);
+}
+
+TEST(Theorems, TriangleSoundThresholdSatisfiesAllProperties) {
+  DinersConfig cfg;
+  cfg.diameter_override = 2;
+  DinersSystem scratch = hungry_system(graph::make_complete(3), cfg);
+  const StateCodec codec(scratch.topology(), 0, 3);
+  StateGraph g = explore_box(scratch, codec);
+  ASSERT_TRUE(g.complete);
+
+  const auto inv = label_invariant(g, codec, scratch);
+  EXPECT_FALSE(check_closure(g, inv).has_value());
+  EXPECT_FALSE(check_convergence(g, inv).has_value());
+  for (P p = 0; p < 3; ++p) {
+    EXPECT_FALSE(check_no_starvation(g, codec, p).has_value())
+        << "process " << p << " starves";
+  }
+}
+
+TEST(Theorems, NoFixdepthMutationBreaksConvergence) {
+  // With fixdepth disabled, a seeded priority cycle is never broken: the
+  // checker must find a fair run that stays outside I forever.
+  DinersConfig cfg;
+  cfg.diameter_override = 2;
+  DinersSystem scratch = hungry_system(graph::make_complete(3), cfg);
+  const StateCodec codec(scratch.topology(), 0, 3);
+  Explorer::Options opts;
+  opts.mutation = GuardMutation::kNoFixdepth;
+  StateGraph g = explore_box(scratch, codec, opts);
+  ASSERT_TRUE(g.complete);
+
+  const auto inv = label_invariant(g, codec, scratch);
+  const auto v = check_convergence(g, inv);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, Violation::Kind::kCycle);
+  EXPECT_FALSE(v->cycle.empty());
+}
+
+TEST(Theorems, LocalityTwoHoldsOnPath4UnderADemonicVictim) {
+  // Crash an endpoint of path-4 maliciously: the far end (distance 3) must
+  // neither keep an eating violation nor starve. Instance-seeded to keep the
+  // demonized space small.
+  DinersConfig cfg;
+  cfg.diameter_override = 3;  // sound for n = 4
+  DinersSystem prototype = hungry_system(graph::make_path(4), cfg);
+  const StateCodec codec(prototype.topology(), 0, 4);
+
+  DinersSystem healthy_scratch = core::clone(prototype);
+  Explorer healthy(healthy_scratch, codec, {});
+  const Key seed = codec.encode(prototype);
+  const StateGraph hg = healthy.explore(std::span<const Key>(&seed, 1));
+  ASSERT_TRUE(hg.complete);
+
+  DinersSystem crashed_scratch = core::clone(prototype);
+  crashed_scratch.crash(0);
+  Explorer::Options opts;
+  opts.demon_victim = 0;
+  Explorer demon(crashed_scratch, codec, opts);
+  const StateGraph cg = demon.explore(hg.keys);
+  ASSERT_TRUE(cg.complete);
+  EXPECT_GT(cg.num_states(), hg.num_states());
+
+  const std::vector<P> dead{0};
+  const auto dist = graph::distances_to_set(prototype.topology(),
+                                            std::span<const P>(dead));
+  const auto far_bad = label_far_violation(cg, codec, crashed_scratch, dist,
+                                           2);
+  EXPECT_FALSE(check_far_safety(cg, far_bad).has_value());
+  for (P p = 0; p < 4; ++p) {
+    if (dist[p] <= 2) continue;
+    EXPECT_FALSE(check_no_starvation(cg, codec, p).has_value())
+        << "far process " << p << " starves";
+  }
+}
+
+TEST(Theorems, LabelInvariantAgreesWithTheNaiveOracle) {
+  DinersConfig cfg;
+  cfg.diameter_override = 2;
+  DinersSystem scratch = hungry_system(graph::make_path(3), cfg);
+  const StateCodec codec(scratch.topology(), 0, 2);
+  StateGraph g = explore_box(scratch, codec);
+  const auto inv = label_invariant(g, codec, scratch);
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    codec.decode(g.keys[i], scratch);
+    EXPECT_EQ(inv[i] != 0, analysis::holds_invariant(scratch)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace diners::verify

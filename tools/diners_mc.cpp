@@ -1,0 +1,512 @@
+// diners_mc — bounded model checker and property-based verifier for the
+// paper's theorems on small instances.
+//
+// Exhaustive mode enumerates the full reachable global state space under
+// the nondeterministic daemon (by default from *every* state of the
+// arbitrary-start box — Theorem 1's premise) and checks:
+//
+//   closure      no legitimate state steps outside I;
+//   convergence  every weakly fair run reaches I (no stuck state, no
+//                fair-feasible cycle outside I);
+//   progress     no hungry process stays hungry forever on a fair run;
+//   locality     for every victim, after a malicious crash (all possible
+//                dying writes, interleaved arbitrarily — the demonic
+//                victim), processes at distance > 2 neither keep an eating
+//                violation nor starve (failure locality 2, Theorems 2/3).
+//
+// Random mode (--random N) runs seeded corrupted-start trials plus
+// malicious-crash locality trials on instances too large to enumerate,
+// with greedy trace shrinking of any failure (--shrink).
+//
+// Any violation is emitted as a shortest replayable counterexample
+// (--cex=FILE), consumable by `diners_sim --replay=FILE`.
+//
+// Exit codes: 0 verified, 1 counterexample found, 2 usage error,
+// 3 inconclusive (state cap hit).
+//
+// Examples:
+//   diners_mc --topology=ring --n=4 --exhaustive
+//   diners_mc --topology=figure2 --exhaustive
+//   diners_mc --topology=ring --n=4 --exhaustive --mutate=no-fixdepth \
+//             --cex=trace.txt
+//   diners_mc --topology=ring --n=8 --random=500 --shrink
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "core/config.hpp"
+#include "core/diners_system.hpp"
+#include "core/figure2.hpp"
+#include "core/serialize.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "verify/canonical.hpp"
+#include "verify/counterexample.hpp"
+#include "verify/explorer.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/mutation.hpp"
+#include "verify/properties.hpp"
+
+namespace {
+
+using diners::core::DinersConfig;
+using diners::core::DinersSystem;
+using diners::graph::NodeId;
+namespace verify = diners::verify;
+
+constexpr int kCounterexample = 1;
+constexpr int kUsageError = 2;
+constexpr int kInconclusive = 3;
+
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+diners::graph::Graph build_topology(const std::string& kind, NodeId n,
+                                    std::uint64_t seed) {
+  if (kind == "ring") return diners::graph::make_ring(n);
+  if (kind == "line" || kind == "path") return diners::graph::make_path(n);
+  if (kind == "star") return diners::graph::make_star(n);
+  if (kind == "complete" || kind == "k4") {
+    return diners::graph::make_complete(kind == "k4" ? 4 : n);
+  }
+  if (kind == "tree") return diners::graph::make_random_tree(n, seed);
+  if (kind == "figure2") return diners::graph::make_figure2_topology();
+  throw UsageError("unknown topology: " + kind);
+}
+
+/// Seconds elapsed since `t0`, formatted.
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct CheckSet {
+  bool closure = false;
+  bool convergence = false;
+  bool progress = false;
+  bool locality = false;
+};
+
+CheckSet parse_checks(const std::string& csv) {
+  CheckSet c;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "all") {
+      c.closure = c.convergence = c.progress = c.locality = true;
+    } else if (token == "closure") {
+      c.closure = true;
+    } else if (token == "convergence") {
+      c.convergence = true;
+    } else if (token == "progress") {
+      c.progress = true;
+    } else if (token == "locality") {
+      c.locality = true;
+    } else {
+      throw UsageError("bad --check token '" + token + "'");
+    }
+  }
+  return c;
+}
+
+std::pair<std::int64_t, std::int64_t> parse_depth_box(const std::string& text,
+                                                      std::uint32_t d) {
+  if (text.empty()) return {0, static_cast<std::int64_t>(d) + 1};
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    throw UsageError("bad --depth-box '" + text + "' (want MIN:MAX)");
+  }
+  try {
+    std::size_t pos = 0;
+    const std::int64_t lo = std::stoll(text.substr(0, colon), &pos);
+    if (pos != colon) throw std::invalid_argument(text);
+    const std::string hi_text = text.substr(colon + 1);
+    const std::int64_t hi = std::stoll(hi_text, &pos);
+    if (pos != hi_text.size() || hi < lo) throw std::invalid_argument(text);
+    return {lo, hi};
+  } catch (const std::exception&) {
+    throw UsageError("bad --depth-box '" + text + "' (want MIN:MAX)");
+  }
+}
+
+/// Assembles a replayable counterexample for `v`. When `crashed` is set, the
+/// violation lives in the demonic-victim graph and its seed index i equals
+/// healthy state index i (the crashed exploration is seeded with the healthy
+/// reachable keys in order), so the full trace is: healthy stem to the crash
+/// point, the crash, the victim's dying writes interleaved with protocol
+/// steps, then the violating move / cycle.
+verify::Counterexample compose_counterexample(
+    const verify::StateGraph& healthy, const verify::StateCodec& codec,
+    const DinersSystem& prototype, std::optional<NodeId> victim,
+    const verify::StateGraph* crashed, const verify::Violation& v) {
+  const verify::StateGraph& vg = crashed != nullptr ? *crashed : healthy;
+  verify::Stem stem = verify::stem_to(vg, codec, victim, v.state);
+
+  verify::Counterexample cex;
+  cex.property = v.property;
+  cex.detail = v.detail;
+
+  std::uint32_t healthy_seed = stem.seed;
+  if (crashed != nullptr) {
+    verify::Stem pre = verify::stem_to(healthy, codec, std::nullopt, stem.seed);
+    healthy_seed = pre.seed;
+    cex.events = std::move(pre.events);
+    verify::CexEvent crash;
+    crash.kind = verify::CexEvent::Kind::kCrash;
+    crash.process = *victim;
+    cex.events.push_back(std::move(crash));
+  }
+  cex.events.insert(cex.events.end(), stem.events.begin(), stem.events.end());
+
+  if (v.kind == verify::Violation::Kind::kClosure) {
+    verify::CexEvent e;
+    e.kind = verify::CexEvent::Kind::kAction;
+    e.process = verify::move_process(v.move);
+    e.action = verify::move_action(v.move);
+    cex.events.push_back(std::move(e));
+  }
+  cex.stem_length = cex.events.size();
+  if (v.kind == verify::Violation::Kind::kCycle) {
+    auto cycle = verify::arcs_to_events(v.cycle);
+    cex.events.insert(cex.events.end(), cycle.begin(), cycle.end());
+  }
+
+  DinersSystem start = diners::core::clone(prototype);
+  codec.decode(healthy.keys[healthy_seed], start);
+  cex.start = diners::core::capture(start);
+  return cex;
+}
+
+int report_counterexample(const verify::Counterexample& cex,
+                          const DinersSystem& prototype,
+                          const std::string& cex_path) {
+  std::cout << "COUNTEREXAMPLE " << cex.property << ": " << cex.detail
+            << "\n  " << cex.events.size() << " events (stem "
+            << cex.stem_length << ", cycle "
+            << cex.events.size() - cex.stem_length << ")\n";
+  if (!cex_path.empty()) {
+    std::ofstream out(cex_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << cex_path << "\n";
+      return kCounterexample;
+    }
+    verify::write_counterexample(out, prototype.topology(),
+                                 prototype.config(), cex);
+    std::cout << "  written to " << cex_path
+              << " (replay with: diners_sim --replay=" << cex_path << ")\n";
+  }
+  return kCounterexample;
+}
+
+int run_exhaustive(const diners::util::Flags& flags,
+                   DinersSystem& prototype, const verify::StateCodec& codec,
+                   verify::GuardMutation mutation, const CheckSet& checks) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto max_states =
+      static_cast<std::uint32_t>(flags.i64("max-states"));
+  std::string seeds_mode = flags.str("seeds");
+  if (seeds_mode == "auto") {
+    // figure2 is a pinned mid-run scenario; its arbitrary-start box is far
+    // beyond enumeration, and the theorems' premise there is the drawn state.
+    seeds_mode = flags.str("topology") == "figure2" ? "instance" : "box";
+  }
+
+  std::vector<verify::Key> seeds;
+  if (seeds_mode == "box") {
+    const std::uint64_t total = codec.domain_size();
+    if (total > max_states) {
+      std::cout << "INCONCLUSIVE: arbitrary-start box has " << total
+                << " states > --max-states=" << max_states << "\n";
+      return kInconclusive;
+    }
+    seeds.reserve(total);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      seeds.push_back(codec.domain_key(i));
+    }
+  } else if (seeds_mode == "instance") {
+    seeds.push_back(codec.encode(prototype));
+  } else {
+    throw UsageError("bad --seeds '" + seeds_mode + "' (want box|instance)");
+  }
+
+  DinersSystem scratch = diners::core::clone(prototype);
+  verify::Explorer::Options opts;
+  opts.mutation = mutation;
+  opts.max_states = max_states;
+  verify::Explorer explorer(scratch, codec, opts);
+  const verify::StateGraph healthy = explorer.explore(seeds);
+  if (!healthy.complete) {
+    std::cout << "INCONCLUSIVE: hit --max-states=" << max_states << " ("
+              << healthy.num_states() << " states explored)\n";
+    return kInconclusive;
+  }
+
+  const auto inv = verify::label_invariant(healthy, codec, scratch);
+  std::uint64_t legit = 0;
+  for (const auto b : inv) legit += b;
+  std::cout << "explored " << healthy.num_states() << " states, "
+            << healthy.succ.size() << " arcs, " << healthy.layers
+            << " layers in " << seconds_since(t0) << " s; " << legit
+            << " legitimate\n";
+
+  const std::string cex_path = flags.str("cex");
+  const auto fail = [&](std::optional<NodeId> victim,
+                        const verify::StateGraph* crashed,
+                        const verify::Violation& v) {
+    return report_counterexample(
+        compose_counterexample(healthy, codec, prototype, victim, crashed, v),
+        prototype, cex_path);
+  };
+
+  if (checks.closure) {
+    if (const auto v = verify::check_closure(healthy, inv)) {
+      return fail(std::nullopt, nullptr, *v);
+    }
+    std::cout << "closure: OK\n";
+  }
+  if (checks.convergence) {
+    if (const auto v = verify::check_convergence(healthy, inv)) {
+      return fail(std::nullopt, nullptr, *v);
+    }
+    std::cout << "convergence: OK\n";
+  }
+  if (checks.progress) {
+    if (prototype.dead_processes().empty()) {
+      // Individual progress for everyone holds only crash-free; with dead
+      // processes present the locality check below covers the far ones (the
+      // near ones are exactly what failure locality 2 permits to starve).
+      for (NodeId p = 0; p < prototype.topology().num_nodes(); ++p) {
+        if (const auto v = verify::check_no_starvation(healthy, codec, p)) {
+          return fail(std::nullopt, nullptr, *v);
+        }
+      }
+      std::cout << "progress: OK\n";
+    } else {
+      std::cout << "progress: skipped (instance has dead processes; see "
+                   "locality)\n";
+    }
+  }
+
+  if (checks.locality) {
+    const auto& g = prototype.topology();
+    const auto pre_dead = prototype.dead_processes();
+    if (!pre_dead.empty()) {
+      // The instance already carries a crash (e.g. figure2): analyse the
+      // explored graph directly against its dead set.
+      const auto dist = diners::graph::distances_to_set(
+          g, std::span<const NodeId>(pre_dead));
+      const auto far_bad =
+          verify::label_far_violation(healthy, codec, scratch, dist, 2);
+      if (const auto v = verify::check_far_safety(healthy, far_bad)) {
+        return fail(std::nullopt, nullptr, *v);
+      }
+      for (NodeId p = 0; p < g.num_nodes(); ++p) {
+        if (!prototype.alive(p) || dist[p] <= 2 || !prototype.needs(p)) {
+          continue;
+        }
+        if (const auto v = verify::check_no_starvation(healthy, codec, p)) {
+          return fail(std::nullopt, nullptr, *v);
+        }
+      }
+      std::cout << "locality(existing dead set): OK\n";
+    }
+    std::string victims_mode = flags.str("victims");
+    if (victims_mode == "auto") {
+      // An instance that already carries a crash (figure2) is checked
+      // against its own dead set above; stacking a second demonic victim on
+      // top goes beyond the theorems' single-scenario premise (and past any
+      // reasonable state cap). Crash-free instances get every victim.
+      victims_mode = pre_dead.empty() ? "each" : "none";
+    }
+    if (victims_mode != "each" && victims_mode != "none") {
+      throw UsageError("bad --victims '" + victims_mode +
+                       "' (want each|none|auto)");
+    }
+    for (NodeId victim = 0;
+         victims_mode == "each" && victim < g.num_nodes(); ++victim) {
+      if (!prototype.alive(victim)) continue;
+      DinersSystem crashed_scratch = diners::core::clone(prototype);
+      crashed_scratch.crash(victim);
+      verify::Explorer::Options copts;
+      copts.mutation = mutation;
+      copts.max_states = max_states;
+      copts.demon_victim = victim;
+      verify::Explorer demon(crashed_scratch, codec, copts);
+      const verify::StateGraph crashed = demon.explore(healthy.keys);
+      if (!crashed.complete) {
+        std::cout << "INCONCLUSIVE: victim " << victim << " hit --max-states="
+                  << max_states << "\n";
+        return kInconclusive;
+      }
+      const auto dead = crashed_scratch.dead_processes();
+      const auto dist = diners::graph::distances_to_set(
+          g, std::span<const NodeId>(dead));
+      const auto far_bad = verify::label_far_violation(crashed, codec,
+                                                       crashed_scratch, dist,
+                                                       2);
+      if (const auto v = verify::check_far_safety(crashed, far_bad)) {
+        return fail(victim, &crashed, *v);
+      }
+      for (NodeId p = 0; p < g.num_nodes(); ++p) {
+        if (!crashed_scratch.alive(p) || dist[p] <= 2 ||
+            !crashed_scratch.needs(p)) {
+          continue;
+        }
+        if (const auto v = verify::check_no_starvation(crashed, codec, p)) {
+          return fail(victim, &crashed, *v);
+        }
+      }
+      std::cout << "locality(victim " << victim << "): OK, "
+                << crashed.num_states() << " states\n";
+    }
+  }
+
+  std::cout << "VERIFIED " << flags.str("topology")
+            << " n=" << prototype.topology().num_nodes() << ": "
+            << healthy.num_states() << " states, wall " << seconds_since(t0)
+            << " s\n";
+  return 0;
+}
+
+int run_random(const diners::util::Flags& flags, DinersSystem& prototype,
+               verify::GuardMutation mutation) {
+  const auto t0 = std::chrono::steady_clock::now();
+  verify::FuzzOptions opts;
+  opts.trials = static_cast<std::uint64_t>(flags.i64("random"));
+  opts.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  opts.steps = static_cast<std::uint64_t>(flags.i64("steps"));
+  opts.shrink = flags.flag("shrink");
+  opts.mutation = mutation;
+  opts.daemon = flags.str("daemon");
+  opts.crashes = static_cast<std::uint32_t>(flags.i64("crashes"));
+  opts.malicious_steps =
+      static_cast<std::uint32_t>(flags.i64("malicious-steps"));
+
+  const auto report =
+      verify::run_fuzz(prototype.topology(), prototype.config(), opts);
+  std::cout << report.trials_run << " trials, max steps-to-I "
+            << report.stabilization_steps_max << ", wall "
+            << seconds_since(t0) << " s\n";
+  if (!report.ok) {
+    if (report.cex) {
+      return report_counterexample(*report.cex, prototype, flags.str("cex"));
+    }
+    std::cout << "COUNTEREXAMPLE " << report.detail << " (seed "
+              << report.failing_seed << ")\n";
+    return kCounterexample;
+  }
+  std::cout << "VERIFIED random " << flags.str("topology")
+            << " n=" << prototype.topology().num_nodes() << ": "
+            << report.trials_run << " trials clean\n";
+  return 0;
+}
+
+int run(const diners::util::Flags& flags) {
+  const auto n = static_cast<NodeId>(flags.i64("n"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const std::string topo = flags.str("topology");
+  auto g = build_topology(topo, n, seed);
+
+  verify::GuardMutation mutation = verify::GuardMutation::kNone;
+  DinersConfig cfg;
+  try {
+    mutation = verify::parse_guard_mutation(flags.str("mutate"));
+    cfg.diameter_override =
+        diners::core::parse_threshold(flags.str("threshold"), g.num_nodes());
+  } catch (const std::invalid_argument& err) {
+    throw UsageError(err.what());
+  }
+
+  // figure2 is a pinned scenario (fixed appetite, a crashed mid-meal);
+  // everything else starts clean with saturation appetite. The scenario
+  // state is carried over by snapshot so --threshold still applies.
+  DinersSystem prototype(std::move(g), cfg);
+  if (topo == "figure2") {
+    diners::core::restore(
+        prototype, diners::core::capture(diners::core::make_figure2_system()));
+  } else {
+    for (NodeId p = 0; p < prototype.topology().num_nodes(); ++p) {
+      prototype.set_needs(p, true);
+    }
+  }
+
+  const std::uint32_t d = prototype.config().diameter_override
+                              ? *prototype.config().diameter_override
+                              : diners::graph::diameter(prototype.topology());
+  const auto [dmin, dmax] = parse_depth_box(flags.str("depth-box"), d);
+  const verify::StateCodec codec(prototype.topology(), dmin, dmax);
+
+  const bool exhaustive = flags.flag("exhaustive");
+  const std::uint64_t random_trials =
+      static_cast<std::uint64_t>(flags.i64("random"));
+  if (!exhaustive && random_trials == 0) {
+    throw UsageError("pick a mode: --exhaustive and/or --random=N");
+  }
+
+  std::cout << "instance " << topo
+            << " n=" << prototype.topology().num_nodes() << " D=" << d
+            << " depth-box=" << dmin << ":" << dmax << " mutation="
+            << verify::to_string(mutation) << "\n";
+  if (exhaustive) {
+    const CheckSet checks = parse_checks(flags.str("check"));
+    const int rc = run_exhaustive(flags, prototype, codec, mutation, checks);
+    if (rc != 0) return rc;
+  }
+  if (random_trials > 0) {
+    const int rc = run_random(flags, prototype, mutation);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  diners::util::Flags flags;
+  flags.define("topology", "ring", "ring|line|path|star|complete|k4|tree|figure2")
+      .define("n", "4", "system size")
+      .define("seed", "1", "rng seed (random mode, tree topology)")
+      .define("threshold", "paper",
+              "cycle threshold: paper (=diameter) | sound (=n-1) | <int>")
+      .define("exhaustive", "false", "enumerate the reachable state space")
+      .define("random", "0", "run this many randomized trials")
+      .define("shrink", "false", "greedily shrink random-mode failures")
+      .define("depth-box", "", "depth abstraction box MIN:MAX (default 0:D+1)")
+      .define("mutate", "none",
+              "deliberately broken guard: none|no-fixdepth|greedy-enter")
+      .define("check", "all",
+              "comma list of closure|convergence|progress|locality|all")
+      .define("max-states", "4000000", "exploration state cap")
+      .define("victims", "auto",
+              "locality crash victims: each | none | auto (each unless the "
+              "instance already has dead processes)")
+      .define("cex", "", "write the first counterexample to this file")
+      .define("seeds", "auto",
+              "exhaustive start set: box (all 3^n*depth^n*2^m states) | "
+              "instance (the configured start state) | auto")
+      .define("daemon", "random", "random-mode daemon")
+      .define("steps", "0", "random-mode steps per trial (0 = 64*n*n)")
+      .define("crashes", "1", "random-mode victims per locality trial")
+      .define("malicious-steps", "3",
+              "random-mode dying writes per malicious crash");
+  if (!flags.parse(argc, argv)) return 1;
+
+  try {
+    return run(flags);
+  } catch (const UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -11,6 +11,7 @@
 //   diners_sim --threshold=sound --workload=random-toggle --csv
 //   diners_sim --trials=200 --jobs=4 --corrupt --topology=gnp --n=48
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -28,8 +29,10 @@
 #include "fault/workload.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "core/serialize.hpp"
 #include "runtime/engine.hpp"
 #include "util/flags.hpp"
+#include "verify/counterexample.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -235,6 +238,43 @@ int run_batch_mode(const diners::util::Flags& flags) {
   return 0;
 }
 
+/// Replays a diners_mc counterexample file against the genuine program and
+/// reports whether the recorded run is legal, whether its cycle closes, and
+/// whether I holds at the end. Exit 0 iff every recorded action was enabled
+/// when executed.
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 1;
+  }
+  auto loaded = diners::verify::read_counterexample(in);
+  DinersSystem system(std::move(loaded.graph), loaded.config);
+  diners::core::restore(system, loaded.cex.start);
+  const auto result =
+      diners::verify::replay_counterexample(system, loaded.cex);
+
+  std::cout << "replaying " << loaded.cex.property << " counterexample: "
+            << loaded.cex.detail << "\n"
+            << loaded.cex.events.size() << " events (stem "
+            << loaded.cex.stem_length << ", cycle "
+            << loaded.cex.events.size() - loaded.cex.stem_length << ")\n";
+  if (!result.legal) {
+    std::cout << "ILLEGAL at event " << result.failed_index << ": "
+              << result.reason << "\n";
+    return 1;
+  }
+  std::cout << "replay legal";
+  if (loaded.cex.stem_length < loaded.cex.events.size()) {
+    std::cout << "; cycle "
+              << (result.cycle_closes ? "closes (run repeats forever)"
+                                      : "does NOT close");
+  }
+  std::cout << "; invariant I at end: "
+            << (result.invariant_at_end ? "holds" : "violated") << "\n";
+  return 0;
+}
+
 template <typename System>
 int run_baseline(const diners::util::Flags& flags) {
   const auto n = static_cast<NodeId>(flags.i64("n"));
@@ -279,10 +319,13 @@ int main(int argc, char** argv) {
       .define("sample", "500", "CSV sampling interval in steps")
       .define("trials", "0", "sweep mode: run this many independent trials")
       .define("jobs", "1", "sweep worker threads (0 = hardware)")
-      .define("window", "0", "sweep starvation window steps (0 = none)");
+      .define("window", "0", "sweep starvation window steps (0 = none)")
+      .define("replay", "",
+              "replay a diners_mc counterexample file and exit");
   if (!flags.parse(argc, argv)) return 1;
 
   try {
+    if (!flags.str("replay").empty()) return run_replay(flags.str("replay"));
     const std::string algorithm = flags.str("algorithm");
     if (flags.i64("trials") > 0) {
       if (algorithm != "nesterenko-arora") {
