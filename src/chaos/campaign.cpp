@@ -1,0 +1,365 @@
+#include "chaos/campaign.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+#include "runtime/daemon.hpp"
+#include "util/rng.hpp"
+
+namespace diners::chaos {
+
+namespace {
+
+using graph::NodeId;
+
+// Sub-stream constants for util::derive_seed(trial_seed, stream). Disjoint
+// from the BatchRunner (0x10–0x14) and backend-internal (0x3b/0x3c)
+// streams so no campaign RNG aliases a substrate RNG.
+constexpr std::uint64_t kTopologyStream = 0x50;
+constexpr std::uint64_t kScheduleStream = 0x51;
+constexpr std::uint64_t kFaultStream = 0x52;
+constexpr std::uint64_t kEngineStream = 0x53;
+
+/// One round's fault schedule, drawn from the schedule RNG only — the same
+/// stream drives every backend, so a (options, seed) pair subjects all
+/// runtimes to the identical fault history. `alive` is the campaign's own
+/// liveness mirror and is updated in place.
+struct RoundSchedule {
+  std::vector<NodeId> restarts;
+  std::vector<std::pair<NodeId, std::uint32_t>> crashes;  ///< victim, malice
+  bool global_corruption = false;
+  NodeId process_corruption = graph::kNoNode;
+};
+
+RoundSchedule draw_schedule(util::Xoshiro256& rng,
+                            std::vector<std::uint8_t>& alive,
+                            const CampaignOptions& options) {
+  RoundSchedule s;
+  const auto n = static_cast<NodeId>(alive.size());
+  for (NodeId p = 0; p < n; ++p) {
+    if (!alive[p] && rng.chance(options.restart_probability)) {
+      s.restarts.push_back(p);
+      alive[p] = 1;
+    }
+  }
+  std::vector<NodeId> live;
+  for (NodeId p = 0; p < n; ++p) {
+    if (alive[p]) live.push_back(p);
+  }
+  const std::uint32_t victims =
+      options.max_crashes_per_burst == 0
+          ? 0
+          : 1 + static_cast<std::uint32_t>(
+                    rng.below(options.max_crashes_per_burst));
+  for (std::uint32_t i = 0; i < victims && !live.empty(); ++i) {
+    const std::size_t pick = static_cast<std::size_t>(rng.below(live.size()));
+    const NodeId victim = live[pick];
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    const auto malice = static_cast<std::uint32_t>(
+        rng.below(options.max_malicious_steps + 1));
+    s.crashes.emplace_back(victim, malice);
+    alive[victim] = 0;
+  }
+  s.global_corruption = rng.chance(options.global_corruption_probability);
+  if (rng.chance(options.process_corruption_probability) && !live.empty()) {
+    s.process_corruption = live[rng.below(live.size())];
+  }
+  return s;
+}
+
+std::string topology_label(const CampaignOptions& options) {
+  std::ostringstream os;
+  os << options.topology << '/' << options.n;
+  return os.str();
+}
+
+IncidentReport make_incident(const CampaignOptions& options,
+                             std::uint64_t trial, std::uint64_t seed,
+                             std::uint64_t round, std::string reason,
+                             std::vector<BurstEvent> burst,
+                             std::optional<ReplayEvidence> evidence) {
+  IncidentReport incident;
+  incident.backend = std::string(to_string(options.backend));
+  incident.topology = topology_label(options);
+  incident.trial = trial;
+  incident.seed = seed;
+  incident.round = round;
+  incident.reason = std::move(reason);
+  incident.burst = std::move(burst);
+  incident.evidence = std::move(evidence);
+  return incident;
+}
+
+CampaignResult run_shared(const CampaignOptions& options, std::uint64_t trial,
+                          std::uint64_t seed, graph::Graph g) {
+  CampaignResult r;
+  core::DinersSystem system(std::move(g), options.config);
+  verify::MutatedDiners program(system, options.mutation);
+  sim::Engine engine(
+      program,
+      sim::make_daemon(options.daemon, util::derive_seed(seed, kEngineStream)),
+      options.fairness_bound);
+  util::Xoshiro256 sched_rng(util::derive_seed(seed, kScheduleStream));
+  util::Xoshiro256 fault_rng(util::derive_seed(seed, kFaultStream));
+  std::vector<std::uint8_t> alive(system.topology().num_nodes(), 1);
+
+  for (std::uint64_t round = 0; round < options.rounds; ++round) {
+    const RoundSchedule s = draw_schedule(sched_rng, alive, options);
+    std::vector<BurstEvent> burst;
+    for (NodeId p : s.restarts) {
+      system.restart(p);
+      ++r.restarts;
+      burst.push_back({BurstEvent::Kind::kRestart, p, 0});
+    }
+    for (const auto& [victim, malice] : s.crashes) {
+      fault::malicious_crash(system, victim, malice, fault_rng);
+      ++r.crashes;
+      burst.push_back({BurstEvent::Kind::kCrash, victim, malice});
+    }
+    if (s.global_corruption) {
+      fault::corrupt_global_state(system, fault_rng);
+      ++r.corruptions;
+      burst.push_back({BurstEvent::Kind::kGlobalCorruption, graph::kNoNode, 0});
+    }
+    if (s.process_corruption != graph::kNoNode) {
+      fault::corrupt_process_state(system, s.process_corruption, fault_rng);
+      ++r.corruptions;
+      burst.push_back(
+          {BurstEvent::Kind::kProcessCorruption, s.process_corruption, 0});
+    }
+    engine.reset_ages();
+    const WatchdogVerdict verdict =
+        await_invariant(system, engine, options.watchdog);
+    ++r.rounds;
+    if (!verdict.ok()) {
+      ++r.incidents;
+      r.incident = make_incident(
+          options, trial, seed, round, verdict.failure, std::move(burst),
+          ReplayEvidence{system.topology(), system.config(),
+                         core::capture(system)});
+      break;
+    }
+    r.recovery_steps.add(static_cast<double>(verdict.steps_to_converge));
+  }
+  r.total_meals = system.total_meals();
+  return r;
+}
+
+CampaignResult run_msgpass(const CampaignOptions& options, std::uint64_t trial,
+                           std::uint64_t seed, graph::Graph g,
+                           bool unreliable) {
+  CampaignResult r;
+  msgpass::MpOptions mp = options.mp;
+  mp.seed = util::derive_seed(seed, kEngineStream);
+  mp.network_faults = {};  // bursts toggle the model; windows are reliable
+  msgpass::MessagePassingDiners system(std::move(g), options.config, mp);
+  util::Xoshiro256 sched_rng(util::derive_seed(seed, kScheduleStream));
+  util::Xoshiro256 fault_rng(util::derive_seed(seed, kFaultStream));
+  const auto n = system.topology().num_nodes();
+  std::vector<std::uint8_t> alive(n, 1);
+  const auto depth_bound =
+      static_cast<std::int64_t>(system.diameter_constant()) + 4;
+
+  for (std::uint64_t round = 0; round < options.rounds; ++round) {
+    const RoundSchedule s = draw_schedule(sched_rng, alive, options);
+    std::vector<BurstEvent> burst;
+    for (NodeId p : s.restarts) {
+      system.restart(p);
+      ++r.restarts;
+      burst.push_back({BurstEvent::Kind::kRestart, p, 0});
+    }
+    for (const auto& [victim, malice] : s.crashes) {
+      // Message-passing malice: the victim's arbitrary pre-halt writes
+      // reach the rest of the system only through the wire, so they are
+      // modeled as `malice` garbage messages.
+      system.crash(victim);
+      if (malice > 0) {
+        system.network().inject_garbage(malice, fault_rng,
+                                        mp.handshake_modulus, depth_bound);
+        burst.push_back({BurstEvent::Kind::kNetworkGarbage, victim, malice});
+      }
+      ++r.crashes;
+      burst.push_back({BurstEvent::Kind::kCrash, victim, malice});
+    }
+    if (s.global_corruption) {
+      system.corrupt(fault_rng);
+      ++r.corruptions;
+      burst.push_back({BurstEvent::Kind::kGlobalCorruption, graph::kNoNode, 0});
+    }
+    // Per-process corruption has no message-passing primitive (a process
+    // owns no shared variable to corrupt); the schedule draw is kept for
+    // RNG parity with the other backends but not applied.
+    if (unreliable) system.network().set_fault_model(options.network_faults);
+    system.run(options.fault_phase_steps);
+    if (unreliable) system.network().set_fault_model({});
+    const WatchdogVerdict verdict = await_quiescence(system, options.watchdog);
+    ++r.rounds;
+    if (!verdict.ok()) {
+      ++r.incidents;
+      r.incident = make_incident(options, trial, seed, round, verdict.failure,
+                                 std::move(burst), std::nullopt);
+      break;
+    }
+    r.recovery_steps.add(static_cast<double>(verdict.steps_to_converge));
+  }
+  r.total_meals = system.total_meals();
+  const auto& net = system.network();
+  r.messages_sent = net.total_sent();
+  r.messages_delivered = net.total_delivered();
+  r.messages_dropped = net.total_dropped();
+  r.messages_duplicated = net.total_duplicated();
+  r.messages_pending = net.pending();
+  return r;
+}
+
+CampaignResult run_threaded(const CampaignOptions& options,
+                            std::uint64_t trial, std::uint64_t seed,
+                            graph::Graph g) {
+  CampaignResult r;
+  threads::ThreadedOptions to = options.threaded;
+  to.seed = util::derive_seed(seed, kEngineStream);
+  threads::ThreadedDiners system(std::move(g), options.config, to);
+  system.start();
+  util::Xoshiro256 sched_rng(util::derive_seed(seed, kScheduleStream));
+  std::vector<std::uint8_t> alive(system.topology().num_nodes(), 1);
+
+  for (std::uint64_t round = 0; round < options.rounds; ++round) {
+    const RoundSchedule s = draw_schedule(sched_rng, alive, options);
+    std::vector<BurstEvent> burst;
+    for (NodeId p : s.restarts) {
+      system.restart(p);
+      ++r.restarts;
+      burst.push_back({BurstEvent::Kind::kRestart, p, 0});
+    }
+    for (const auto& [victim, malice] : s.crashes) {
+      system.malicious_crash(victim, malice);
+      ++r.crashes;
+      burst.push_back({BurstEvent::Kind::kCrash, victim, malice});
+    }
+    // Corruption primitives don't exist for live threads (no way to write a
+    // foreign thread's variables except through a malicious crash); the
+    // schedule draws are kept for RNG parity but not applied.
+    //
+    // Dwell before verifying: the victims' threads need real time to notice
+    // the crash flag and spend their malicious gasps — without it the
+    // watchdog can pass before the burst has physically landed.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(5u * options.poll_sleep_us));
+    WatchdogVerdict verdict =
+        await_threaded(system, options.watchdog, options.poll_sleep_us);
+    ++r.rounds;
+    if (!verdict.ok()) {
+      ++r.incidents;
+      std::optional<ReplayEvidence> evidence;
+      if (verdict.failing_snapshot) {
+        evidence = ReplayEvidence{system.topology(), options.config,
+                                  std::move(*verdict.failing_snapshot)};
+      }
+      r.incident =
+          make_incident(options, trial, seed, round, verdict.failure,
+                        std::move(burst), std::move(evidence));
+      break;
+    }
+    r.recovery_steps.add(static_cast<double>(verdict.steps_to_converge));
+  }
+  system.stop();
+  r.total_meals = system.total_meals();
+  return r;
+}
+
+}  // namespace
+
+Backend parse_backend(const std::string& text) {
+  if (text == "shared-memory") return Backend::kSharedMemory;
+  if (text == "msgpass") return Backend::kMsgReliable;
+  if (text == "msgpass-unreliable") return Backend::kMsgUnreliable;
+  if (text == "threaded") return Backend::kThreaded;
+  throw std::invalid_argument(
+      "unknown backend '" + text +
+      "' (want shared-memory | msgpass | msgpass-unreliable | threaded)");
+}
+
+std::string_view to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSharedMemory:
+      return "shared-memory";
+    case Backend::kMsgReliable:
+      return "msgpass";
+    case Backend::kMsgUnreliable:
+      return "msgpass-unreliable";
+    case Backend::kThreaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+CampaignResult run_campaign(const CampaignOptions& options,
+                            std::uint64_t trial, std::uint64_t seed) {
+  const std::uint64_t topo_seed =
+      options.topology_seed
+          ? *options.topology_seed
+          : util::derive_seed(seed, kTopologyStream);
+  graph::Graph g =
+      graph::make_named(options.topology, options.n, topo_seed, options.gnp_p);
+  switch (options.backend) {
+    case Backend::kSharedMemory:
+      return run_shared(options, trial, seed, std::move(g));
+    case Backend::kMsgReliable:
+      return run_msgpass(options, trial, seed, std::move(g), false);
+    case Backend::kMsgUnreliable:
+      return run_msgpass(options, trial, seed, std::move(g), true);
+    case Backend::kThreaded:
+      return run_threaded(options, trial, seed, std::move(g));
+  }
+  throw std::logic_error("run_campaign: bad backend");
+}
+
+CampaignBatchResult run_campaign_batch(const CampaignOptions& options,
+                                       const analysis::BatchOptions& batch) {
+  // Per-trial slots + trial-order fold: the BatchRunner determinism
+  // discipline, extended to the campaign-specific fields run_batch's own
+  // TrialOutput cannot carry.
+  std::vector<CampaignResult> slots(batch.trials);
+  const analysis::TrialFn fn = [&](std::uint64_t trial, std::uint64_t seed) {
+    CampaignResult r = run_campaign(options, trial, seed);
+    analysis::TrialOutput out;
+    out.converged = r.incidents == 0;
+    out.primary = r.recovery_steps.count() > 0 ? r.recovery_steps.mean() : 0.0;
+    out.meals = r.total_meals;
+    slots[trial] = std::move(r);
+    return out;
+  };
+  const analysis::BatchResult base = analysis::run_batch(batch, fn);
+
+  CampaignBatchResult res;
+  res.trials = base.trials;
+  res.wall_seconds = base.wall_seconds;
+  for (CampaignResult& r : slots) {
+    if (r.incidents == 0) ++res.clean_trials;
+    res.incidents += r.incidents;
+    res.rounds += r.rounds;
+    res.crashes += r.crashes;
+    res.restarts += r.restarts;
+    res.corruptions += r.corruptions;
+    res.recovery_steps.merge(r.recovery_steps);
+    res.total_meals += r.total_meals;
+    res.messages_sent += r.messages_sent;
+    res.messages_delivered += r.messages_delivered;
+    res.messages_dropped += r.messages_dropped;
+    res.messages_duplicated += r.messages_duplicated;
+    res.messages_pending += r.messages_pending;
+    if (!res.first_incident && r.incident) {
+      res.first_incident = std::move(r.incident);
+    }
+  }
+  return res;
+}
+
+}  // namespace diners::chaos

@@ -1,0 +1,156 @@
+// Chaos campaigns: indefinite fault–recovery soak runs with automated
+// convergence verification, over every runtime backend of the repo.
+//
+// A campaign alternates randomized *fault bursts* (malicious crashes,
+// restarts, state corruption, network garbage — all drawn from the trial's
+// derived RNG streams) with *quiescent windows* in which a convergence
+// watchdog must observe recovery (re-entry into the invariant I for the
+// backends with ground-truth state; behavioral safety + progress for
+// message passing). The same burst-schedule RNG stream drives every
+// backend, so a given (options, seed) pair subjects all runtimes to the
+// identical fault history.
+//
+// Every quantity is derived from the trial seed via util::derive_seed
+// sub-streams, so campaigns follow the BatchRunner determinism contract:
+// batch aggregates (wall timing aside; threaded meal/poll counts aside,
+// being genuinely timing-dependent) are bit-identical for any --jobs value.
+//
+// On a watchdog failure the campaign stops and reports a structured
+// incident (incident.hpp) carrying the trial seed, the failing round's
+// burst schedule, and — where a ground-truth snapshot exists — replayable
+// evidence for `diners_sim --replay`. Stopping at the first incident keeps
+// runtimes bounded when the system under test is genuinely broken (e.g. a
+// guard mutation): every later round would burn the full budget too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/batch_runner.hpp"
+#include "analysis/stats.hpp"
+#include "chaos/incident.hpp"
+#include "chaos/watchdog.hpp"
+#include "core/config.hpp"
+#include "msgpass/mp_diners.hpp"
+#include "threads/threaded_diners.hpp"
+#include "verify/mutation.hpp"
+
+namespace diners::chaos {
+
+enum class Backend {
+  kSharedMemory,   ///< DinersSystem + sim::Engine (composite atomicity)
+  kMsgReliable,    ///< MessagePassingDiners over the reliable network
+  kMsgUnreliable,  ///< same, with the FaultModel active during bursts
+  kThreaded,       ///< ThreadedDiners (one OS thread per philosopher)
+};
+
+/// Parses "shared-memory" | "msgpass" | "msgpass-unreliable" | "threaded";
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] Backend parse_backend(const std::string& text);
+[[nodiscard]] std::string_view to_string(Backend backend) noexcept;
+
+struct CampaignOptions {
+  // --- world ---------------------------------------------------------------
+  std::string topology = "ring";  ///< graph::make_named family
+  graph::NodeId n = 8;
+  double gnp_p = 0.15;
+  /// Fixed seed for the seeded topology families; unset = resample per
+  /// trial from the trial seed.
+  std::optional<std::uint64_t> topology_seed;
+  /// Use a sound (n-1) diameter_override for corrupting campaigns on
+  /// non-tree/ring topologies; the paper-D threshold is unsound there.
+  core::DinersConfig config;
+  Backend backend = Backend::kSharedMemory;
+
+  // --- burst schedule ------------------------------------------------------
+  std::uint64_t rounds = 100;
+  /// Victims per burst: 1 + uniform[0, max_crashes_per_burst).
+  std::uint32_t max_crashes_per_burst = 2;
+  /// Malicious pre-halt writes per victim: uniform[0, max_malicious_steps].
+  std::uint32_t max_malicious_steps = 6;
+  /// Per-round chance each currently dead process rejoins (restart()).
+  double restart_probability = 0.7;
+  double global_corruption_probability = 0.05;
+  double process_corruption_probability = 0.25;
+
+  // --- watchdog ------------------------------------------------------------
+  WatchdogOptions watchdog;
+
+  // --- shared-memory engine ------------------------------------------------
+  std::string daemon = "random";
+  std::uint64_t fairness_bound = 64;
+  /// Deliberately broken guards (shared memory only) — gives the watchdog
+  /// its acceptance test: kNoFixdepth must produce incidents.
+  verify::GuardMutation mutation = verify::GuardMutation::kNone;
+
+  // --- message passing -----------------------------------------------------
+  /// Protocol knobs; `seed` and `network_faults` are overwritten per trial.
+  msgpass::MpOptions mp;
+  /// Channel fault model active during kMsgUnreliable bursts (the watchdog
+  /// always runs over the reliable network — active reordering can extend
+  /// the eventual-safety window indefinitely).
+  msgpass::FaultModel network_faults;
+  /// Scheduler steps run under the (possibly unreliable) network right
+  /// after each burst, before the quiescent verification window.
+  std::uint64_t fault_phase_steps = 1500;
+
+  // --- threads -------------------------------------------------------------
+  threads::ThreadedOptions threaded;  ///< `seed` overwritten per trial
+  std::uint32_t poll_sleep_us = 200;
+};
+
+struct CampaignResult {
+  std::uint64_t rounds = 0;  ///< completed (a failing round counts)
+  std::uint64_t incidents = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t corruptions = 0;
+  /// Watchdog steps-to-recovery per clean round (polls for threaded).
+  analysis::Accumulator recovery_steps;
+  std::uint64_t total_meals = 0;
+  // Network conservation counters (message-passing backends; zero
+  // elsewhere): sent == delivered + dropped + pending at campaign end.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_pending = 0;
+  std::optional<IncidentReport> incident;
+};
+
+/// Runs one campaign. Deterministic given (options, seed) for every
+/// backend except kThreaded, whose meal/poll counts depend on real-time
+/// scheduling (its burst schedule is still seed-determined).
+[[nodiscard]] CampaignResult run_campaign(const CampaignOptions& options,
+                                          std::uint64_t trial,
+                                          std::uint64_t seed);
+
+struct CampaignBatchResult {
+  std::uint64_t trials = 0;
+  std::uint64_t clean_trials = 0;  ///< trials with zero incidents
+  std::uint64_t incidents = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t corruptions = 0;
+  analysis::Accumulator recovery_steps;
+  std::uint64_t total_meals = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_pending = 0;
+  /// The lowest-trial-index incident (deterministic across jobs).
+  std::optional<IncidentReport> first_incident;
+  // Wall timing — excluded from the determinism contract.
+  double wall_seconds = 0.0;
+};
+
+/// Fans trials across analysis::run_batch and folds per-trial results in
+/// trial order (the BatchRunner determinism discipline: per-trial slots,
+/// trial-order fold, seeds from derive_seed(master_seed, trial)).
+[[nodiscard]] CampaignBatchResult run_campaign_batch(
+    const CampaignOptions& options, const analysis::BatchOptions& batch);
+
+}  // namespace diners::chaos

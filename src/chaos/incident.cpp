@@ -1,0 +1,55 @@
+#include "chaos/incident.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "verify/counterexample.hpp"
+
+namespace diners::chaos {
+
+std::string describe(const BurstEvent& event) {
+  std::ostringstream os;
+  switch (event.kind) {
+    case BurstEvent::Kind::kRestart:
+      os << "restart " << event.process;
+      break;
+    case BurstEvent::Kind::kCrash:
+      os << "crash " << event.process << " malice " << event.magnitude;
+      break;
+    case BurstEvent::Kind::kGlobalCorruption:
+      os << "global-corruption";
+      break;
+    case BurstEvent::Kind::kProcessCorruption:
+      os << "process-corruption " << event.process;
+      break;
+    case BurstEvent::Kind::kNetworkGarbage:
+      os << "network-garbage " << event.magnitude;
+      break;
+  }
+  return os.str();
+}
+
+void write_incident(std::ostream& os, const IncidentReport& incident) {
+  os << "# chaos incident\n";
+  os << "# backend " << incident.backend << '\n';
+  os << "# topology " << incident.topology << '\n';
+  os << "# trial " << incident.trial << " seed " << incident.seed
+     << " round " << incident.round << '\n';
+  os << "# burst:";
+  if (incident.burst.empty()) os << " (empty)";
+  for (const auto& e : incident.burst) os << " [" << describe(e) << ']';
+  os << '\n';
+  os << "# reason " << incident.reason << '\n';
+  if (!incident.evidence) {
+    os << "# no replayable snapshot for this backend\n";
+    return;
+  }
+  verify::Counterexample cex;
+  cex.property = "chaos-watchdog";
+  cex.detail = incident.reason;
+  cex.start = incident.evidence->snapshot;
+  write_counterexample(os, incident.evidence->graph,
+                       incident.evidence->config, cex);
+}
+
+}  // namespace diners::chaos

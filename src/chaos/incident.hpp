@@ -1,0 +1,72 @@
+// Structured incident reports for chaos campaigns.
+//
+// When a campaign's convergence watchdog trips, it emits everything needed
+// to reproduce the failure: the trial seed, the round's burst schedule, the
+// watchdog's verdict, and — for the backends with a single ground-truth
+// global state (shared memory, threads) — a `core::serialize` snapshot of
+// the violating state wrapped in the verify counterexample grammar. Such
+// incident files are valid `diners_sim --replay` input: the replay restores
+// the snapshot, replays zero events, and re-evaluates the invariant I,
+// confirming the violation independently of the chaos harness. All chaos
+// metadata rides along as `#` comment lines, which the counterexample
+// grammar allows anywhere.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/serialize.hpp"
+#include "graph/graph.hpp"
+
+namespace diners::chaos {
+
+/// One fault event of a burst, as actually applied to the backend.
+struct BurstEvent {
+  enum class Kind {
+    kRestart,            ///< dead process revived in the reset state
+    kCrash,              ///< malicious crash (magnitude = arbitrary writes)
+    kGlobalCorruption,   ///< whole-system transient fault
+    kProcessCorruption,  ///< one process + incident edges corrupted
+    kNetworkGarbage,     ///< magnitude garbage messages injected
+  };
+
+  Kind kind;
+  graph::NodeId process = graph::kNoNode;  ///< kNoNode for global events
+  std::uint32_t magnitude = 0;
+};
+
+[[nodiscard]] std::string describe(const BurstEvent& event);
+
+/// The replayable part of an incident: enough to rebuild the exact system
+/// and restore the violating state. Absent for the message-passing
+/// backends, whose replicated caches have no single ground-truth priority
+/// state to snapshot.
+struct ReplayEvidence {
+  graph::Graph graph;
+  core::DinersConfig config;
+  core::SystemSnapshot snapshot;
+};
+
+struct IncidentReport {
+  std::string backend;
+  std::string topology;  ///< family/n, e.g. "ring/8"
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;   ///< the trial seed (replays the whole campaign)
+  std::uint64_t round = 0;  ///< 0-based burst round that failed
+  std::string reason;       ///< watchdog verdict, human readable
+  std::vector<BurstEvent> burst;  ///< the failing round's schedule
+  std::optional<ReplayEvidence> evidence;
+};
+
+/// Writes the incident file. With evidence, the output parses back through
+/// verify::read_counterexample and replays via `diners_sim --replay`
+/// (property "chaos-watchdog", zero events; the replay reports whether I
+/// holds in the snapshot). Without evidence, only the `#` metadata header
+/// is written.
+void write_incident(std::ostream& os, const IncidentReport& incident);
+
+}  // namespace diners::chaos

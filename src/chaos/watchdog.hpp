@@ -1,0 +1,82 @@
+// Convergence watchdogs: per-backend oracles that decide, after a fault
+// burst, whether the system recovered within a step budget.
+//
+// Shared-memory backends have a ground-truth global state, so the watchdog
+// checks the paper's invariant I = NC ∧ ST ∧ E directly (restricted to live
+// processes by construction of the predicates) and then, optionally, runs a
+// progress window enforcing Theorem 2's failure locality: any process that
+// stays hungry through the whole window without eating must be within
+// `locality_bound` hops of a crashed process.
+//
+// The message-passing backend has no global priority variable — only
+// replicated per-endpoint opinions — so its oracle is behavioral: with the
+// channel fault model suspended (the campaign's quiescent window), the
+// system must reach a state with zero live eating-overlap edges and, if any
+// live process sits outside every locality ball of the dead set, the global
+// meal count must grow. The threaded backend is checked through its
+// consistent snapshots with the same invariant I, by polling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/diners_system.hpp"
+#include "core/serialize.hpp"
+#include "msgpass/mp_diners.hpp"
+#include "runtime/engine.hpp"
+#include "threads/threaded_diners.hpp"
+
+namespace diners::chaos {
+
+struct WatchdogOptions {
+  /// Convergence budget per round, in scheduler steps (snapshot polls for
+  /// the threaded backend: budget_steps / check_every polls).
+  std::uint64_t budget_steps = 200000;
+  /// Convergence predicate evaluation period, in steps.
+  std::uint64_t check_every = 16;
+  /// Post-convergence progress window in steps; 0 disables the progress /
+  /// locality oracle.
+  std::uint64_t progress_window = 0;
+  /// Paper failure locality: starvation further than this many hops from
+  /// the dead set is an incident (Theorem 2 promises 2).
+  std::uint32_t locality_bound = 2;
+};
+
+struct WatchdogVerdict {
+  bool converged = false;
+  /// Steps (or polls, threaded) spent before the convergence predicate
+  /// held. Valid only when converged.
+  std::uint64_t steps_to_converge = 0;
+  /// Empty iff the round passed both the convergence and progress oracles.
+  std::string failure;
+  /// Threaded backend only: the last polled (consistent) snapshot when the
+  /// watchdog failed, for incident evidence. The shared-memory watchdog
+  /// leaves this empty — the system itself holds the violating state.
+  std::optional<core::SystemSnapshot> failing_snapshot;
+
+  [[nodiscard]] bool ok() const noexcept { return failure.empty(); }
+};
+
+/// Shared-memory watchdog: drives `engine` (which must execute `system`'s
+/// protocol, possibly through a guard mutation) until I holds, then runs
+/// the progress window. Call engine.reset_ages() after the burst, before
+/// this.
+[[nodiscard]] WatchdogVerdict await_invariant(core::DinersSystem& system,
+                                              sim::Engine& engine,
+                                              const WatchdogOptions& options);
+
+/// Message-passing watchdog; run it with the network's fault model
+/// suspended (reorder/duplicate/corrupt can legitimately extend the
+/// eventual-safety window indefinitely while active).
+[[nodiscard]] WatchdogVerdict await_quiescence(
+    msgpass::MessagePassingDiners& system, const WatchdogOptions& options);
+
+/// Threaded watchdog: polls consistent snapshots every `poll_sleep_us`
+/// until I holds, then waits for meal progress if any live process is
+/// outside the dead set's locality ball.
+[[nodiscard]] WatchdogVerdict await_threaded(threads::ThreadedDiners& system,
+                                             const WatchdogOptions& options,
+                                             std::uint32_t poll_sleep_us);
+
+}  // namespace diners::chaos

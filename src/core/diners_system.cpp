@@ -231,6 +231,19 @@ void DinersSystem::crash(ProcessId p) {
   }
 }
 
+void DinersSystem::restart(ProcessId p) {
+  if (alive_.at(p)) return;
+  alive_[p] = 1;
+  --dead_count_;
+  states_[p] = DinerState::kThinking;
+  depths_[p] = 0;
+  const auto& inc = graph_.incident_edges(p);
+  const auto& nbrs = graph_.neighbors(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    priority_[inc[i]] = nbrs[i];  // yield every edge, as exit does
+  }
+}
+
 void DinersSystem::reset_meals() {
   std::fill(meals_.begin(), meals_.end(), 0);
   total_meals_ = 0;

@@ -128,6 +128,15 @@ class DinersSystem final : public PhilosopherProgram {
   /// Benign crash: p stops executing actions forever. Idempotent.
   void crash(ProcessId p) override;
 
+  /// Restart (rejoin): revives a dead process in the paper-legal reset
+  /// state — thinking, depth 0, every incident priority edge yielded to the
+  /// neighbor (exactly the post-exit assignment). Self-stabilization makes
+  /// this rejoin just another tolerated transient fault: the reset writes
+  /// are arbitrary-looking to the neighbors, and the system re-converges to
+  /// I from the combined state. needs() and the meal counters are
+  /// untouched. No-op on a live process.
+  void restart(ProcessId p);
+
   /// Resets meal counters (statistics only; protocol state untouched).
   void reset_meals();
 

@@ -51,11 +51,13 @@ std::vector<ReconfiguredComponent> reconfigure_fail_stop(
       }
     }
     DinersSystem fresh(std::move(builder).build(), old_system.config());
+    std::vector<std::uint64_t> meals_before(members.size());
     for (P i = 0; i < members.size(); ++i) {
       const P old = members[i];
       fresh.set_state(i, old_system.state(old));
       fresh.set_depth(i, old_system.depth(old));
       fresh.set_needs(i, old_system.needs(old));
+      meals_before[i] = old_system.meals(old);
     }
     for (const auto& e : g.edges()) {
       if (new_id[e.u] == graph::kNoNode || new_id[e.v] == graph::kNoNode) {
@@ -64,7 +66,8 @@ std::vector<ReconfiguredComponent> reconfigure_fail_stop(
       const P owner = old_system.priority(e.u, e.v);
       fresh.set_priority(new_id[e.u], new_id[e.v], new_id[owner]);
     }
-    out.push_back(ReconfiguredComponent{std::move(fresh), std::move(members)});
+    out.push_back(ReconfiguredComponent{std::move(fresh), std::move(members),
+                                        std::move(meals_before)});
   }
   return out;
 }

@@ -24,14 +24,23 @@ struct ReconfiguredComponent {
   /// old-id of each new process: original_id[new_id] -> id in the old
   /// system.
   std::vector<DinersSystem::ProcessId> original_id;
+  /// Meals the process had accumulated in the old system at reconfiguration
+  /// time: meals_before[new_id] -> old_system.meals(original_id[new_id]).
+  /// The fresh system's counters restart at zero, so a process's cumulative
+  /// meal count across the reconfiguration is
+  /// meals_before[p] + system.meals(p) — soak-level starvation accounting
+  /// must add the two (counting only system.meals(p) silently under-reports
+  /// every survivor as if it had just joined).
+  std::vector<std::uint64_t> meals_before;
 };
 
 /// Removes the dead processes of `old_system` as a fail-stop topology
 /// update. Components of size 1 (isolated survivors) are included; their
 /// lone philosopher trivially eats whenever it wants... except that a
 /// 1-node graph has no edges, which DinersSystem supports via a single
-/// node. Carried over per process: state, depth, needs. Carried over per
-/// surviving edge: the priority direction. Meal counters restart.
+/// node. Carried over per process: state, depth, needs, and the cumulative
+/// meal count (as meals_before — the fresh system's own counters restart).
+/// Carried over per surviving edge: the priority direction.
 [[nodiscard]] std::vector<ReconfiguredComponent> reconfigure_fail_stop(
     const DinersSystem& old_system);
 

@@ -250,6 +250,9 @@ std::size_t CrashPlan::apply_due(DinersSystem& system, std::uint64_t now,
   std::size_t fired = 0;
   while (next_ < events_.size() && events_[next_].at_step <= now) {
     const CrashEvent& e = events_[next_++];
+    // Idempotence per round: a dead victim executes nothing, so its event
+    // is consumed without writes (see header).
+    if (!system.alive(e.process)) continue;
     malicious_crash(system, e.process, e.malicious_steps, rng, options);
     ++fired;
   }

@@ -123,8 +123,12 @@ class CrashPlan {
   /// for spread() may be smaller than the count requested.
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
 
-  /// Fires every event with at_step <= now that has not fired yet. Returns
-  /// the number fired.
+  /// Fires every event with at_step <= now that has not fired yet. Firing
+  /// is idempotent per round: an event whose victim is already dead is
+  /// consumed without re-injecting (a dead process performs no writes), so
+  /// a plan reset() and replayed against a system where some victims never
+  /// restarted does not corrupt their neighborhoods twice. Returns the
+  /// number of events that actually injected a crash.
   std::size_t apply_due(core::DinersSystem& system, std::uint64_t now,
                         util::Xoshiro256& rng,
                         const CorruptionOptions& options = {});
@@ -132,6 +136,12 @@ class CrashPlan {
   [[nodiscard]] bool exhausted() const noexcept {
     return next_ >= events_.size();
   }
+
+  /// Re-arms the plan: every event becomes due again at its original
+  /// at_step. Campaigns reuse one plan template across fault/recovery
+  /// rounds (restart the victims, reset the plan, replay it) instead of
+  /// rebuilding the schedule each round.
+  void reset() noexcept { next_ = 0; }
 
   /// All victim process ids in the plan.
   [[nodiscard]] std::vector<core::DinersSystem::ProcessId> victims() const;

@@ -17,7 +17,8 @@ MessagePassingDiners::MessagePassingDiners(graph::Graph g,
       config_(config),
       options_(options),
       rng_(util::derive_seed(options.seed, 0x3b)),
-      network_(graph_) {
+      network_(graph_, options.network_faults,
+               util::derive_seed(options.seed, 0x3c)) {
   if (options_.handshake_modulus < 2) {
     throw std::invalid_argument("MessagePassingDiners: K must be >= 2");
   }
@@ -263,6 +264,26 @@ void MessagePassingDiners::set_needs(ProcessId p, bool wants) {
 }
 
 void MessagePassingDiners::crash(ProcessId p) { alive_.at(p) = 0; }
+
+void MessagePassingDiners::restart(ProcessId p) {
+  if (alive_.at(p)) return;
+  alive_[p] = 1;
+  states_[p] = DinerState::kThinking;
+  depths_[p] = 0;
+  const auto& nbrs = graph_.neighbors(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    EdgeEndpoint& ep = endpoints_[p][i];
+    ep.my_counter = 0;
+    ep.seen_counter = 0;
+    ep.cached_state = DinerState::kThinking;
+    ep.cached_depth = 0;
+    ep.priority_owner = nbrs[i];  // yield every edge, as exit does
+    ++ep.priority_version;
+  }
+  // Announce the rejoin so neighbors refresh their caches promptly (ticks
+  // would eventually do it anyway; this is the production node's "join").
+  for (std::size_t i = 0; i < nbrs.size(); ++i) send_mirror(p, i, false);
+}
 
 void MessagePassingDiners::corrupt(util::Xoshiro256& rng) {
   const auto n = graph_.num_nodes();

@@ -55,6 +55,10 @@ struct MpOptions {
   /// ticks re-send them, so a lost release message merely delays the token
   /// until the next refresh.
   double loss_probability = 0.0;
+  /// Channel-level fault model (drop/duplicate/reorder/delay/corrupt); the
+  /// default is the perfectly reliable FIFO network. The network's fault
+  /// RNG derives from `seed`, so unreliable runs stay deterministic.
+  FaultModel network_faults;
   std::uint64_t seed = 1;
 };
 
@@ -77,6 +81,15 @@ class MessagePassingDiners {
   /// messages still get delivered and dropped).
   void crash(ProcessId p);
   [[nodiscard]] bool alive(ProcessId p) const { return alive_.at(p) != 0; }
+
+  /// Restart (rejoin): revives a dead process with fully reset local state —
+  /// thinking, depth 0, handshake counters and caches zeroed, every edge
+  /// opinion yielded to the neighbor at a bumped version — and announces
+  /// itself by mirroring on every incident edge. The reset is a transient
+  /// fault to the pair protocols (counters may transiently double-privilege
+  /// an edge) which the handshake stabilizes through, per the module's
+  /// eventual-safety contract. No-op on a live process.
+  void restart(ProcessId p);
 
   /// Corrupts local states, caches, counters, and the in-flight channels.
   void corrupt(util::Xoshiro256& rng);
@@ -107,6 +120,11 @@ class MessagePassingDiners {
   [[nodiscard]] std::uint64_t messages_lost() const noexcept {
     return messages_lost_;
   }
+
+  /// The underlying network, exposed for fault-model swaps mid-run (chaos
+  /// campaigns) and for the drop/duplicate conservation counters.
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
 
  private:
   /// Per-process, per-incident-edge slot data.

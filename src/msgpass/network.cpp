@@ -4,39 +4,115 @@
 
 namespace diners::msgpass {
 
-Network::Network(const graph::Graph& g)
-    : graph_(g), channels_(2 * static_cast<std::size_t>(g.num_edges())) {}
+Network::Network(const graph::Graph& g, FaultModel model,
+                 std::uint64_t fault_seed)
+    : graph_(g),
+      model_(model),
+      fault_rng_(util::derive_seed(fault_seed, /*stream=*/0x6e57)),
+      channels_(2 * static_cast<std::size_t>(g.num_edges())) {}
+
+void Network::corrupt_message(Message& m, graph::EdgeId e) {
+  ++corrupted_;
+  // One random field flips to a random in-domain value (bounded corruption:
+  // the receiver-side domain checks stay satisfiable, see FaultModel).
+  switch (fault_rng_.below(5)) {
+    case 0:
+      m.counter = static_cast<std::uint8_t>(
+          fault_rng_.below(model_.corrupt_counter_modulus));
+      break;
+    case 1:
+      m.state = static_cast<std::uint8_t>(fault_rng_.below(3));
+      break;
+    case 2:
+      m.depth = fault_rng_.between(-model_.corrupt_depth_bound,
+                                   model_.corrupt_depth_bound);
+      break;
+    case 3: {
+      const auto& edge = graph_.edge(e);
+      m.priority_owner = fault_rng_.chance(0.5) ? edge.u : edge.v;
+      break;
+    }
+    default:
+      m.priority_version = fault_rng_.below(model_.corrupt_version_bound);
+      break;
+  }
+}
+
+void Network::enqueue(std::size_t c, const Message& m) {
+  ++sent_;
+  InFlight entry{m, 0};
+  if (model_.corrupt > 0.0 && fault_rng_.chance(model_.corrupt)) {
+    corrupt_message(entry.m, static_cast<graph::EdgeId>(c / 2));
+  }
+  if (model_.delay > 0.0 && fault_rng_.chance(model_.delay)) {
+    entry.delay = model_.delay_deliveries;
+  }
+  auto& channel = channels_.at(c);
+  if (model_.reorder > 0.0 && !channel.empty() &&
+      fault_rng_.chance(model_.reorder)) {
+    // Insert at a uniformly random position (including the front): the
+    // message overtakes an arbitrary prefix of the channel.
+    const auto pos = static_cast<std::ptrdiff_t>(
+        fault_rng_.below(channel.size() + 1));
+    channel.insert(channel.begin() + pos, entry);
+  } else {
+    channel.push_back(entry);
+  }
+  ++pending_;
+}
 
 void Network::send(graph::EdgeId e, int direction, const Message& m) {
-  channels_.at(index(e, direction)).push_back(m);
-  ++pending_;
-  ++sent_;
+  const std::size_t c = index(e, direction);
+  if (model_.drop > 0.0 && fault_rng_.chance(model_.drop)) {
+    ++sent_;
+    ++dropped_;  // vanished on the wire; never enqueued
+    return;
+  }
+  enqueue(c, m);
+  if (model_.duplicate > 0.0 && fault_rng_.chance(model_.duplicate)) {
+    ++duplicated_;
+    enqueue(c, m);  // the copy counts as a second send (conservation)
+  }
 }
 
 Message Network::deliver_random(util::Xoshiro256& rng,
                                 graph::EdgeId& edge_out, int& direction_out) {
   if (pending_ == 0) throw std::logic_error("deliver_random: empty network");
-  // Pick the k-th pending message's channel, uniform over messages (so busy
-  // channels drain proportionally).
-  std::uint64_t k = rng.below(pending_);
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    const auto& channel = channels_[c];
-    if (k < channel.size()) {
+  // Each iteration either delivers or consumes one delay unit of the picked
+  // message, so the loop terminates (total outstanding delay is finite).
+  for (;;) {
+    // Pick the k-th pending message's channel, uniform over messages (so
+    // busy channels drain proportionally).
+    std::uint64_t k = rng.below(pending_);
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      auto& channel = channels_[c];
+      if (k >= channel.size()) {
+        k -= channel.size();
+        continue;
+      }
+      InFlight entry = channel.front();
+      channel.pop_front();
+      if (entry.delay > 0) {
+        // Still owing delivery picks: pass it over, re-queue at the back.
+        --entry.delay;
+        channel.push_back(entry);
+        k = 0;  // re-pick from scratch
+        break;
+      }
       edge_out = static_cast<graph::EdgeId>(c / 2);
       direction_out = static_cast<int>(c % 2);
-      Message m = channels_[c].front();
-      channels_[c].pop_front();
       --pending_;
       ++delivered_;
-      return m;
+      return entry.m;
     }
-    k -= channel.size();
   }
-  throw std::logic_error("deliver_random: accounting mismatch");
 }
 
 void Network::clear() {
-  for (auto& channel : channels_) channel.clear();
+  for (auto& channel : channels_) {
+    dropped_ += channel.size();
+    channel.clear();
+  }
   pending_ = 0;
 }
 

@@ -70,6 +70,23 @@ void ThreadedDiners::malicious_crash(ProcessId p,
   dead_.at(p)->store(true, std::memory_order_release);
 }
 
+void ThreadedDiners::restart(ProcessId p) {
+  if (!dead_.at(p)->load(std::memory_order_acquire)) return;
+  // Cancel any un-spent malicious budget, write the paper-legal reset state
+  // under the neighborhood locks, then revive the thread. The thread only
+  // resumes stepping after the release store, so it always wakes into the
+  // reset state.
+  malicious_budget_[p]->store(0, std::memory_order_relaxed);
+  lock_neighborhood(p);
+  states_[p] = DinerState::kThinking;
+  depths_[p] = 0;
+  const auto& nbrs = graph_.neighbors(p);
+  const auto& inc = graph_.incident_edges(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) priority_[inc[i]] = nbrs[i];
+  unlock_neighborhood(p);
+  dead_[p]->store(false, std::memory_order_release);
+}
+
 void ThreadedDiners::set_needs(ProcessId p, bool wants) {
   needs_.at(p)->store(wants, std::memory_order_relaxed);
 }
@@ -199,8 +216,8 @@ void ThreadedDiners::philosopher_loop(ProcessId p) {
   util::Xoshiro256 rng(util::derive_seed(options_.seed, p));
   while (!quit_.load(std::memory_order_relaxed)) {
     if (dead_[p]->load(std::memory_order_acquire)) {
-      // Malicious last gasps, then permanent silence (stay responsive to
-      // quit_ so stop() can join us).
+      // Malicious last gasps, then silence until a restart() revives us or
+      // quit_ tells stop() we should wind down.
       std::uint32_t budget =
           malicious_budget_[p]->exchange(0, std::memory_order_relaxed);
       while (budget-- > 0) {
@@ -208,10 +225,11 @@ void ThreadedDiners::philosopher_loop(ProcessId p) {
         random_write_locked(p, rng);
         unlock_neighborhood(p);
       }
-      while (!quit_.load(std::memory_order_relaxed)) {
+      while (!quit_.load(std::memory_order_relaxed) &&
+             dead_[p]->load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
-      return;
+      continue;
     }
     const StepOutcome outcome = try_step(p);
     if (outcome == StepOutcome::kEntered && options_.eat_us > 0) {

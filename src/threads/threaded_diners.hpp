@@ -73,6 +73,12 @@ class ThreadedDiners {
   /// freezes.
   void malicious_crash(ProcessId p, std::uint32_t arbitrary_steps);
 
+  /// Restart (rejoin): writes the paper-legal reset state (thinking, depth
+  /// 0, incident priorities yielded) under the neighborhood locks and
+  /// unfreezes the victim's thread. Any un-spent malicious budget is
+  /// cancelled. No-op on a live process.
+  void restart(ProcessId p);
+
   // --- workload ------------------------------------------------------------
   void set_needs(ProcessId p, bool wants);
 

@@ -1,0 +1,173 @@
+// Tests for the chaos soak harness: campaigns must be deterministic and
+// clean on healthy systems, must catch broken guards with replayable
+// incidents, and must fold across trials identically for any jobs count.
+#include "chaos/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/invariants.hpp"
+#include "core/serialize.hpp"
+#include "verify/counterexample.hpp"
+
+namespace diners::chaos {
+namespace {
+
+CampaignOptions ring_options(graph::NodeId n) {
+  CampaignOptions o;
+  o.topology = "ring";
+  o.n = n;
+  o.config.diameter_override = n - 1;  // sound threshold under corruption
+  return o;
+}
+
+TEST(ParseBackend, RoundTripsEveryBackend) {
+  for (const auto b : {Backend::kSharedMemory, Backend::kMsgReliable,
+                       Backend::kMsgUnreliable, Backend::kThreaded}) {
+    EXPECT_EQ(parse_backend(std::string(to_string(b))), b);
+  }
+  EXPECT_THROW((void)parse_backend("carrier-pigeon"), std::invalid_argument);
+}
+
+TEST(Campaign, SharedMemoryCleanAtFixedSeed) {
+  auto o = ring_options(8);
+  o.rounds = 40;
+  const auto r = run_campaign(o, 0, 1);
+  EXPECT_EQ(r.incidents, 0u);
+  EXPECT_FALSE(r.incident.has_value());
+  EXPECT_EQ(r.rounds, 40u);
+  EXPECT_GT(r.crashes, 0u);
+  EXPECT_GT(r.restarts, 0u);
+  EXPECT_EQ(r.recovery_steps.count(), 40u);  // one verdict per round
+  EXPECT_GT(r.total_meals, 0u);
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  auto o = ring_options(8);
+  o.rounds = 25;
+  const auto a = run_campaign(o, 3, 7);
+  const auto b = run_campaign(o, 3, 7);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.corruptions, b.corruptions);
+  EXPECT_EQ(a.total_meals, b.total_meals);
+  EXPECT_EQ(a.recovery_steps.sum(), b.recovery_steps.sum());
+}
+
+TEST(Campaign, MutatedGuardTripsWatchdogWithReplayableEvidence) {
+  // The watchdog's own acceptance test: disable fixdepth (no cycle
+  // breaking) and corrupt every round — convergence must fail, and the
+  // incident must round-trip through the counterexample grammar to a
+  // state that genuinely violates I.
+  auto o = ring_options(4);
+  o.mutation = verify::GuardMutation::kNoFixdepth;
+  o.global_corruption_probability = 1.0;
+  o.rounds = 100;
+  o.watchdog.budget_steps = 30000;
+  const auto r = run_campaign(o, 0, 1);
+  ASSERT_GE(r.incidents, 1u);
+  ASSERT_TRUE(r.incident.has_value());
+  EXPECT_LT(r.rounds, 101u);  // stopped at the first incident
+  ASSERT_TRUE(r.incident->evidence.has_value());
+  EXPECT_EQ(r.incident->backend, "shared-memory");
+  EXPECT_FALSE(r.incident->burst.empty());
+
+  std::stringstream file;
+  write_incident(file, *r.incident);
+  const auto loaded = verify::read_counterexample(file);
+  EXPECT_EQ(loaded.cex.property, "chaos-watchdog");
+  EXPECT_TRUE(loaded.cex.events.empty());
+  core::DinersSystem replayed(loaded.graph, loaded.config);
+  core::restore(replayed, loaded.cex.start);
+  EXPECT_FALSE(analysis::holds_invariant(replayed));
+}
+
+TEST(Campaign, MsgpassReliableCleanAndConserving) {
+  auto o = ring_options(6);
+  o.backend = Backend::kMsgReliable;
+  o.rounds = 15;
+  const auto r = run_campaign(o, 0, 2);
+  EXPECT_EQ(r.incidents, 0u);
+  EXPECT_GT(r.messages_sent, 0u);
+  EXPECT_EQ(r.messages_dropped, 0u);
+  EXPECT_EQ(r.messages_duplicated, 0u);
+  EXPECT_EQ(r.messages_sent,
+            r.messages_delivered + r.messages_dropped + r.messages_pending);
+}
+
+TEST(Campaign, MsgpassUnreliableCleanAndConserving) {
+  auto o = ring_options(6);
+  o.backend = Backend::kMsgUnreliable;
+  o.network_faults.drop = 0.05;
+  o.network_faults.duplicate = 0.05;
+  o.network_faults.reorder = 0.1;
+  o.network_faults.delay = 0.05;
+  o.network_faults.corrupt = 0.01;
+  o.rounds = 15;
+  const auto r = run_campaign(o, 0, 2);
+  EXPECT_EQ(r.incidents, 0u);
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_GT(r.messages_duplicated, 0u);
+  // Conservation stays exact under the full fault mix: a duplicate counts
+  // as a second send.
+  EXPECT_EQ(r.messages_sent,
+            r.messages_delivered + r.messages_dropped + r.messages_pending);
+}
+
+TEST(Campaign, ThreadedCleanSmallSoak) {
+  auto o = ring_options(6);
+  o.backend = Backend::kThreaded;
+  o.rounds = 4;
+  const auto r = run_campaign(o, 0, 3);
+  EXPECT_EQ(r.incidents, 0u);
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_GT(r.crashes, 0u);
+}
+
+TEST(CampaignBatch, AggregatesAreJobsInvariant) {
+  auto o = ring_options(8);
+  o.rounds = 15;
+  analysis::BatchOptions serial;
+  serial.trials = 6;
+  serial.jobs = 1;
+  serial.master_seed = 11;
+  analysis::BatchOptions parallel = serial;
+  parallel.jobs = 4;
+  const auto a = run_campaign_batch(o, serial);
+  const auto b = run_campaign_batch(o, parallel);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.clean_trials, b.clean_trials);
+  EXPECT_EQ(a.incidents, b.incidents);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.corruptions, b.corruptions);
+  EXPECT_EQ(a.total_meals, b.total_meals);
+  EXPECT_EQ(a.recovery_steps.count(), b.recovery_steps.count());
+  EXPECT_EQ(a.recovery_steps.sum(), b.recovery_steps.sum());
+  EXPECT_EQ(a.recovery_steps.min(), b.recovery_steps.min());
+  EXPECT_EQ(a.recovery_steps.max(), b.recovery_steps.max());
+}
+
+TEST(CampaignBatch, FirstIncidentIsLowestTrial) {
+  auto o = ring_options(4);
+  o.mutation = verify::GuardMutation::kNoFixdepth;
+  o.global_corruption_probability = 1.0;
+  o.rounds = 100;
+  o.watchdog.budget_steps = 30000;
+  analysis::BatchOptions batch;
+  batch.trials = 3;
+  batch.jobs = 3;
+  batch.master_seed = 1;
+  const auto r = run_campaign_batch(o, batch);
+  ASSERT_GT(r.incidents, 0u);
+  ASSERT_TRUE(r.first_incident.has_value());
+  // Every trial of a broken system should trip; the reported incident must
+  // be the lowest trial index regardless of completion order.
+  EXPECT_EQ(r.clean_trials, 0u);
+  EXPECT_EQ(r.first_incident->trial, 0u);
+}
+
+}  // namespace
+}  // namespace diners::chaos

@@ -59,6 +59,27 @@ TEST(Reconfigure, IsolatedSurvivorBecomesSingleton) {
   }
 }
 
+TEST(Reconfigure, MealsBeforeCarriesCumulativeCounts) {
+  // Soak-level starvation accounting: the fresh components restart their
+  // meal counters at zero, so each survivor's history must ride along as
+  // meals_before — cumulative count = meals_before[p] + system.meals(p).
+  DinersSystem s(graph::make_ring(6));
+  sim::Engine warm(s, sim::make_daemon("round-robin", 1), 64);
+  warm.run(4000);
+  ASSERT_GT(s.total_meals(), 0u);
+  s.crash(2);
+  const auto parts = reconfigure_fail_stop(s);
+  for (const auto& c : parts) {
+    const auto n = c.system.topology().num_nodes();
+    ASSERT_EQ(c.meals_before.size(), n);
+    ASSERT_EQ(c.original_id.size(), n);
+    for (P p = 0; p < n; ++p) {
+      EXPECT_EQ(c.meals_before[p], s.meals(c.original_id[p]));
+      EXPECT_EQ(c.system.meals(p), 0u);  // fresh counters start at zero
+    }
+  }
+}
+
 TEST(Reconfigure, NobodyIsSacrificedAfterFailStop) {
   // The paper's point: a *detected* failure costs nothing — after the
   // topology update, EVERY survivor eats, including the crash victim's

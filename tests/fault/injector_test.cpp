@@ -124,6 +124,63 @@ TEST(CrashPlan, ApplyDueFiresInOrder) {
   EXPECT_TRUE(plan.exhausted());
 }
 
+TEST(CrashPlan, ApplyDueConsumesDeadVictimsWithoutReinjecting) {
+  // Idempotent firing: a victim already dead when its event comes due is
+  // consumed silently (a dead process performs no writes), so replaying a
+  // plan cannot corrupt the victim's neighborhood twice.
+  DinersSystem s(graph::make_path(6));
+  s.crash(1);
+  s.set_state(1, DinerState::kEating);  // sentinel: a re-fire would scribble
+  util::Xoshiro256 rng(12);
+  CrashPlan plan({CrashEvent{10, 1, 32}, CrashEvent{10, 3, 0}});
+  EXPECT_EQ(plan.apply_due(s, 10, rng), 1u);  // only 3 actually injected
+  EXPECT_TRUE(plan.exhausted());
+  EXPECT_FALSE(s.alive(3));
+  EXPECT_EQ(s.state(1), DinerState::kEating);  // untouched
+}
+
+TEST(CrashPlan, ResetReArmsEveryEvent) {
+  // The campaign loop: fire the plan, restart the victims, reset(), fire
+  // again — the same template injects each round.
+  DinersSystem s(graph::make_path(6));
+  util::Xoshiro256 rng(13);
+  CrashPlan plan({CrashEvent{10, 1, 0}, CrashEvent{20, 3, 0}});
+  EXPECT_EQ(plan.apply_due(s, 100, rng), 2u);
+  EXPECT_TRUE(plan.exhausted());
+  s.restart(1);
+  s.restart(3);
+  plan.reset();
+  EXPECT_FALSE(plan.exhausted());
+  EXPECT_EQ(plan.apply_due(s, 100, rng), 2u);
+  EXPECT_FALSE(s.alive(1));
+  EXPECT_FALSE(s.alive(3));
+}
+
+TEST(CrashPlan, ResetWithoutRestartIsHarmless) {
+  // Victims that never restarted are consumed without a second injection.
+  DinersSystem s(graph::make_path(6));
+  util::Xoshiro256 rng(14);
+  CrashPlan plan({CrashEvent{10, 2, 16}});
+  EXPECT_EQ(plan.apply_due(s, 100, rng), 1u);
+  plan.reset();
+  EXPECT_EQ(plan.apply_due(s, 100, rng), 0u);
+  EXPECT_TRUE(plan.exhausted());
+}
+
+TEST(Restart, RevivesWithPaperLegalResetState) {
+  DinersSystem s(graph::make_path(5));
+  util::Xoshiro256 rng(15);
+  malicious_crash(s, 2, 64, rng);  // scribble, then die
+  ASSERT_FALSE(s.alive(2));
+  s.restart(2);
+  EXPECT_TRUE(s.alive(2));
+  EXPECT_EQ(s.state(2), DinerState::kThinking);
+  EXPECT_EQ(s.depth(2), 0);
+  // Every incident edge yielded: the neighbors are the ancestors.
+  EXPECT_EQ(s.priority(2, 1), 1u);
+  EXPECT_EQ(s.priority(2, 3), 3u);
+}
+
 TEST(CrashPlan, RandomPicksDistinctVictims) {
   util::Xoshiro256 rng(9);
   const auto plan = CrashPlan::random(10, 4, 0, 8, rng);

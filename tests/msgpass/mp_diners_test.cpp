@@ -152,6 +152,73 @@ TEST(MpDiners, SafetyHoldsUnderMessageLoss) {
   }
 }
 
+TEST(MpDiners, RestartRejoinsAndEatsAgain) {
+  MpOptions options;
+  options.seed = 21;
+  MessagePassingDiners s(graph::make_ring(6), {}, options);
+  s.run(30000);
+  s.crash(2);
+  s.run(30000);  // absorb the crash
+  const auto base = s.meals(2);
+  s.restart(2);
+  EXPECT_TRUE(s.alive(2));
+  s.run(120000);
+  // The rejoined process participates again: it eats beyond its pre-crash
+  // count, and the handshake has re-stabilized (no lingering overlap).
+  EXPECT_GT(s.meals(2), base);
+  for (int i = 0; i < 10000; ++i) {
+    s.step();
+    ASSERT_EQ(s.eating_violations(), 0u) << "step " << i;
+  }
+}
+
+TEST(MpDiners, RestartOnLiveProcessIsNoOp) {
+  MessagePassingDiners s(graph::make_path(3));
+  s.run(5000);
+  const auto meals = s.total_meals();
+  s.restart(1);  // alive: must not reset anything
+  EXPECT_TRUE(s.alive(1));
+  EXPECT_EQ(s.total_meals(), meals);
+}
+
+TEST(MpDiners, ConvergesOverUnreliableNetwork) {
+  // Dolev & Herman's unsupportive environment: drop, duplicate, and
+  // reorder active the whole run. Stabilization still delivers liveness,
+  // and once the faults stop (quiescent window), safety returns and holds.
+  MpOptions options;
+  options.seed = 22;
+  options.network_faults.drop = 0.01;
+  options.network_faults.duplicate = 0.01;
+  options.network_faults.reorder = 0.05;
+  MessagePassingDiners s(graph::make_ring(6), {}, options);
+  s.run(200000);
+  for (P p = 0; p < 6; ++p) {
+    EXPECT_GT(s.meals(p), 0u) << "process " << p;
+  }
+  s.network().set_fault_model({});
+  s.run(30000);  // flush the damaged channels
+  for (int i = 0; i < 20000; ++i) {
+    s.step();
+    ASSERT_EQ(s.eating_violations(), 0u) << "step " << i;
+  }
+}
+
+TEST(MpDiners, UnreliableRunConservesMessages) {
+  MpOptions options;
+  options.seed = 23;
+  options.network_faults.drop = 0.05;
+  options.network_faults.duplicate = 0.05;
+  options.network_faults.reorder = 0.1;
+  options.network_faults.corrupt = 0.01;
+  MessagePassingDiners s(graph::make_ring(5), {}, options);
+  s.run(80000);
+  const auto& net = s.network();
+  EXPECT_GT(net.total_dropped(), 0u);
+  EXPECT_GT(net.total_duplicated(), 0u);
+  EXPECT_EQ(net.total_sent(),
+            net.total_delivered() + net.total_dropped() + net.pending());
+}
+
 TEST(MpDiners, TotalLossFreezesProgressButNothingBreaks) {
   MpOptions options;
   options.loss_probability = 1.0;

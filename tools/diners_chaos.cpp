@@ -1,0 +1,221 @@
+// diners_chaos — chaos soak driver: indefinite fault–recovery campaigns
+// with automated convergence verification, over every runtime backend.
+//
+// Each trial alternates randomized fault bursts (malicious crashes,
+// restarts, state corruption, network garbage) with quiescent windows in
+// which a watchdog must observe recovery (invariant I, progress, failure
+// locality). Any watchdog failure is an incident: the campaign reports it,
+// writes a structured incident file (replayable via `diners_sim --replay`
+// where a ground-truth snapshot exists), and the tool exits 1.
+//
+// The JSON summary on stdout is bit-identical for any --jobs value (and,
+// for the deterministic backends, across runs); wall timing goes to
+// stderr. Exit codes: 0 clean, 1 incident(s), 2 usage error.
+//
+// Examples:
+//   diners_chaos --rounds=200 --topology=ring --n=8
+//   diners_chaos --backend=msgpass-unreliable --drop=0.01 --reorder=0.05
+//   diners_chaos --backend=threaded --rounds=50 --trials=2
+//   diners_chaos --mutate=no-fixdepth --corrupt-prob=1   # must exit 1
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analysis/batch_runner.hpp"
+#include "chaos/campaign.hpp"
+#include "core/config.hpp"
+#include "util/flags.hpp"
+#include "verify/mutation.hpp"
+
+namespace {
+
+/// Exit code 2: malformed user input (vs 1 for detected incidents).
+constexpr int kUsageError = 2;
+
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+void print_summary(const diners::chaos::CampaignOptions& options,
+                   const diners::chaos::CampaignBatchResult& result) {
+  using diners::chaos::Backend;
+  const bool msg = options.backend == Backend::kMsgReliable ||
+                   options.backend == Backend::kMsgUnreliable;
+  // The threaded backend's meal and poll counts depend on real-time
+  // scheduling; they are reported on stderr instead so the JSON stays
+  // bit-identical across runs and --jobs values.
+  const bool deterministic = options.backend != Backend::kThreaded;
+  std::cout << "{\n";
+  std::cout << "  \"backend\": \"" << to_string(options.backend) << "\",\n";
+  std::cout << "  \"topology\": \"" << options.topology << '/' << options.n
+            << "\",\n";
+  std::cout << "  \"trials\": " << result.trials << ",\n";
+  std::cout << "  \"rounds\": " << result.rounds << ",\n";
+  std::cout << "  \"incidents\": " << result.incidents << ",\n";
+  std::cout << "  \"clean_trials\": " << result.clean_trials << ",\n";
+  std::cout << "  \"crashes\": " << result.crashes << ",\n";
+  std::cout << "  \"restarts\": " << result.restarts << ",\n";
+  std::cout << "  \"corruptions\": " << result.corruptions;
+  if (deterministic) {
+    const auto& acc = result.recovery_steps;
+    std::cout << ",\n  \"recovery_steps\": {\"count\": " << acc.count()
+              << ", \"mean\": " << acc.mean() << ", \"stddev\": "
+              << acc.stddev() << ", \"min\": " << acc.min() << ", \"max\": "
+              << acc.max() << "},\n";
+    std::cout << "  \"meals\": " << result.total_meals;
+  }
+  if (msg) {
+    std::cout << ",\n  \"network\": {\"sent\": " << result.messages_sent
+              << ", \"delivered\": " << result.messages_delivered
+              << ", \"dropped\": " << result.messages_dropped
+              << ", \"duplicated\": " << result.messages_duplicated
+              << ", \"pending\": " << result.messages_pending << "}";
+  }
+  std::cout << "\n}\n";
+  std::cerr << "wall: " << result.wall_seconds << " s";
+  if (!deterministic) {
+    std::cerr << "; threaded meals (timing-dependent): "
+              << result.total_meals << "; mean recovery polls: "
+              << result.recovery_steps.mean();
+  }
+  std::cerr << "\n";
+}
+
+int run(const diners::util::Flags& flags) {
+  diners::chaos::CampaignOptions options;
+  diners::analysis::BatchOptions batch;
+  try {
+    options.backend = diners::chaos::parse_backend(flags.str("backend"));
+    options.mutation =
+        diners::verify::parse_guard_mutation(flags.str("mutate"));
+    options.topology = flags.str("topology");
+    options.n = static_cast<diners::graph::NodeId>(flags.i64("n"));
+    options.gnp_p = flags.f64("gnp-p");
+    if (!flags.str("topology-seed").empty()) {
+      options.topology_seed = std::stoull(flags.str("topology-seed"));
+    }
+    options.config.diameter_override =
+        diners::core::parse_threshold(flags.str("threshold"), options.n);
+  } catch (const std::invalid_argument& err) {
+    throw UsageError(err.what());
+  }
+  options.rounds = static_cast<std::uint64_t>(flags.i64("rounds"));
+  options.max_crashes_per_burst =
+      static_cast<std::uint32_t>(flags.i64("burst"));
+  options.max_malicious_steps =
+      static_cast<std::uint32_t>(flags.i64("malice"));
+  options.restart_probability = flags.f64("restart-prob");
+  options.global_corruption_probability = flags.f64("corrupt-prob");
+  options.process_corruption_probability =
+      flags.f64("process-corrupt-prob");
+  options.watchdog.budget_steps =
+      static_cast<std::uint64_t>(flags.i64("budget"));
+  options.watchdog.check_every =
+      static_cast<std::uint64_t>(flags.i64("check-every"));
+  options.watchdog.progress_window =
+      static_cast<std::uint64_t>(flags.i64("window"));
+  options.watchdog.locality_bound =
+      static_cast<std::uint32_t>(flags.i64("locality"));
+  options.daemon = flags.str("daemon");
+  options.fairness_bound = static_cast<std::uint64_t>(flags.i64("fairness"));
+  options.network_faults.drop = flags.f64("drop");
+  options.network_faults.duplicate = flags.f64("duplicate");
+  options.network_faults.reorder = flags.f64("reorder");
+  options.network_faults.delay = flags.f64("delay");
+  options.network_faults.corrupt = flags.f64("net-corrupt");
+  options.fault_phase_steps =
+      static_cast<std::uint64_t>(flags.i64("fault-steps"));
+  options.poll_sleep_us = static_cast<std::uint32_t>(flags.i64("poll-us"));
+  if (options.mutation != diners::verify::GuardMutation::kNone &&
+      options.backend != diners::chaos::Backend::kSharedMemory) {
+    throw UsageError("--mutate applies to the shared-memory backend only");
+  }
+
+  batch.trials = static_cast<std::uint64_t>(flags.i64("trials"));
+  batch.jobs = static_cast<unsigned>(flags.i64("jobs"));
+  batch.master_seed = static_cast<std::uint64_t>(flags.i64("seed"));
+
+  const auto result = diners::chaos::run_campaign_batch(options, batch);
+  print_summary(options, result);
+
+  if (result.incidents == 0) return 0;
+  const std::string path = flags.str("incident");
+  if (result.first_incident && !path.empty()) {
+    std::ofstream out(path);
+    if (out) {
+      diners::chaos::write_incident(out, *result.first_incident);
+      std::cerr << "incident: " << result.first_incident->reason
+                << "\nincident report written to " << path;
+      if (result.first_incident->evidence) {
+        std::cerr << " (replay with: diners_sim --replay=" << path << ")";
+      }
+      std::cerr << "\n";
+    } else {
+      std::cerr << "error: cannot write incident report to " << path << "\n";
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  diners::util::Flags flags;
+  flags.define("backend", "shared-memory",
+               "shared-memory | msgpass | msgpass-unreliable | threaded")
+      .define("topology", "ring",
+              "ring|path|star|complete|grid|torus|tree|wheel|barbell|gnp|"
+              "figure2")
+      .define("n", "8", "number of philosophers")
+      .define("gnp-p", "0.15", "edge probability for --topology=gnp")
+      .define("topology-seed", "",
+              "fix the seeded topology families (default: per-trial)")
+      .define("threshold", "sound",
+              "cycle threshold: paper | sound | <integer>")
+      .define("rounds", "200", "fault-burst rounds per trial")
+      .define("burst", "2", "max victims per burst (draw: 1 + below(burst))")
+      .define("malice", "6", "max malicious pre-halt writes per victim")
+      .define("restart-prob", "0.7", "per-round rejoin chance per dead process")
+      .define("corrupt-prob", "0.05", "per-round global corruption chance")
+      .define("process-corrupt-prob", "0.25",
+              "per-round single-process corruption chance")
+      .define("budget", "200000", "watchdog convergence budget (steps)")
+      .define("check-every", "16", "watchdog check period (steps)")
+      .define("window", "4096",
+              "progress/locality window after convergence (0 = off)")
+      .define("locality", "2", "failure-locality bound (paper: 2)")
+      .define("daemon", "random",
+              "round-robin | random | adversarial-age | biased")
+      .define("fairness", "64", "engine weak-fairness bound")
+      .define("mutate", "none",
+              "guard mutation (none | no-fixdepth | greedy-enter); the "
+              "watchdog must catch non-none ones")
+      .define("drop", "0.01", "msgpass-unreliable: per-message drop chance")
+      .define("duplicate", "0.01",
+              "msgpass-unreliable: per-message duplication chance")
+      .define("reorder", "0.05",
+              "msgpass-unreliable: per-message reorder chance")
+      .define("delay", "0.02",
+              "msgpass-unreliable: per-message delay-by-k chance")
+      .define("net-corrupt", "0.005",
+              "msgpass-unreliable: bounded per-message corruption chance")
+      .define("fault-steps", "1500",
+              "msgpass: steps run under the burst network per round")
+      .define("poll-us", "200", "threaded: snapshot poll interval (us)")
+      .define("trials", "4", "independent campaigns")
+      .define("jobs", "1", "worker threads for the trial fan-out")
+      .define("seed", "1", "master seed (trial seeds derive from it)")
+      .define("incident", "chaos_incident.txt",
+              "incident report path (empty = don't write)");
+  if (!flags.parse(argc, argv)) return kUsageError;
+  try {
+    return run(flags);
+  } catch (const UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return kUsageError;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}
