@@ -1,0 +1,107 @@
+// Model-checking explorer throughput: states/second of the sharded-BFS
+// engine on the two headline instances of the EXPERIMENTS table — the
+// ring-4 arbitrary-start box (sound threshold, ~810k states) and the
+// paper's Figure 2 instance (~560k states, 49 layers) — across jobs
+// {1, 2, 4, 8}, plus the legacy decode/execute/encode successor path at
+// jobs = 1 for the old-vs-new single-thread comparison.
+//
+// The graphs produced at every jobs value are bit-identical (pinned by
+// tests/verify/explorer_determinism_test.cpp), so states/s is comparable
+// across rows. On a 1-core container the jobs > 1 rows collapse to the
+// serial rate plus thread overhead; that is the honest number to report
+// there.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/diners_system.hpp"
+#include "core/figure2.hpp"
+#include "core/serialize.hpp"
+#include "graph/generators.hpp"
+#include "verify/canonical.hpp"
+#include "verify/explorer.hpp"
+
+namespace {
+
+using diners::core::DinersConfig;
+using diners::core::DinersSystem;
+using diners::verify::Explorer;
+using diners::verify::Key;
+using diners::verify::StateCodec;
+
+void report_states_per_second(benchmark::State& state, std::uint64_t states) {
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_second"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Ring-4 arbitrary-start box at the sound threshold D = n - 1, the
+/// "ring 4 exhaustive" row of EXPERIMENTS V1.
+void BM_ExploreRing4Box(benchmark::State& state) {
+  DinersConfig cfg;
+  cfg.diameter_override = 3;
+  DinersSystem scratch(diners::graph::make_ring(4), cfg);
+  for (diners::graph::NodeId p = 0; p < 4; ++p) scratch.set_needs(p, true);
+  const StateCodec codec(scratch.topology(), 0, 4);
+  std::vector<Key> seeds;
+  seeds.reserve(codec.domain_size());
+  for (std::uint64_t i = 0; i < codec.domain_size(); ++i) {
+    seeds.push_back(codec.domain_key(i));
+  }
+  Explorer::Options opts;
+  opts.jobs = static_cast<unsigned>(state.range(0));
+  opts.legacy_successors = state.range(1) != 0;
+  opts.expected_states = seeds.size();
+  Explorer explorer(scratch, codec, opts);
+
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto g = explorer.explore(seeds);
+    states = g.num_states();
+    benchmark::DoNotOptimize(g.keys.data());
+  }
+  report_states_per_second(state, states);
+}
+BENCHMARK(BM_ExploreRing4Box)
+    ->ArgsProduct({{1, 2, 4, 8}, {0}})
+    ->Args({1, 1})
+    ->ArgNames({"jobs", "legacy"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+/// The Figure 2 instance, seeded from the paper's pinned mid-run scenario
+/// (a crashed process mid-meal) at the sound threshold — the "figure2"
+/// row of EXPERIMENTS V1 (561,746 states, 49 layers).
+void BM_ExploreFigure2(benchmark::State& state) {
+  DinersConfig cfg;
+  cfg.diameter_override = 6;
+  DinersSystem scratch(diners::graph::make_figure2_topology(), cfg);
+  diners::core::restore(
+      scratch, diners::core::capture(diners::core::make_figure2_system()));
+  const StateCodec codec(scratch.topology(), 0, 7);
+  Explorer::Options opts;
+  opts.jobs = static_cast<unsigned>(state.range(0));
+  opts.legacy_successors = state.range(1) != 0;
+  Explorer explorer(scratch, codec, opts);
+  const Key seed = codec.encode(scratch);
+
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto g = explorer.explore(std::span<const Key>(&seed, 1));
+    states = g.num_states();
+    benchmark::DoNotOptimize(g.keys.data());
+  }
+  report_states_per_second(state, states);
+}
+BENCHMARK(BM_ExploreFigure2)
+    ->ArgsProduct({{1, 2, 4, 8}, {0}})
+    ->Args({1, 1})
+    ->ArgNames({"jobs", "legacy"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace

@@ -8,34 +8,13 @@
 
 namespace diners::verify {
 
+// Bit-field plumbing lives in the header (key_get_bits / key_set_bits /
+// key_low_mask) so the explorer's patch-based successor generator can
+// inline it; local aliases keep this file readable.
 namespace {
-
-constexpr std::uint64_t low_mask(std::uint32_t width) noexcept {
-  return width >= 64 ? ~0ULL : (1ULL << width) - 1;
-}
-
-std::uint64_t get_bits(const Key& k, std::uint32_t pos, std::uint32_t width) {
-  std::uint64_t out;
-  if (pos < 64) {
-    out = k.lo >> pos;
-    if (pos + width > 64) out |= k.hi << (64 - pos);
-  } else {
-    out = k.hi >> (pos - 64);
-  }
-  return out & low_mask(width);
-}
-
-/// Precondition: the field's bits in `k` are currently zero.
-void set_bits(Key& k, std::uint32_t pos, std::uint32_t width,
-              std::uint64_t value) {
-  if (pos < 64) {
-    k.lo |= value << pos;
-    if (pos + width > 64) k.hi |= value >> (64 - pos);
-  } else {
-    k.hi |= value << (pos - 64);
-  }
-}
-
+constexpr auto& low_mask = key_low_mask;
+constexpr auto& get_bits = key_get_bits;
+constexpr auto& set_bits = key_set_bits;
 }  // namespace
 
 StateCodec::StateCodec(const graph::Graph& g, std::int64_t depth_min,

@@ -11,6 +11,7 @@
 // the same vertex of the transition graph iff their keys are equal.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -37,6 +38,51 @@ struct Key {
 /// a with mask's bits cleared.
 [[nodiscard]] constexpr Key key_andnot(Key a, Key mask) noexcept {
   return {a.lo & ~mask.lo, a.hi & ~mask.hi};
+}
+
+// --- raw bit-field access ---------------------------------------------------
+// The explorer's key-patch successor generator reads and rewrites individual
+// packed fields without a decode round-trip, so these live in the header.
+// Fields may straddle the lo/hi word boundary; pos + width <= 128, width < 64.
+
+[[nodiscard]] constexpr std::uint64_t key_low_mask(
+    std::uint32_t width) noexcept {
+  return width >= 64 ? ~0ULL : (1ULL << width) - 1;
+}
+
+[[nodiscard]] constexpr std::uint64_t key_get_bits(
+    const Key& k, std::uint32_t pos, std::uint32_t width) noexcept {
+  std::uint64_t out;
+  if (pos < 64) {
+    out = k.lo >> pos;
+    if (pos + width > 64) out |= k.hi << (64 - pos);
+  } else {
+    out = k.hi >> (pos - 64);
+  }
+  return out & key_low_mask(width);
+}
+
+/// ORs `value` into the field. Precondition: the field's bits in `k` are
+/// currently zero (use key_clear_bits first to overwrite).
+constexpr void key_set_bits(Key& k, std::uint32_t pos, std::uint32_t width,
+                            std::uint64_t value) noexcept {
+  if (pos < 64) {
+    k.lo |= value << pos;
+    if (pos + width > 64) k.hi |= value >> (64 - pos);
+  } else {
+    k.hi |= value << (pos - 64);
+  }
+}
+
+constexpr void key_clear_bits(Key& k, std::uint32_t pos,
+                              std::uint32_t width) noexcept {
+  const std::uint64_t mask = key_low_mask(width);
+  if (pos < 64) {
+    k.lo &= ~(mask << pos);
+    if (pos + width > 64) k.hi &= ~(mask >> (64 - pos));
+  } else {
+    k.hi &= ~(mask << (pos - 64));
+  }
 }
 
 struct KeyHash {
@@ -96,6 +142,30 @@ class StateCodec {
   /// fields and its incident edge bits. Malicious-crash write patterns live
   /// inside this mask.
   [[nodiscard]] Key process_mask(graph::NodeId p) const;
+
+  // --- field geometry (for key_get_bits / key_set_bits patching) ----------
+  /// Bit position of process p's 2-bit diner-state field.
+  [[nodiscard]] std::uint32_t state_pos(graph::NodeId p) const noexcept {
+    return proc_base(p);
+  }
+  /// Bit position of process p's depth field.
+  [[nodiscard]] std::uint32_t depth_pos(graph::NodeId p) const noexcept {
+    return proc_base(p) + 2;
+  }
+  /// Width of each depth field in bits.
+  [[nodiscard]] std::uint32_t depth_field_bits() const noexcept {
+    return depth_bits_;
+  }
+  /// Bit position of edge e's orientation bit (1 iff owner == edge.v).
+  [[nodiscard]] std::uint32_t edge_pos(graph::EdgeId e) const noexcept {
+    return edge_base_ + e;
+  }
+  /// The stored field value for concrete depth `d`: clamped into the box
+  /// and offset against depth_min (the same saturation encode() applies).
+  [[nodiscard]] std::uint64_t encoded_depth(std::int64_t d) const noexcept {
+    return static_cast<std::uint64_t>(std::clamp(d, depth_min_, depth_max_) -
+                                      depth_min_);
+  }
 
   /// Size of the full key domain 3^n · (depth values)^n · 2^m — the
   /// arbitrary-start state box of Theorem 1. Throws std::overflow_error

@@ -2,23 +2,85 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <stdexcept>
 
+#include "core/serialize.hpp"
 #include "fault/injector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace diners::verify {
 
+namespace {
+
+// Candidate-resolution markers (see Explorer::explore). A resolved slot is
+// either an admitted global state index (< kDroppedIdx), kDroppedIdx for a
+// fresh state dropped at the max_states cap, or a kPendingTag-ged candidate
+// ordinal naming the first occurrence of a not-yet-admitted key. Global
+// indices and chunk ordinals both fit in 31 bits, so the tag bit
+// disambiguates.
+constexpr std::uint32_t kPendingTag = 0x8000'0000u;
+constexpr std::uint32_t kDroppedIdx = 0x7FFF'FFFFu;
+/// Largest admissible state count (indices must stay below kDroppedIdx).
+constexpr std::uint32_t kMaxAdmittable = kDroppedIdx - 1;
+
+}  // namespace
+
 Explorer::Explorer(core::DinersSystem& scratch, const StateCodec& codec,
                    Options options)
-    : scratch_(scratch),
-      codec_(codec),
-      options_(options),
-      program_(scratch, options.mutation) {
-  if (scratch_.topology().num_nodes() * core::DinersSystem::kNumActions >
-      64) {
+    : scratch_(scratch), codec_(codec), options_(std::move(options)) {
+  const auto& topo = scratch_.topology();
+  const auto n = topo.num_nodes();
+  if (n * core::DinersSystem::kNumActions > 64) {
     throw std::invalid_argument(
         "Explorer: > 12 processes overflow the 64-bit enabled mask");
   }
+  if (options_.jobs == 0) {
+    throw std::invalid_argument("Explorer: jobs must be positive");
+  }
+  options_.max_states = std::min(options_.max_states, kMaxAdmittable);
+  if (options_.expected_states == 0) {
+    try {
+      options_.expected_states = codec_.domain_size();
+    } catch (const std::overflow_error&) {
+      options_.expected_states = options_.max_states;
+    }
+  }
+  options_.expected_states =
+      std::min<std::uint64_t>(options_.expected_states, options_.max_states);
+
+  depth_bits_ = codec_.depth_field_bits();
+  depth_min_ = codec_.depth_min();
+  threshold_d_ = scratch_.diameter_constant();
+  dyn_threshold_ = scratch_.config().enable_dynamic_threshold;
+  cycle_breaking_ = scratch_.config().enable_cycle_breaking;
+
+  procs_.resize(n + 1);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    ProcGen& pg = procs_[p];
+    pg.state_pos = codec_.state_pos(p);
+    pg.depth_pos = codec_.depth_pos(p);
+    pg.exit_clear = codec_.process_mask(p);
+    Key ex;
+    key_set_bits(ex, pg.depth_pos, depth_bits_, codec_.encoded_depth(0));
+    pg.nbr_begin = static_cast<std::uint32_t>(nbrs_.size());
+    const auto& ns = topo.neighbors(p);
+    const auto& inc = topo.incident_edges(p);
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      const graph::NodeId q = ns[i];
+      const graph::EdgeId e = inc[i];
+      // Post-exit p yields every edge (owner := q); the packed bit encodes
+      // owner == edge.v.
+      const bool q_is_v = topo.edge(e).v == q;
+      if (q_is_v) key_set_bits(ex, codec_.edge_pos(e), 1, 1);
+      nbrs_.push_back({codec_.state_pos(q), codec_.depth_pos(q),
+                       codec_.edge_pos(e),
+                       static_cast<std::uint8_t>(q_is_v ? 1 : 0)});
+    }
+    pg.exit_set = ex;
+  }
+  procs_[n].nbr_begin = static_cast<std::uint32_t>(nbrs_.size());
+
   if (!options_.demon_victim) return;
   const sim::ProcessId victim = *options_.demon_victim;
   if (scratch_.alive(victim)) {
@@ -41,67 +103,392 @@ Explorer::Explorer(core::DinersSystem& scratch, const StateCodec& codec,
   }
 }
 
+std::uint64_t Explorer::expand_fast(const Key& k, std::uint32_t self,
+                                    std::vector<Cand>& out) const {
+  constexpr std::uint64_t kT = 0, kH = 1, kE = 2;
+  const auto n = static_cast<std::uint32_t>(procs_.size()) - 1;
+  const bool greedy = options_.mutation == GuardMutation::kGreedyEnter;
+  const bool fixdepth_on =
+      cycle_breaking_ && options_.mutation != GuardMutation::kNoFixdepth;
+  std::uint64_t mask = 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const ProcGen& pg = procs_[p];
+    if (!pg.alive) continue;
+    const std::uint64_t s = key_get_bits(k, pg.state_pos, 2);
+    const std::int64_t d =
+        depth_min_ +
+        static_cast<std::int64_t>(key_get_bits(k, pg.depth_pos, depth_bits_));
+    // One sweep over the incident edges feeds every guard of Figure 1.
+    bool anc_not_thinking = false;
+    bool desc_eating = false;
+    bool has_desc = false;
+    std::int64_t maxdesc = std::numeric_limits<std::int64_t>::min();
+    for (std::uint32_t i = pg.nbr_begin; i < procs_[p + 1].nbr_begin; ++i) {
+      const NbrGen& nb = nbrs_[i];
+      const std::uint64_t qs = key_get_bits(k, nb.state_pos, 2);
+      if (key_get_bits(k, nb.edge_pos, 1) == nb.anc_bit) {
+        anc_not_thinking |= qs != kT;
+      } else {
+        has_desc = true;
+        desc_eating |= qs == kE;
+        maxdesc = std::max(
+            maxdesc,
+            depth_min_ + static_cast<std::int64_t>(
+                             key_get_bits(k, nb.depth_pos, depth_bits_)));
+      }
+    }
+    const auto base =
+        static_cast<std::uint16_t>(p * core::DinersSystem::kNumActions);
+    const auto emit = [&](sim::ActionIndex a, const Key& k2) {
+      mask |= std::uint64_t{1} << (base + a);
+      out.push_back({k2, self, static_cast<std::uint16_t>(base + a)});
+    };
+    const auto with_state = [&](std::uint64_t v) {
+      Key k2 = k;
+      key_clear_bits(k2, pg.state_pos, 2);
+      key_set_bits(k2, pg.state_pos, 2, v);
+      return k2;
+    };
+    if (pg.needs && s == kT && !anc_not_thinking) {
+      emit(core::DinersSystem::kJoin, with_state(kH));
+    }
+    if (dyn_threshold_ && s == kH && anc_not_thinking) {
+      emit(core::DinersSystem::kLeave, with_state(kT));
+    }
+    if (s == kH && !anc_not_thinking && (greedy || !desc_eating)) {
+      emit(core::DinersSystem::kEnter, with_state(kE));
+    }
+    if (s == kE || (cycle_breaking_ && d > threshold_d_)) {
+      emit(core::DinersSystem::kExit,
+           key_or(key_andnot(k, pg.exit_clear), pg.exit_set));
+    }
+    if (fixdepth_on && has_desc && d < maxdesc + 1) {
+      Key k2 = k;
+      key_clear_bits(k2, pg.depth_pos, depth_bits_);
+      key_set_bits(k2, pg.depth_pos, depth_bits_,
+                   codec_.encoded_depth(maxdesc + 1));
+      emit(core::DinersSystem::kFixDepth, k2);
+    }
+  }
+  return mask;
+}
+
+std::uint64_t Explorer::expand_legacy(core::DinersSystem& sys,
+                                      sim::Program& prog, const Key& k,
+                                      std::uint32_t self,
+                                      std::vector<Cand>& out) const {
+  const auto n = static_cast<sim::ProcessId>(sys.topology().num_nodes());
+  codec_.decode(k, sys);
+  std::uint64_t mask = 0;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    if (!sys.alive(p)) continue;
+    for (sim::ActionIndex a = 0; a < core::DinersSystem::kNumActions; ++a) {
+      if (prog.enabled(p, a)) {
+        mask |= std::uint64_t{1} << protocol_move(p, a);
+      }
+    }
+  }
+  for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+    const auto move = static_cast<std::uint16_t>(std::countr_zero(bits));
+    codec_.decode(k, sys);  // reset after the previous execute
+    prog.execute(move_process(move), move_action(move));
+    out.push_back({codec_.encode(sys), self, move});
+  }
+  return mask;
+}
+
 StateGraph Explorer::explore(std::span<const Key> seeds) {
-  StateGraph g;
-  g.index.reserve(seeds.size() * 2);
+  const auto n = static_cast<sim::ProcessId>(procs_.size() - 1);
+  // Refresh the environment inputs: crashes and needs changes happen
+  // between explorations.
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    procs_[p].needs = scratch_.needs(p) ? 1 : 0;
+    procs_[p].alive = scratch_.alive(p) ? 1 : 0;
+  }
 
-  const auto push = [&g](const Key& k, std::uint32_t parent,
-                         std::uint16_t move) -> std::uint32_t {
-    const auto [it, fresh] =
-        g.index.try_emplace(k, static_cast<std::uint32_t>(g.keys.size()));
-    if (fresh) {
-      g.keys.push_back(k);
-      g.parent.push_back(parent);
-      g.parent_move.push_back(move);
-    }
-    return it->second;
-  };
-
-  for (const Key& s : seeds) push(s, kNoIndex, kSeedMove);
-  g.num_seeds = g.num_states();
-
-  const auto n = scratch_.topology().num_nodes();
-  g.succ_begin.push_back(0);
-
-  // The discovery-ordered keys vector IS the BFS queue.
-  for (std::uint32_t head = 0; head < g.num_states(); ++head) {
-    if (g.num_states() > options_.max_states) {
-      g.complete = false;
-      break;
-    }
-    const Key k = g.keys[head];
-
-    codec_.decode(k, scratch_);
-    std::uint64_t mask = 0;
-    for (sim::ProcessId p = 0; p < n; ++p) {
-      if (!scratch_.alive(p)) continue;
-      for (sim::ActionIndex a = 0; a < core::DinersSystem::kNumActions;
-           ++a) {
-        if (program_.enabled(p, a)) {
-          mask |= std::uint64_t{1} << protocol_move(p, a);
+  // Key patches leave untouched fields verbatim, while the legacy encode
+  // round-trip would clamp an out-of-box depth field — so demand canonical
+  // seeds and keep the two paths byte-identical.
+  const std::uint64_t depth_values = codec_.num_depth_values();
+  if (depth_values != std::uint64_t{1} << depth_bits_) {
+    for (const Key& s : seeds) {
+      for (sim::ProcessId p = 0; p < n; ++p) {
+        if (key_get_bits(s, procs_[p].depth_pos, depth_bits_) >=
+            depth_values) {
+          throw std::invalid_argument(
+              "Explorer::explore: seed has an out-of-box depth field; seeds "
+              "must come from StateCodec::encode or domain_key");
         }
       }
     }
-    g.enabled.push_back(mask);
+  }
 
-    for (std::uint64_t bits = mask; bits != 0; bits &= bits - 1) {
-      const auto move =
-          static_cast<std::uint16_t>(std::countr_zero(bits));
-      codec_.decode(k, scratch_);  // reset after the previous execute
-      program_.execute(move_process(move), move_action(move));
-      const std::uint32_t to = push(codec_.encode(scratch_), head, move);
-      g.succ.push_back({to, move});
+  StateGraph g;
+  const std::uint32_t cap = options_.max_states;
+  const unsigned jobs = options_.jobs;
+  util::TrialPool pool(jobs);
+
+  const auto hint = static_cast<std::size_t>(options_.expected_states);
+  g.keys.reserve(hint);
+  g.parent.reserve(hint);
+  g.parent_move.reserve(hint);
+  g.enabled.reserve(hint);
+  g.succ_begin.reserve(hint + 1);
+  g.succ_begin.push_back(0);
+
+  // Hash-sharded visited set: shard = KeyHash % jobs, each owned by one
+  // worker during resolution, so the hot probe/insert path is lock-free.
+  std::vector<KeyIndex> shards(jobs);
+  for (auto& s : shards) s.reserve(hint / jobs + 16);
+
+  // Demonic orbit-skip: the demon candidates of k are {base | pattern_i}
+  // with base = k & ~demon_mask — a function of base alone. Once any state
+  // with a given base has been expanded and merged, all its orbit members
+  // are in the graph, so later same-base states skip demon generation with
+  // zero effect on the result. Bases commit at chunk boundaries to keep
+  // the candidate stream jobs-independent.
+  KeyIndex orbit_seen;
+  if (!demon_patterns_.empty()) {
+    orbit_seen.reserve(hint / (demon_patterns_.size() + 1) + 16);
+  }
+
+  // Chunk size is instance-derived (never jobs-derived) so the candidate
+  // stream, and with it the merge order, is identical for every jobs
+  // value. Ordinals stay well inside 31 bits: patterns are capped at
+  // kSeedMove - kDemonMoveBase and chunks at 2^18 states.
+  const std::size_t per_state_est =
+      static_cast<std::size_t>(n) * core::DinersSystem::kNumActions / 2 +
+      demon_patterns_.size() + 1;
+  const auto chunk_states = static_cast<std::uint32_t>(
+      std::clamp((std::size_t{1} << 21) / per_state_est, std::size_t{1024},
+                 std::size_t{1} << 18));
+
+  std::vector<std::vector<Cand>> wcands(jobs);
+  std::vector<std::vector<std::vector<std::uint32_t>>> outbox(
+      jobs, std::vector<std::vector<std::uint32_t>>(jobs));
+  std::vector<std::vector<std::uint32_t>> shard_fresh(jobs);
+  std::vector<Cand> cands;
+  std::vector<std::uint32_t> resolved;
+  std::vector<std::uint32_t> cand_count;
+  std::vector<std::uint64_t> cand_begin;
+  std::vector<std::size_t> woff(jobs + 1);
+
+  // The legacy generator mutates a whole system per successor; give each
+  // worker its own clone. (reserve before emplace: MutatedDiners borrows.)
+  std::vector<core::DinersSystem> legacy_sys;
+  std::vector<MutatedDiners> legacy_prog;
+  if (options_.legacy_successors) {
+    legacy_sys.reserve(jobs);
+    legacy_prog.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+      legacy_sys.push_back(core::clone(scratch_));
+      legacy_prog.emplace_back(legacy_sys.back(), options_.mutation);
     }
+  }
 
-    for (std::uint16_t i = 0;
-         i < static_cast<std::uint16_t>(demon_patterns_.size()); ++i) {
-      const Key k2 = key_or(key_andnot(k, demon_mask_), demon_patterns_[i]);
-      if (!(k2 == k)) {
-        push(k2, head, static_cast<std::uint16_t>(kDemonMoveBase + i));
+  const auto shard_of = [jobs](const Key& k) {
+    return static_cast<unsigned>(KeyHash{}(k) % jobs);
+  };
+
+  const auto admit = [&g](const Cand& c) {
+    const auto idx = static_cast<std::uint32_t>(g.keys.size());
+    g.keys.push_back(c.key);
+    g.parent.push_back(c.parent);
+    g.parent_move.push_back(c.move);
+    return idx;
+  };
+
+  // Dedup cands[0, total) against the sharded visited set and admit fresh
+  // keys in ascending-ordinal (canonical) order; resolved[j] ends as the
+  // global index of cands[j].key, or kDroppedIdx past the cap.
+  const auto resolve = [&](std::size_t total) {
+    resolved.resize(total);
+    // Shard scan: each worker probes/inserts only its own shard, visiting
+    // its candidates in ascending ordinal order and tagging first
+    // occurrences as pending.
+    pool.run(jobs, [&](std::size_t t) {
+      auto& fresh = shard_fresh[t];
+      fresh.clear();
+      const auto scan = [&](std::uint32_t j) {
+        const auto [v, inserted] =
+            shards[t].insert(cands[j].key, kPendingTag | j);
+        resolved[j] = v;
+        if (inserted) fresh.push_back(j);
+      };
+      if (jobs == 1) {
+        for (std::uint32_t j = 0; j < total; ++j) scan(j);
+      } else {
+        for (unsigned w = 0; w < jobs; ++w) {
+          for (const std::uint32_t j : outbox[w][t]) scan(j);
+        }
+      }
+    });
+    // Canonical merge (serial): ordinal order equals the serial BFS
+    // discovery order, so admission — and with it every index in the
+    // graph — is jobs-independent.
+    for (std::uint32_t j = 0; j < total; ++j) {
+      const std::uint32_t v = resolved[j];
+      if ((v & kPendingTag) == 0) continue;  // previously admitted state
+      const std::uint32_t first = v & ~kPendingTag;
+      if (first == j) {
+        if (g.keys.size() < cap) {
+          resolved[j] = admit(cands[j]);
+        } else {
+          resolved[j] = kDroppedIdx;
+          g.complete = false;
+        }
+      } else {
+        resolved[j] = resolved[first];  // duplicate of a pending candidate
       }
     }
+    // Replace the pending tags with the assigned indices. Dropped keys
+    // leave stale pending entries behind; harmless, since a drop ends the
+    // exploration.
+    pool.run(jobs, [&](std::size_t t) {
+      for (const std::uint32_t j : shard_fresh[t]) {
+        if (resolved[j] != kDroppedIdx) {
+          shards[t].update(cands[j].key, resolved[j]);
+        }
+      }
+    });
+  };
 
-    g.succ_begin.push_back(static_cast<std::uint32_t>(g.succ.size()));
+  // Expand one chunk of admitted states [begin, end): parallel expansion
+  // into per-worker buffers (worker blocks are contiguous state ranges, so
+  // concatenation preserves canonical order), concatenate + bucket by
+  // shard, resolve, then write the CSR arc rows.
+  const auto expand_chunk = [&](std::uint32_t begin, std::uint32_t end) {
+    const std::uint32_t m = end - begin;
+    const std::uint32_t block = (m + jobs - 1) / jobs;
+    cand_count.assign(m, 0);
+    g.enabled.resize(end);
+    pool.run(jobs, [&](std::size_t w) {
+      auto& buf = wcands[w];
+      buf.clear();
+      const auto lo =
+          begin + std::min(m, static_cast<std::uint32_t>(w) * block);
+      const auto hi =
+          begin + std::min(m, (static_cast<std::uint32_t>(w) + 1) * block);
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const Key k = g.keys[i];
+        const std::size_t before = buf.size();
+        g.enabled[i] =
+            options_.legacy_successors
+                ? expand_legacy(legacy_sys[w], legacy_prog[w], k, i, buf)
+                : expand_fast(k, i, buf);
+        if (!demon_patterns_.empty()) {
+          const Key dbase = key_andnot(k, demon_mask_);
+          if (orbit_seen.find(dbase) == KeyIndex::kAbsent) {
+            for (std::uint16_t di = 0;
+                 di < static_cast<std::uint16_t>(demon_patterns_.size());
+                 ++di) {
+              const Key k2 = key_or(dbase, demon_patterns_[di]);
+              if (!(k2 == k)) {
+                buf.push_back({k2, i,
+                               static_cast<std::uint16_t>(kDemonMoveBase +
+                                                          di)});
+              }
+            }
+          }
+        }
+        cand_count[i - begin] =
+            static_cast<std::uint32_t>(buf.size() - before);
+      }
+    });
+    woff[0] = 0;
+    for (unsigned w = 0; w < jobs; ++w) {
+      woff[w + 1] = woff[w] + wcands[w].size();
+    }
+    const std::size_t total = woff[jobs];
+    cand_begin.resize(m + 1);
+    cand_begin[0] = 0;
+    for (std::uint32_t ci = 0; ci < m; ++ci) {
+      cand_begin[ci + 1] = cand_begin[ci] + cand_count[ci];
+    }
+    cands.resize(total);
+    pool.run(jobs, [&](std::size_t w) {
+      std::copy(wcands[w].begin(), wcands[w].end(), cands.begin() + woff[w]);
+      if (jobs > 1) {
+        for (auto& ob : outbox[w]) ob.clear();
+        for (std::size_t j = woff[w]; j < woff[w + 1]; ++j) {
+          outbox[w][shard_of(cands[j].key)].push_back(
+              static_cast<std::uint32_t>(j));
+        }
+      }
+    });
+    resolve(total);
+    if (!g.complete) {
+      // Truncating chunk: keep the admitted keys/parentage, discard the
+      // chunk's expansion rows (see the StateGraph truncation shape).
+      g.enabled.resize(begin);
+      return;
+    }
+    // CSR arcs: per state, the protocol candidates are the first
+    // popcount(enabled) entries of its candidate range, in move order.
+    for (std::uint32_t ci = 0; ci < m; ++ci) {
+      g.succ_begin.push_back(
+          g.succ_begin.back() +
+          static_cast<std::uint32_t>(std::popcount(g.enabled[begin + ci])));
+    }
+    g.succ.resize(g.succ_begin.back());
+    pool.run(jobs, [&](std::size_t w) {
+      const auto lo = std::min(m, static_cast<std::uint32_t>(w) * block);
+      const auto hi =
+          std::min(m, (static_cast<std::uint32_t>(w) + 1) * block);
+      for (std::uint32_t ci = lo; ci < hi; ++ci) {
+        const std::uint64_t cbase = cand_begin[ci];
+        const auto nprot =
+            static_cast<std::uint32_t>(std::popcount(g.enabled[begin + ci]));
+        StateGraph::Arc* dst = g.succ.data() + g.succ_begin[begin + ci];
+        for (std::uint32_t a = 0; a < nprot; ++a) {
+          dst[a] = {resolved[cbase + a], cands[cbase + a].move};
+        }
+      }
+    });
+    if (!demon_patterns_.empty()) {
+      for (std::uint32_t i = begin; i < end; ++i) {
+        orbit_seen.insert(key_andnot(g.keys[i], demon_mask_), 0);
+      }
+    }
+    g.num_expanded = end;
+  };
+
+  // ---- seed admission (deduplicated, order preserved) --------------------
+  std::size_t seed_done = 0;
+  constexpr std::size_t kSeedChunk = std::size_t{1} << 21;
+  while (seed_done < seeds.size() && g.complete) {
+    const std::size_t count = std::min(kSeedChunk, seeds.size() - seed_done);
+    cands.resize(count);
+    const std::size_t block = (count + jobs - 1) / jobs;
+    pool.run(jobs, [&](std::size_t w) {
+      const std::size_t lo = std::min(count, w * block);
+      const std::size_t hi = std::min(count, (w + 1) * block);
+      for (std::size_t j = lo; j < hi; ++j) {
+        cands[j] = {seeds[seed_done + j], kNoIndex, kSeedMove};
+      }
+      if (jobs > 1) {
+        for (auto& ob : outbox[w]) ob.clear();
+        for (std::size_t j = lo; j < hi; ++j) {
+          outbox[w][shard_of(cands[j].key)].push_back(
+              static_cast<std::uint32_t>(j));
+        }
+      }
+    });
+    resolve(count);
+    seed_done += count;
+  }
+  g.num_seeds = g.num_states();
+
+  // ---- layer-synchronous BFS ---------------------------------------------
+  std::uint32_t layer_begin = 0;
+  std::uint32_t layer_end = g.num_states();
+  while (g.complete && layer_begin < layer_end) {
+    for (std::uint32_t b = layer_begin; b < layer_end && g.complete;
+         b += chunk_states) {
+      expand_chunk(b, std::min(layer_end, b + chunk_states));
+    }
+    layer_begin = layer_end;
+    layer_end = g.num_states();
   }
 
   // BFS layer count: parents precede children in discovery order.
@@ -111,6 +498,13 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
       depth[i] = depth[g.parent[i]] + 1;
       g.layers = std::max(g.layers, depth[i]);
     }
+  }
+
+  // The final index is rebuilt from the canonical keys vector, so its
+  // layout too is a pure function of the result, never of the sharding.
+  g.index.reserve(g.num_states());
+  for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+    g.index.insert(g.keys[i], i);
   }
   return g;
 }

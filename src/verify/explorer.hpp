@@ -18,16 +18,39 @@
 // include the malicious writes), but are excluded from the successor lists:
 // the victim writes only finitely often, so the eventual (post-crash)
 // behavior analysed by the SCC machinery is victim-silent.
+//
+// Parallelism and determinism. explore() is a layer-synchronous sharded
+// BFS over Options::jobs TrialPool workers. Each frontier layer is cut
+// into fixed-size chunks (chunk size depends only on the instance, never
+// on jobs); within a chunk, workers expand contiguous state blocks into
+// per-worker candidate buffers whose concatenation is the *canonical
+// candidate order* — ascending parent state index, then ascending move
+// (join < leave < enter < exit < fixdepth per process, protocol moves
+// before demonic writes). Candidates are deduplicated against a visited
+// set sharded by key hash (shard = KeyHash % jobs; each worker owns its
+// shards, so the hot insert path takes no locks), then a serial merge
+// admits fresh states in canonical candidate order. That order is exactly
+// the discovery order a serial BFS would produce, so the resulting
+// StateGraph — keys, enabled, parent, parent_move, succ, layers — is
+// bit-identical for every jobs value, matching the determinism contract
+// BatchRunner and diners_chaos already honor.
+//
+// Successor generation never round-trips through codec.decode/execute/
+// encode on the hot path: each action's effect is applied as a bit-field
+// patch directly on the packed key, and the enabled mask is computed by a
+// single sweep over the key's incident-edge fields. The original
+// decode/execute/encode path is kept behind Options::legacy_successors
+// (test-only) and is pinned byte-identical by tests/verify/explorer tests.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/diners_system.hpp"
 #include "verify/canonical.hpp"
+#include "verify/key_index.hpp"
 #include "verify/mutation.hpp"
 
 namespace diners::verify {
@@ -56,6 +79,13 @@ inline constexpr std::uint16_t kSeedMove = 0xFFFF;
 
 /// The explored transition graph. States are dense indices in BFS
 /// discovery order; seeds occupy [0, num_seeds).
+///
+/// Truncation shape: when exploration hits Options::max_states, `complete`
+/// is false and the graph holds *exactly* max_states states — keys, parent
+/// and parent_move cover all of them, but enabled, succ_begin and succ
+/// cover only the expanded prefix [0, num_expanded): the chunk whose
+/// expansion overflowed the cap contributes no successor rows. Property
+/// oracles (check_closure etc.) reject incomplete graphs.
 struct StateGraph {
   struct Arc {
     std::uint32_t to;
@@ -64,26 +94,32 @@ struct StateGraph {
   };
 
   std::vector<Key> keys;
-  std::unordered_map<Key, std::uint32_t, KeyHash> index;
+  /// keys[i] -> i, rebuilt deterministically from `keys` after exploration
+  /// (its layout is a pure function of the keys vector, independent of
+  /// jobs and sharding).
+  KeyIndex index;
 
-  /// Per state: bit protocol_move(p, a) set iff the (possibly mutated)
-  /// program has (p, a) enabled there and p is alive.
+  /// Per expanded state: bit protocol_move(p, a) set iff the (possibly
+  /// mutated) program has (p, a) enabled there and p is alive.
   std::vector<std::uint64_t> enabled;
 
   std::vector<std::uint32_t> parent;       ///< BFS tree; kNoIndex for seeds
   std::vector<std::uint16_t> parent_move;  ///< kSeedMove for seeds
 
   /// CSR successor lists over protocol arcs: state i's arcs are
-  /// succ[succ_begin[i] .. succ_begin[i+1]).
+  /// succ[succ_begin[i] .. succ_begin[i+1]), for i < num_expanded.
   std::vector<std::uint32_t> succ_begin;
   std::vector<Arc> succ;
 
   std::uint32_t num_seeds = 0;
+  /// States [0, num_expanded) have enabled masks and successor lists;
+  /// equals num_states() iff `complete`.
+  std::uint32_t num_expanded = 0;
   /// Max BFS layer reached — the eccentricity of the seed set in the state
   /// graph (the "diameter" column of the EXPERIMENTS table).
   std::uint32_t layers = 0;
-  /// False iff exploration stopped at Options::max_states; the property
-  /// checks are only meaningful on a complete graph.
+  /// False iff exploration dropped a fresh state at Options::max_states;
+  /// the property checks are only meaningful on a complete graph.
   bool complete = true;
 
   [[nodiscard]] std::uint32_t num_states() const noexcept {
@@ -98,7 +134,21 @@ class Explorer {
  public:
   struct Options {
     GuardMutation mutation = GuardMutation::kNone;
+    /// Exact cap on admitted states (the graph never exceeds it; see the
+    /// StateGraph truncation-shape comment). Values above 2^31 - 2 are
+    /// clamped (state indices are tagged 31-bit during the merge).
     std::uint32_t max_states = 4'000'000;
+    /// Exploration worker threads; the StateGraph is bit-identical for
+    /// every value. Zero throws.
+    unsigned jobs = 1;
+    /// Visited-set capacity hint. 0 = derive from the codec's full domain
+    /// size (the arbitrary-start state box), clamped to max_states.
+    std::uint64_t expected_states = 0;
+    /// Test-only: generate successors through the original
+    /// codec.decode / program.execute / codec.encode round-trip instead of
+    /// key patching. Byte-identical output, roughly 2x slower end to end
+    /// (bench_explorer's legacy rows).
+    bool legacy_successors = false;
     /// Demonic malicious-crash victim (see file comment). The victim must
     /// already be dead in the scratch system.
     std::optional<sim::ProcessId> demon_victim;
@@ -112,14 +162,61 @@ class Explorer {
            Options options);
 
   /// BFS from `seeds` (deduplicated, order preserved) to the full
-  /// reachable set.
+  /// reachable set. Seeds must be codec-canonical (as produced by
+  /// StateCodec::encode / domain_key); a key with an out-of-box depth
+  /// field raises std::invalid_argument.
   [[nodiscard]] StateGraph explore(std::span<const Key> seeds);
 
  private:
+  /// Pending successor discovery: the packed state + BFS provenance.
+  struct Cand {
+    Key key;
+    std::uint32_t parent;
+    std::uint16_t move;
+  };
+
+  /// Per-process precomputed geometry for the key-patch generator.
+  struct ProcGen {
+    std::uint32_t state_pos;
+    std::uint32_t depth_pos;
+    Key exit_clear;  ///< process_mask(p): fields exit overwrites
+    Key exit_set;    ///< post-exit field values: T, depth enc(0), edges yielded
+    std::uint32_t nbr_begin;  ///< into nbrs_; procs_[p + 1].nbr_begin ends
+    std::uint8_t needs = 0;
+    std::uint8_t alive = 0;
+  };
+  /// One incident edge of a process, as seen from the key.
+  struct NbrGen {
+    std::uint32_t state_pos;  ///< neighbor's state field
+    std::uint32_t depth_pos;  ///< neighbor's depth field
+    std::uint32_t edge_pos;   ///< shared edge's orientation bit
+    std::uint8_t anc_bit;     ///< neighbor is a direct ancestor iff the
+                              ///< edge bit equals this
+  };
+
+  /// Appends the protocol successors of `k` (state index `self`) to `out`
+  /// in canonical move order and returns the enabled mask.
+  std::uint64_t expand_fast(const Key& k, std::uint32_t self,
+                            std::vector<Cand>& out) const;
+  std::uint64_t expand_legacy(core::DinersSystem& sys, sim::Program& prog,
+                              const Key& k, std::uint32_t self,
+                              std::vector<Cand>& out) const;
+
   core::DinersSystem& scratch_;
   const StateCodec& codec_;
   Options options_;
-  MutatedDiners program_;
+
+  // Key-patch generator tables (built at construction; needs/alive are
+  // refreshed from scratch_ at each explore() since crashes and workload
+  // changes happen between explorations).
+  std::vector<ProcGen> procs_;  ///< n + 1 entries (sentinel nbr_begin)
+  std::vector<NbrGen> nbrs_;
+  std::uint32_t depth_bits_;
+  std::int64_t depth_min_;
+  std::int64_t threshold_d_;  ///< the constant D of Figure 1
+  bool dyn_threshold_;
+  bool cycle_breaking_;
+
   /// Demon write patterns: victim-owned bit assignments, and the victim's
   /// owned-bit mask. Computed once at construction when demon_victim set.
   std::vector<Key> demon_patterns_;

@@ -1,0 +1,71 @@
+#include "verify/key_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace diners::verify {
+
+namespace {
+constexpr std::size_t kMinSlots = 64;
+}  // namespace
+
+void KeyIndex::reserve(std::size_t expected) {
+  // Max load factor 1/2: the table needs at least 2x entries in slots.
+  std::size_t want = std::bit_ceil(std::max(kMinSlots, expected * 2));
+  if (want > slots_.size()) grow(want);
+}
+
+void KeyIndex::grow(std::size_t min_slots) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(min_slots, Slot{});
+  mask_ = min_slots - 1;
+  for (const Slot& s : old) {
+    if (s.value == kAbsent) continue;
+    std::size_t i = home(s.key);
+    while (slots_[i].value != kAbsent) i = (i + 1) & mask_;
+    slots_[i] = s;
+  }
+}
+
+std::uint32_t KeyIndex::find(const Key& k) const noexcept {
+  if (slots_.empty()) return kAbsent;
+  for (std::size_t i = home(k);; i = (i + 1) & mask_) {
+    const Slot& s = slots_[i];
+    if (s.value == kAbsent) return kAbsent;
+    if (s.key == k) return s.value;
+  }
+}
+
+std::pair<std::uint32_t, bool> KeyIndex::insert(const Key& k,
+                                                std::uint32_t value) {
+  if (size_ * 2 >= slots_.size()) grow(std::max(kMinSlots, slots_.size() * 2));
+  for (std::size_t i = home(k);; i = (i + 1) & mask_) {
+    Slot& s = slots_[i];
+    if (s.value == kAbsent) {
+      s.key = k;
+      s.value = value;
+      ++size_;
+      return {value, true};
+    }
+    if (s.key == k) return {s.value, false};
+  }
+}
+
+void KeyIndex::update(const Key& k, std::uint32_t value) noexcept {
+  for (std::size_t i = home(k);; i = (i + 1) & mask_) {
+    Slot& s = slots_[i];
+    if (s.key == k && s.value != kAbsent) {
+      s.value = value;
+      return;
+    }
+  }
+}
+
+std::uint32_t KeyIndex::at(const Key& k) const {
+  const std::uint32_t v = find(k);
+  if (v == kAbsent) throw std::out_of_range("KeyIndex::at: key not present");
+  return v;
+}
+
+}  // namespace diners::verify

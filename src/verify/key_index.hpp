@@ -1,0 +1,66 @@
+// Flat open-addressing hash table mapping packed Keys to dense 32-bit
+// state indices — the model checker's visited set.
+//
+// Compared with std::unordered_map<Key, uint32_t, KeyHash> this stores
+// {key, value} slots contiguously (24 bytes each, no per-node allocation)
+// and probes linearly from the hashed slot, so a lookup touches one or two
+// cache lines instead of chasing bucket pointers. Capacity is a power of
+// two with a maximum load factor of 1/2; reserve() up front (the explorer
+// passes its Options::expected_states hint) to avoid rehash storms on
+// 10^5–10^6-state runs.
+//
+// The value 0xFFFFFFFF (kAbsent) marks an empty slot and cannot be stored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "verify/canonical.hpp"
+
+namespace diners::verify {
+
+class KeyIndex {
+ public:
+  /// Returned by find() on a miss; not a storable value.
+  static constexpr std::uint32_t kAbsent = 0xFFFF'FFFFu;
+
+  KeyIndex() = default;
+  explicit KeyIndex(std::size_t expected) { reserve(expected); }
+
+  /// Pre-sizes the table for `expected` entries without rehashing later.
+  void reserve(std::size_t expected);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// The value mapped to `k`, or kAbsent.
+  [[nodiscard]] std::uint32_t find(const Key& k) const noexcept;
+
+  /// Inserts {k, value} if absent. Returns {stored value, inserted}:
+  /// on a hit the existing value and false, on a miss `value` and true.
+  std::pair<std::uint32_t, bool> insert(const Key& k, std::uint32_t value);
+
+  /// Overwrites the value of an existing key. Precondition: k is present.
+  void update(const Key& k, std::uint32_t value) noexcept;
+
+  /// The value mapped to `k`; throws std::out_of_range if absent.
+  [[nodiscard]] std::uint32_t at(const Key& k) const;
+
+ private:
+  struct Slot {
+    Key key;
+    std::uint32_t value = kAbsent;
+  };
+
+  void grow(std::size_t min_slots);
+  [[nodiscard]] std::size_t home(const Key& k) const noexcept {
+    return KeyHash{}(k)&mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;  ///< slots_.size() - 1 when allocated
+  std::size_t size_ = 0;
+};
+
+}  // namespace diners::verify

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/invariants.hpp"
 #include "graph/algorithms.hpp"
@@ -14,6 +16,18 @@ namespace {
 using core::DinersSystem;
 
 constexpr std::uint32_t kNoMove = static_cast<std::uint32_t>(-1);
+
+/// The check_* oracles reason about *every* reachable behavior; a graph
+/// truncated at Options::max_states has unexpanded states whose outgoing
+/// behavior is unknown, so any verdict over it would be unsound.
+void require_complete(const StateGraph& g, const char* property) {
+  if (!g.complete) {
+    throw std::invalid_argument(
+        std::string(property) +
+        ": state graph is truncated (complete == false); raise "
+        "Explorer::Options::max_states");
+  }
+}
 
 /// Bits of every process's join action — excluded from the fairness-forced
 /// set (see the file comment of properties.hpp).
@@ -217,6 +231,7 @@ std::vector<std::uint8_t> label_far_violation(
 
 std::optional<Violation> check_closure(
     const StateGraph& g, const std::vector<std::uint8_t>& invariant) {
+  require_complete(g, "check_closure");
   for (std::uint32_t i = 0; i < g.num_states(); ++i) {
     if (invariant[i] == 0) continue;
     for (const auto& arc : g.arcs_of(i)) {
@@ -238,6 +253,7 @@ std::optional<Violation> check_closure(
 
 std::optional<Violation> check_convergence(
     const StateGraph& g, const std::vector<std::uint8_t>& invariant) {
+  require_complete(g, "check_convergence");
   std::vector<std::uint8_t> bad(g.num_states());
   for (std::uint32_t i = 0; i < g.num_states(); ++i) {
     bad[i] = invariant[i] == 0 ? 1 : 0;
@@ -260,6 +276,7 @@ std::optional<Violation> check_convergence(
 
 std::optional<Violation> check_far_safety(
     const StateGraph& g, const std::vector<std::uint8_t>& far_bad) {
+  require_complete(g, "check_far_safety");
   for (std::uint32_t i = 0; i < g.num_states(); ++i) {
     if (far_bad[i] != 0 && terminal(g, i)) {
       Violation v;
@@ -281,6 +298,7 @@ std::optional<Violation> check_far_safety(
 std::optional<Violation> check_no_starvation(const StateGraph& g,
                                              const StateCodec& codec,
                                              sim::ProcessId p) {
+  require_complete(g, "check_no_starvation");
   std::vector<std::uint8_t> hungry(g.num_states());
   for (std::uint32_t i = 0; i < g.num_states(); ++i) {
     hungry[i] =

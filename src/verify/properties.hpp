@@ -73,6 +73,13 @@ struct Violation {
   std::vector<StateGraph::Arc> cycle;
 };
 
+// The four check_* oracles below require a complete graph: a StateGraph
+// truncated at Explorer::Options::max_states (complete == false) has
+// states with unknown outgoing behavior, so each oracle throws
+// std::invalid_argument rather than return an unsound verdict. The
+// label_* helpers above stay usable on truncated graphs (they are
+// per-state, covering every discovered key).
+
 /// Closure of I: no state satisfying I has a one-step successor outside I.
 [[nodiscard]] std::optional<Violation> check_closure(
     const StateGraph& g, const std::vector<std::uint8_t>& invariant);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "analysis/invariants.hpp"
@@ -31,6 +33,27 @@ std::vector<Key> box_seeds(const StateCodec& codec) {
     seeds.push_back(codec.domain_key(i));
   }
   return seeds;
+}
+
+void expect_graphs_identical(const StateGraph& a, const StateGraph& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  EXPECT_EQ(a.num_seeds, b.num_seeds);
+  EXPECT_EQ(a.num_expanded, b.num_expanded);
+  EXPECT_EQ(a.layers, b.layers);
+  EXPECT_EQ(a.complete, b.complete);
+  for (std::uint32_t i = 0; i < a.num_states(); ++i) {
+    ASSERT_EQ(a.keys[i].lo, b.keys[i].lo) << "state " << i;
+    ASSERT_EQ(a.keys[i].hi, b.keys[i].hi) << "state " << i;
+    ASSERT_EQ(a.parent[i], b.parent[i]) << "state " << i;
+    ASSERT_EQ(a.parent_move[i], b.parent_move[i]) << "state " << i;
+  }
+  ASSERT_EQ(a.enabled, b.enabled);
+  ASSERT_EQ(a.succ_begin, b.succ_begin);
+  ASSERT_EQ(a.succ.size(), b.succ.size());
+  for (std::size_t i = 0; i < a.succ.size(); ++i) {
+    ASSERT_EQ(a.succ[i].to, b.succ[i].to) << "arc " << i;
+    ASSERT_EQ(a.succ[i].move, b.succ[i].move) << "arc " << i;
+  }
 }
 
 TEST(Explorer, InstanceSeededPath3HasConsistentBfsTree) {
@@ -109,7 +132,7 @@ TEST(Explorer, BoxSeededTrianglePaperThresholdNeverConverges) {
   EXPECT_EQ(v->property, "convergence");
 }
 
-TEST(Explorer, MaxStatesCapMarksExplorationIncomplete) {
+TEST(Explorer, MaxStatesCapIsExactAndShapesTruncatedGraph) {
   DinersSystem scratch = hungry_system(graph::make_ring(4));
   const StateCodec codec(scratch.topology(), 0, 3);
   Explorer::Options opts;
@@ -118,10 +141,36 @@ TEST(Explorer, MaxStatesCapMarksExplorationIncomplete) {
   const Key seed = codec.encode(scratch);
   const StateGraph g = explorer.explore(std::span<const Key>(&seed, 1));
   EXPECT_FALSE(g.complete);
-  // The cap may overshoot by the successors of the state being expanded
-  // when it tripped, but not by a whole BFS layer.
-  EXPECT_GE(g.num_states(), 100u);
-  EXPECT_LT(g.num_states(), 200u);
+  // The cap is exact: the graph holds exactly max_states states, and only
+  // the expanded prefix carries enabled masks / successor rows.
+  EXPECT_EQ(g.num_states(), 100u);
+  EXPECT_EQ(g.keys.size(), 100u);
+  EXPECT_EQ(g.parent.size(), 100u);
+  EXPECT_EQ(g.parent_move.size(), 100u);
+  EXPECT_LE(g.num_expanded, g.num_states());
+  EXPECT_EQ(g.enabled.size(), g.num_expanded);
+  EXPECT_EQ(g.succ_begin.size(), g.num_expanded + 1u);
+}
+
+TEST(Explorer, PropertyOraclesRejectTruncatedGraphs) {
+  DinersSystem scratch = hungry_system(graph::make_ring(4));
+  const StateCodec codec(scratch.topology(), 0, 3);
+  Explorer::Options opts;
+  opts.max_states = 100;
+  Explorer explorer(scratch, codec, opts);
+  const Key seed = codec.encode(scratch);
+  const StateGraph g = explorer.explore(std::span<const Key>(&seed, 1));
+  ASSERT_FALSE(g.complete);
+
+  // label_* helpers stay usable on the truncated graph...
+  const auto inv = label_invariant(g, codec, scratch);
+  EXPECT_EQ(inv.size(), g.num_states());
+  // ...but every check_* oracle must refuse to issue a verdict over
+  // states with unknown outgoing behavior.
+  EXPECT_THROW((void)check_closure(g, inv), std::invalid_argument);
+  EXPECT_THROW((void)check_convergence(g, inv), std::invalid_argument);
+  EXPECT_THROW((void)check_far_safety(g, inv), std::invalid_argument);
+  EXPECT_THROW((void)check_no_starvation(g, codec, 0), std::invalid_argument);
 }
 
 TEST(Explorer, DemonVictimReachesEveryDyingWriteAndStaysSilent) {
@@ -161,6 +210,38 @@ TEST(Explorer, DemonVictimReachesEveryDyingWriteAndStaysSilent) {
     victim_patterns.insert(masked.lo ^ (masked.hi * 0x9e3779b97f4a7c15ULL));
   }
   EXPECT_EQ(victim_patterns.size(), total);
+}
+
+TEST(Explorer, LegacySuccessorPathIsByteIdentical) {
+  // The key-patch generator must reproduce the original
+  // decode / execute / encode round-trip exactly — full graph comparison
+  // over every guard mutation, with and without a demonic victim.
+  for (const auto mutation :
+       {GuardMutation::kNone, GuardMutation::kNoFixdepth,
+        GuardMutation::kGreedyEnter}) {
+    for (const bool demonic : {false, true}) {
+      DinersSystem scratch = hungry_system(graph::make_ring(4));
+      if (demonic) scratch.crash(2);
+      const StateCodec codec(scratch.topology(), 0, 3);
+      Explorer::Options opts;
+      opts.mutation = mutation;
+      if (demonic) opts.demon_victim = 2;
+
+      Explorer fast(scratch, codec, opts);
+      const Key seed = codec.encode(scratch);
+      const StateGraph gf = fast.explore(std::span<const Key>(&seed, 1));
+
+      opts.legacy_successors = true;
+      Explorer legacy(scratch, codec, opts);
+      const StateGraph gl = legacy.explore(std::span<const Key>(&seed, 1));
+
+      SCOPED_TRACE("mutation=" + std::to_string(static_cast<int>(mutation)) +
+                   " demonic=" + std::to_string(demonic));
+      expect_graphs_identical(gf, gl);
+      ASSERT_TRUE(gf.complete);
+      EXPECT_GT(gf.num_states(), 100u);
+    }
+  }
 }
 
 TEST(Explorer, RequiresDeadDemonVictim) {

@@ -27,7 +27,7 @@
 // Examples:
 //   diners_mc --topology=ring --n=4 --exhaustive
 //   diners_mc --topology=figure2 --exhaustive
-//   diners_mc --topology=ring --n=4 --exhaustive --mutate=no-fixdepth \
+//   diners_mc --topology=ring --n=4 --exhaustive --mutate=no-fixdepth
 //             --cex=trace.txt
 //   diners_mc --topology=ring --n=8 --random=500 --shrink
 #include <chrono>
@@ -93,6 +93,49 @@ struct CheckSet {
   bool progress = false;
   bool locality = false;
 };
+
+/// Exhaustive-mode throughput accounting for the --json summary. Exploration
+/// totals cover the healthy graph plus every demonic-victim re-exploration;
+/// states_per_second is their ratio (exploration only, property checks and
+/// seed construction excluded).
+struct ExhaustiveStats {
+  unsigned jobs = 1;
+  std::uint64_t healthy_states = 0;
+  std::uint64_t healthy_arcs = 0;
+  std::uint32_t layers = 0;
+  std::uint64_t legitimate = 0;
+  std::uint64_t explored_states_total = 0;
+  double explore_seconds = 0;
+  double wall_seconds = 0;
+};
+
+void write_json_summary(std::ostream& os, const std::string& topology,
+                        NodeId n, const std::string& mutation,
+                        const ExhaustiveStats& s, int rc) {
+  const char* result = rc == 0              ? "verified"
+                       : rc == kInconclusive ? "inconclusive"
+                                             : "counterexample";
+  const double sps = s.explore_seconds > 0
+                         ? static_cast<double>(s.explored_states_total) /
+                               s.explore_seconds
+                         : 0.0;
+  os << "{\n"
+     << "  \"mode\": \"exhaustive\",\n"
+     << "  \"topology\": \"" << topology << "\",\n"
+     << "  \"n\": " << n << ",\n"
+     << "  \"jobs\": " << s.jobs << ",\n"
+     << "  \"mutation\": \"" << mutation << "\",\n"
+     << "  \"result\": \"" << result << "\",\n"
+     << "  \"healthy_states\": " << s.healthy_states << ",\n"
+     << "  \"healthy_arcs\": " << s.healthy_arcs << ",\n"
+     << "  \"layers\": " << s.layers << ",\n"
+     << "  \"legitimate\": " << s.legitimate << ",\n"
+     << "  \"explored_states_total\": " << s.explored_states_total << ",\n"
+     << "  \"explore_seconds\": " << s.explore_seconds << ",\n"
+     << "  \"states_per_second\": " << sps << ",\n"
+     << "  \"wall_seconds\": " << s.wall_seconds << "\n"
+     << "}\n";
+}
 
 CheckSet parse_checks(const std::string& csv) {
   CheckSet c;
@@ -208,10 +251,14 @@ int report_counterexample(const verify::Counterexample& cex,
 
 int run_exhaustive(const diners::util::Flags& flags,
                    DinersSystem& prototype, const verify::StateCodec& codec,
-                   verify::GuardMutation mutation, const CheckSet& checks) {
+                   verify::GuardMutation mutation, const CheckSet& checks,
+                   ExhaustiveStats& stats) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto max_states =
       static_cast<std::uint32_t>(flags.i64("max-states"));
+  const auto jobs = static_cast<unsigned>(flags.i64("jobs"));
+  if (jobs == 0) throw UsageError("--jobs must be at least 1");
+  stats.jobs = jobs;
   std::string seeds_mode = flags.str("seeds");
   if (seeds_mode == "auto") {
     // figure2 is a pinned mid-run scenario; its arbitrary-start box is far
@@ -241,8 +288,20 @@ int run_exhaustive(const diners::util::Flags& flags,
   verify::Explorer::Options opts;
   opts.mutation = mutation;
   opts.max_states = max_states;
+  opts.jobs = jobs;
+  // Box seeding knows the exact reachable count up front (the box is
+  // closed under the protocol); instance seeding lets the explorer derive
+  // its own hint.
+  if (seeds_mode == "box") opts.expected_states = seeds.size();
   verify::Explorer explorer(scratch, codec, opts);
+  const auto te0 = std::chrono::steady_clock::now();
   const verify::StateGraph healthy = explorer.explore(seeds);
+  const double healthy_seconds = seconds_since(te0);
+  stats.explore_seconds += healthy_seconds;
+  stats.explored_states_total += healthy.num_states();
+  stats.healthy_states = healthy.num_states();
+  stats.healthy_arcs = healthy.succ.size();
+  stats.layers = healthy.layers;
   if (!healthy.complete) {
     std::cout << "INCONCLUSIVE: hit --max-states=" << max_states << " ("
               << healthy.num_states() << " states explored)\n";
@@ -252,10 +311,15 @@ int run_exhaustive(const diners::util::Flags& flags,
   const auto inv = verify::label_invariant(healthy, codec, scratch);
   std::uint64_t legit = 0;
   for (const auto b : inv) legit += b;
+  stats.legitimate = legit;
   std::cout << "explored " << healthy.num_states() << " states, "
             << healthy.succ.size() << " arcs, " << healthy.layers
-            << " layers in " << seconds_since(t0) << " s; " << legit
-            << " legitimate\n";
+            << " layers in " << seconds_since(t0) << " s ("
+            << static_cast<std::uint64_t>(
+                   healthy_seconds > 0
+                       ? healthy.num_states() / healthy_seconds
+                       : 0)
+            << " states/s); " << legit << " legitimate\n";
 
   const std::string cex_path = flags.str("cex");
   const auto fail = [&](std::optional<NodeId> victim,
@@ -338,9 +402,14 @@ int run_exhaustive(const diners::util::Flags& flags,
       verify::Explorer::Options copts;
       copts.mutation = mutation;
       copts.max_states = max_states;
+      copts.jobs = jobs;
+      copts.expected_states = healthy.num_states();
       copts.demon_victim = victim;
       verify::Explorer demon(crashed_scratch, codec, copts);
+      const auto tv0 = std::chrono::steady_clock::now();
       const verify::StateGraph crashed = demon.explore(healthy.keys);
+      stats.explore_seconds += seconds_since(tv0);
+      stats.explored_states_total += crashed.num_states();
       if (!crashed.complete) {
         std::cout << "INCONCLUSIVE: victim " << victim << " hit --max-states="
                   << max_states << "\n";
@@ -457,7 +526,26 @@ int run(const diners::util::Flags& flags) {
             << verify::to_string(mutation) << "\n";
   if (exhaustive) {
     const CheckSet checks = parse_checks(flags.str("check"));
-    const int rc = run_exhaustive(flags, prototype, codec, mutation, checks);
+    ExhaustiveStats stats;
+    const auto tx0 = std::chrono::steady_clock::now();
+    const int rc =
+        run_exhaustive(flags, prototype, codec, mutation, checks, stats);
+    stats.wall_seconds = seconds_since(tx0);
+    const std::string json_path = flags.str("json");
+    if (!json_path.empty()) {
+      const auto write = [&](std::ostream& os) {
+        write_json_summary(os, topo, prototype.topology().num_nodes(),
+                           std::string(verify::to_string(mutation)), stats,
+                           rc);
+      };
+      if (json_path == "-") {
+        write(std::cout);
+      } else {
+        std::ofstream out(json_path);
+        if (!out) throw UsageError("cannot write --json file " + json_path);
+        write(out);
+      }
+    }
     if (rc != 0) return rc;
   }
   if (random_trials > 0) {
@@ -484,7 +572,13 @@ int main(int argc, char** argv) {
               "deliberately broken guard: none|no-fixdepth|greedy-enter")
       .define("check", "all",
               "comma list of closure|convergence|progress|locality|all")
-      .define("max-states", "4000000", "exploration state cap")
+      .define("max-states", "4000000", "exploration state cap (exact)")
+      .define("jobs", "1",
+              "exploration worker threads (sharded parallel BFS; the "
+              "explored graph is identical for every value)")
+      .define("json", "",
+              "write a machine-readable exhaustive-mode summary (with "
+              "states_per_second) to this file; '-' = stdout")
       .define("victims", "auto",
               "locality crash victims: each | none | auto (each unless the "
               "instance already has dead processes)")
