@@ -47,7 +47,13 @@ void BM_EngineStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EngineStep)->Arg(8)->Arg(32)->Arg(128)->Arg(192)->ArgName("n");
+BENCHMARK(BM_EngineStep)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(192)
+    ->ArgName("n");
 
 // The classic engine (full guard scan every step), for comparison against
 // the incremental enabled-set default above.
@@ -64,6 +70,7 @@ void BM_EngineStepFullScan(benchmark::State& state) {
 BENCHMARK(BM_EngineStepFullScan)
     ->Arg(8)
     ->Arg(32)
+    ->Arg(64)
     ->Arg(128)
     ->Arg(192)
     ->ArgName("n");

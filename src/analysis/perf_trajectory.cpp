@@ -1,0 +1,105 @@
+#include "analysis/perf_trajectory.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json_writer.hpp"
+
+namespace diners::analysis {
+
+const BenchMetric* BenchReport::find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void write_report(std::ostream& os, const BenchReport& report) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", BenchReport::kSchema);
+  w.field("suite_version", report.suite_version);
+  w.field("git_rev", report.git_rev);
+  w.field("label", report.label);
+  w.key("metrics").begin_array();
+  for (const auto& m : report.metrics) {
+    w.begin_object();
+    w.field("name", m.name);
+    w.field("value", m.value);
+    w.field("unit", m.unit);
+    w.field("higher_is_better", m.higher_is_better);
+    w.key("params").begin_object();
+    for (const auto& [k, v] : m.params) w.field(k, v);
+    w.end_object();
+    w.end_object();
+  }
+  w.finish();
+}
+
+BenchReport report_from_json(const util::JsonValue& doc) {
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != BenchReport::kSchema) {
+    throw std::invalid_argument("unsupported bench schema '" + schema +
+                                "' (want '" + BenchReport::kSchema + "')");
+  }
+  BenchReport report;
+  report.suite_version = static_cast<int>(doc.at("suite_version").as_number());
+  if (const auto* rev = doc.find("git_rev")) report.git_rev = rev->as_string();
+  if (const auto* label = doc.find("label")) report.label = label->as_string();
+  for (const auto& entry : doc.at("metrics").as_array()) {
+    BenchMetric m;
+    m.name = entry.at("name").as_string();
+    if (m.name.empty()) {
+      throw std::invalid_argument("bench metric with empty name");
+    }
+    m.value = entry.at("value").as_number();
+    m.unit = entry.at("unit").as_string();
+    m.higher_is_better = entry.at("higher_is_better").as_bool();
+    if (const auto* params = entry.find("params")) {
+      for (const auto& [k, v] : params->as_object()) {
+        m.params[k] = v.as_string();
+      }
+    }
+    if (report.find(m.name) != nullptr) {
+      throw std::invalid_argument("duplicate bench metric '" + m.name + "'");
+    }
+    report.metrics.push_back(std::move(m));
+  }
+  return report;
+}
+
+BenchReport parse_report(std::string_view json_text) {
+  return report_from_json(util::parse_json(json_text));
+}
+
+CompareResult compare_reports(const BenchReport& baseline,
+                              const BenchReport& current) {
+  CompareResult result;
+  for (const auto& base : baseline.metrics) {
+    const BenchMetric* cur = current.find(base.name);
+    if (cur == nullptr) {
+      result.only_baseline.push_back(base.name);
+      continue;
+    }
+    MetricDelta d;
+    d.name = base.name;
+    d.baseline = base.value;
+    d.current = cur->value;
+    if (base.value != 0.0) {
+      // Positive = worse, whatever the metric's good direction.
+      const double change = (cur->value - base.value) / base.value;
+      d.regression = base.higher_is_better ? -change : change;
+    }
+    result.worst_regression = std::max(result.worst_regression, d.regression);
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& cur : current.metrics) {
+    if (baseline.find(cur.name) == nullptr) {
+      result.only_current.push_back(cur.name);
+    }
+  }
+  return result;
+}
+
+}  // namespace diners::analysis

@@ -1,0 +1,98 @@
+// Machine-readable perf-trajectory records (BENCH_*.json) and the
+// regression comparator behind `diners_bench --compare`.
+//
+// A BenchReport is the stable-schema artifact one `tools/diners_bench`
+// run produces: a suite version, the git revision the runner passed in,
+// and a flat list of named metrics (value + unit + direction + params).
+// Committing one BENCH_<pr>.json per PR turns the prose perf claims of
+// the changelog ("617 -> 510 ns/step") into data that CI can diff.
+//
+// Schema (documented in README "Perf trajectory"):
+//   {
+//     "schema": "diners-bench/v1",
+//     "suite_version": 1,            // bump when the metric set changes
+//     "git_rev": "<rev>",            // passed in via --git-rev
+//     "label": "<free-form>",
+//     "metrics": [
+//       { "name": "engine.step.n192.incremental",
+//         "value": 510.0, "unit": "ns/step",
+//         "higher_is_better": false,
+//         "params": { "n": "192", "scan": "incremental" } }, ...
+//     ]
+//   }
+//
+// Comparison is per-metric and direction-aware: `regression` is the
+// fraction by which the current value is *worse* than the baseline
+// (positive = worse), so a single threshold covers ns/step (lower is
+// better) and states/sec (higher is better) alike.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json_reader.hpp"
+
+namespace diners::analysis {
+
+struct BenchMetric {
+  std::string name;  ///< unique id, e.g. "explorer.ring4.jobs1"
+  double value = 0.0;
+  std::string unit;  ///< "ns/step", "states/s", "trials/s", "steps", "x"
+  bool higher_is_better = false;
+  /// Free-form run parameters, recorded for humans and future tooling.
+  std::map<std::string, std::string> params;
+
+  friend bool operator==(const BenchMetric&, const BenchMetric&) = default;
+};
+
+struct BenchReport {
+  static constexpr const char* kSchema = "diners-bench/v1";
+  int suite_version = 1;
+  std::string git_rev;
+  std::string label;
+  std::vector<BenchMetric> metrics;
+
+  [[nodiscard]] const BenchMetric* find(const std::string& name) const;
+
+  friend bool operator==(const BenchReport&, const BenchReport&) = default;
+};
+
+/// Writes `report` as a BENCH_*.json document via util::JsonWriter.
+void write_report(std::ostream& os, const BenchReport& report);
+
+/// Parses and validates a BENCH_*.json document; throws
+/// std::invalid_argument on schema mismatch or malformed JSON.
+[[nodiscard]] BenchReport parse_report(std::string_view json_text);
+[[nodiscard]] BenchReport report_from_json(const util::JsonValue& doc);
+
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Fraction by which `current` is worse than `baseline` in the metric's
+  /// bad direction; negative = improved. 0 when the baseline value is 0.
+  double regression = 0.0;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;          ///< metrics present in both
+  std::vector<std::string> only_baseline;   ///< dropped metrics
+  std::vector<std::string> only_current;    ///< new metrics
+  double worst_regression = 0.0;            ///< max over deltas (0 if none)
+
+  /// True iff every shared metric regressed by at most `threshold`
+  /// (fraction, e.g. 0.15 = 15%).
+  [[nodiscard]] bool within(double threshold) const {
+    return worst_regression <= threshold;
+  }
+};
+
+/// Compares metric-by-metric (matched on name). A suite_version mismatch
+/// is not an error — callers decide whether to warn; metric sets are
+/// reconciled via only_baseline/only_current.
+[[nodiscard]] CompareResult compare_reports(const BenchReport& baseline,
+                                            const BenchReport& current);
+
+}  // namespace diners::analysis

@@ -1,0 +1,20 @@
+// Machine-readable campaign summary (the JSON a `diners_chaos` run prints
+// on stdout), emitted through the shared util::JsonWriter so
+// user-controlled strings (topology names, backend labels) are always
+// escaped correctly.
+#pragma once
+
+#include <iosfwd>
+
+#include "chaos/campaign.hpp"
+
+namespace diners::chaos {
+
+/// Writes the campaign batch summary as one JSON object. Deterministic
+/// fields only for the kThreaded backend (its meal/poll counts are
+/// timing-dependent and stay off the record); for every other backend the
+/// output is bit-identical for any --jobs value and across runs.
+void write_campaign_json(std::ostream& os, const CampaignOptions& options,
+                         const CampaignBatchResult& result);
+
+}  // namespace diners::chaos

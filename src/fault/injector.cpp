@@ -1,11 +1,12 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <limits>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+
+#include "util/parse.hpp"
 
 #include "graph/algorithms.hpp"
 
@@ -128,24 +129,21 @@ void apply_crash_assignment(DinersSystem& system, ProcessId victim,
 
 namespace {
 
-// Strict non-negative decimal parse: the whole token must be digits and fit
-// in `Max`. std::stoul-style parsing is too lenient here (accepts leading
-// signs/whitespace, ignores trailing junk) and aborts the CLI with an
-// uncaught exception on non-numeric input.
+// Strict non-negative decimal parse via the shared util::parse_u64: the
+// whole token must be digits and fit in `max`. std::stoul-style parsing is
+// too lenient here (accepts leading signs/whitespace, ignores trailing
+// junk) and aborts the CLI with an uncaught exception on non-numeric input.
 std::uint64_t parse_crash_field(const std::string& spec, std::string_view token,
                                 const char* field, std::uint64_t max) {
-  std::uint64_t value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(token.data(), token.data() + token.size(), value);
-  if (ec != std::errc{} || ptr != token.data() + token.size() ||
-      token.empty() || value > max) {
+  try {
+    return util::parse_u64(token, 0, max, field);
+  } catch (const std::invalid_argument&) {
     throw std::invalid_argument(
         "bad crash spec '" + spec + "': " + field + " '" +
         std::string(token) +
         "' is not a non-negative decimal integer in range (want "
         "STEP:VICTIM[:MALICE])");
   }
-  return value;
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace diners::util {
 
 Flags& Flags::define(std::string name, std::string default_value,
@@ -64,10 +66,34 @@ std::string Flags::str(const std::string& name) const {
 }
 
 std::int64_t Flags::i64(const std::string& name) const {
-  return std::stoll(str(name));
+  try {
+    return parse_i64(str(name));
+  } catch (const std::invalid_argument& err) {
+    throw FlagError("bad value for --" + name + ": " + err.what());
+  }
 }
 
-double Flags::f64(const std::string& name) const { return std::stod(str(name)); }
+double Flags::f64(const std::string& name) const {
+  try {
+    return parse_f64(str(name));
+  } catch (const std::invalid_argument& err) {
+    throw FlagError("bad value for --" + name + ": " + err.what());
+  }
+}
+
+std::uint64_t Flags::u64(const std::string& name, std::uint64_t lo,
+                         std::uint64_t hi) const {
+  try {
+    return parse_u64(str(name), lo, hi, "--" + name);
+  } catch (const std::invalid_argument& err) {
+    throw FlagError(err.what());
+  }
+}
+
+std::uint32_t Flags::u32(const std::string& name, std::uint32_t lo,
+                         std::uint32_t hi) const {
+  return static_cast<std::uint32_t>(u64(name, lo, hi));
+}
 
 bool Flags::flag(const std::string& name) const {
   const std::string v = str(name);

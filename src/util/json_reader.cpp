@@ -1,0 +1,270 @@
+#include "util/json_reader.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+
+namespace diners::util {
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::invalid_argument(std::string("JSON value is not ") + want);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("expected '" + std::string(word) + "'");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        expect_word("true");
+        return JsonValue(true);
+      case 'f':
+        expect_word("false");
+        return JsonValue(false);
+      case 'n':
+        expect_word("null");
+        return JsonValue(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail(std::string("bad escape '\\") + e + "'");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return cp;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate escape must follow.
+      if (!consume('\\') || !consume('u')) fail("unpaired surrogate");
+      const std::uint32_t lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // fall through to digit check below
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      fail("expected a JSON value");
+    }
+    double value = 0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + text_.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{}) fail("malformed number");
+    pos_ = start + static_cast<std::size_t>(ptr - first);
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(v_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(v_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(v_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(v_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(v_);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(v_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("JSON object has no member '" + key + "'");
+  }
+  return *v;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace diners::util

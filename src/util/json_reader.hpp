@@ -1,0 +1,78 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Consumes the repo's own machine-readable artifacts (BENCH_*.json, the
+// diners_mc / diners_chaos summaries) and Google Benchmark's
+// --benchmark_format=json output, so tools/diners_bench can aggregate and
+// compare without an external dependency. Not a general-purpose engine:
+// objects are std::map (duplicate keys keep the last, ordering is lost),
+// numbers are doubles, and deeply nested input is depth-limited.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace diners::util {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(Array a) : v_(std::move(a)) {}
+  JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  // Typed accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or when this is not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws std::invalid_argument when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parses one JSON document (the whole text; trailing non-whitespace is an
+/// error). Throws std::invalid_argument with a byte offset on malformed
+/// input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace diners::util

@@ -1,0 +1,177 @@
+#include "util/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace diners::util {
+
+void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string json_quoted(std::string_view text) {
+  std::ostringstream os;
+  write_json_string(os, text);
+  return os.str();
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level value
+  Level& top = stack_.back();
+  if (top.array) {
+    if (!top.empty) os_ << ',';
+    newline_indent();
+  } else {
+    // Inside an object a value must have been announced by key().
+    assert(pending_key_ && "JsonWriter: value inside an object needs key()");
+    pending_key_ = false;
+  }
+  top.empty = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back().array &&
+         "JsonWriter: key() outside an object");
+  assert(!pending_key_ && "JsonWriter: two key() calls in a row");
+  Level& top = stack_.back();
+  if (!top.empty) os_ << ',';
+  newline_indent();
+  write_json_string(os_, k);
+  os_ << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Level{false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().array && !pending_key_);
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Level{true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().array);
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_json_string(os_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  if (!std::isfinite(d)) return null();  // JSON has no inf/nan spelling
+  before_value();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  os_.write(buf, ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  os_.write(buf, ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  os_.write(buf, ptr - buf);
+  return *this;
+}
+
+void JsonWriter::finish() {
+  if (done_) return;
+  while (!stack_.empty()) {
+    if (stack_.back().array) {
+      end_array();
+    } else {
+      end_object();
+    }
+  }
+  os_ << '\n';
+  done_ = true;
+}
+
+}  // namespace diners::util

@@ -1,0 +1,84 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace diners::util {
+namespace {
+
+[[noreturn]] void fail(std::string_view text, const char* detail) {
+  throw std::invalid_argument("'" + std::string(text) + "' " + detail);
+}
+
+bool starts_with_digit(std::string_view text, std::size_t offset) {
+  return offset < text.size() && text[offset] >= '0' && text[offset] <= '9';
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(text, "overflows a 64-bit unsigned integer");
+  }
+  if (ec != std::errc{} || ptr != last) {
+    fail(text, "is not a non-negative decimal integer");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::uint64_t lo,
+                        std::uint64_t hi, std::string_view what) {
+  std::uint64_t value = 0;
+  try {
+    value = parse_u64(text);
+  } catch (const std::invalid_argument& err) {
+    throw std::invalid_argument(std::string(what) + ": " + err.what());
+  }
+  if (value < lo || value > hi) {
+    throw std::invalid_argument(std::string(what) + ": " +
+                                std::to_string(value) + " is out of range [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+std::int64_t parse_i64(std::string_view text) {
+  std::int64_t value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(text, "overflows a 64-bit signed integer");
+  }
+  if (ec != std::errc{} || ptr != last) {
+    fail(text, "is not a decimal integer");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view text) {
+  // from_chars accepts "inf"/"nan" spellings; a numeric flag never means
+  // those, so require the mantissa to start with a digit.
+  const std::size_t digit_at = !text.empty() && text[0] == '-' ? 1 : 0;
+  if (!starts_with_digit(text, digit_at) &&
+      !(digit_at + 1 < text.size() && text[digit_at] == '.' &&
+        starts_with_digit(text, digit_at + 1))) {
+    fail(text, "is not a decimal number");
+  }
+  double value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(text, "is out of double range");
+  }
+  if (ec != std::errc{} || ptr != last) {
+    fail(text, "is not a decimal number");
+  }
+  return value;
+}
+
+}  // namespace diners::util

@@ -1,0 +1,30 @@
+// Strict numeric parsing for user-facing input (CLI flags, spec strings).
+//
+// Every helper consumes the *entire* text or throws std::invalid_argument
+// with a message naming the offending value: no silently accepted trailing
+// garbage ("123abc"), no wrapped negatives ("-1" becoming 2^64-1), and
+// overflow is a reported error rather than an uncaught std::out_of_range.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace diners::util {
+
+/// Parses `text` as a non-negative decimal integer. Rejects empty text,
+/// signs, whitespace, trailing garbage, and values past 2^64-1.
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text);
+
+/// As above, then range-checks lo <= value <= hi. `what` names the input in
+/// error messages (e.g. "--topology-seed").
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text, std::uint64_t lo,
+                                      std::uint64_t hi, std::string_view what);
+
+/// Parses a signed decimal integer (whole text, overflow-checked).
+[[nodiscard]] std::int64_t parse_i64(std::string_view text);
+
+/// Parses a finite decimal floating-point number (whole text; "inf"/"nan"
+/// spellings are rejected).
+[[nodiscard]] double parse_f64(std::string_view text);
+
+}  // namespace diners::util

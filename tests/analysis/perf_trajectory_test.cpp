@@ -1,0 +1,135 @@
+#include "analysis/perf_trajectory.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using diners::analysis::BenchMetric;
+using diners::analysis::BenchReport;
+using diners::analysis::compare_reports;
+using diners::analysis::parse_report;
+
+BenchMetric metric(std::string name, double value, bool higher_is_better) {
+  BenchMetric m;
+  m.name = std::move(name);
+  m.value = value;
+  m.unit = higher_is_better ? "states/s" : "ns/step";
+  m.higher_is_better = higher_is_better;
+  m.params = {{"topology", "ring"}, {"n", "8"}};
+  return m;
+}
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.git_rev = "abc1234";
+  r.label = "unit \"test\" label";  // exercises escaping
+  r.metrics.push_back(metric("engine.step", 120.0, false));
+  r.metrics.push_back(metric("explorer.rate", 50000.0, true));
+  return r;
+}
+
+TEST(PerfTrajectory, RoundTripsThroughJson) {
+  const BenchReport original = sample_report();
+  std::ostringstream out;
+  write_report(out, original);
+  const BenchReport back = parse_report(out.str());
+  EXPECT_EQ(back.suite_version, original.suite_version);
+  EXPECT_EQ(back.git_rev, original.git_rev);
+  EXPECT_EQ(back.label, original.label);
+  ASSERT_EQ(back.metrics.size(), original.metrics.size());
+  EXPECT_EQ(back.metrics, original.metrics);
+}
+
+TEST(PerfTrajectory, WriteIsDeterministic) {
+  std::ostringstream a, b;
+  write_report(a, sample_report());
+  write_report(b, sample_report());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(PerfTrajectory, FindLocatesMetricsByName) {
+  const BenchReport r = sample_report();
+  ASSERT_NE(r.find("engine.step"), nullptr);
+  EXPECT_EQ(r.find("engine.step")->value, 120.0);
+  EXPECT_EQ(r.find("no.such.metric"), nullptr);
+}
+
+TEST(PerfTrajectory, ParseRejectsWrongSchemaAndDuplicates) {
+  EXPECT_THROW((void)parse_report("{}"), std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_report(R"({"schema": "other/v9", "suite_version": 1,)"
+                         R"( "git_rev": "", "label": "", "metrics": []})"),
+      std::invalid_argument);
+  const char* dup =
+      R"({"schema": "diners-bench/v1", "suite_version": 1, "git_rev": "",
+          "label": "", "metrics": [
+            {"name": "m", "value": 1, "unit": "x", "higher_is_better": true,
+             "params": {}},
+            {"name": "m", "value": 2, "unit": "x", "higher_is_better": true,
+             "params": {}}]})";
+  EXPECT_THROW((void)parse_report(dup), std::invalid_argument);
+  EXPECT_THROW((void)parse_report("not json at all"), std::invalid_argument);
+}
+
+TEST(PerfTrajectory, RegressionIsDirectionAware) {
+  BenchReport base, cur;
+  // Lower-is-better metric gets 20% slower: regression +0.2.
+  base.metrics.push_back(metric("lat", 100.0, false));
+  cur.metrics.push_back(metric("lat", 120.0, false));
+  // Higher-is-better metric drops 10%: regression +0.1.
+  base.metrics.push_back(metric("rate", 1000.0, true));
+  cur.metrics.push_back(metric("rate", 900.0, true));
+  // Higher-is-better metric improves 50%: regression -0.5.
+  base.metrics.push_back(metric("fast", 100.0, true));
+  cur.metrics.push_back(metric("fast", 150.0, true));
+
+  const auto result = compare_reports(base, cur);
+  ASSERT_EQ(result.deltas.size(), 3u);
+  EXPECT_NEAR(result.deltas[0].regression, 0.2, 1e-9);
+  EXPECT_NEAR(result.deltas[1].regression, 0.1, 1e-9);
+  EXPECT_NEAR(result.deltas[2].regression, -0.5, 1e-9);
+  EXPECT_NEAR(result.worst_regression, 0.2, 1e-9);
+  EXPECT_FALSE(result.within(0.15));
+  EXPECT_TRUE(result.within(0.25));
+}
+
+TEST(PerfTrajectory, ComparatorTracksMetricChurn) {
+  BenchReport base, cur;
+  base.metrics.push_back(metric("shared", 10.0, false));
+  base.metrics.push_back(metric("dropped", 10.0, false));
+  cur.metrics.push_back(metric("shared", 10.0, false));
+  cur.metrics.push_back(metric("added", 10.0, false));
+
+  const auto result = compare_reports(base, cur);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_EQ(result.deltas[0].name, "shared");
+  EXPECT_NEAR(result.deltas[0].regression, 0.0, 1e-12);
+  ASSERT_EQ(result.only_baseline.size(), 1u);
+  EXPECT_EQ(result.only_baseline[0], "dropped");
+  ASSERT_EQ(result.only_current.size(), 1u);
+  EXPECT_EQ(result.only_current[0], "added");
+  EXPECT_TRUE(result.within(0.0));
+}
+
+TEST(PerfTrajectory, SelfCompareIsAlwaysWithinThreshold) {
+  const BenchReport r = sample_report();
+  const auto result = compare_reports(r, r);
+  EXPECT_EQ(result.worst_regression, 0.0);
+  EXPECT_TRUE(result.within(0.0));
+  EXPECT_TRUE(result.only_baseline.empty());
+  EXPECT_TRUE(result.only_current.empty());
+}
+
+TEST(PerfTrajectory, ZeroBaselineDoesNotDivide) {
+  BenchReport base, cur;
+  base.metrics.push_back(metric("z", 0.0, false));
+  cur.metrics.push_back(metric("z", 5.0, false));
+  const auto result = compare_reports(base, cur);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_EQ(result.deltas[0].regression, 0.0);
+}
+
+}  // namespace

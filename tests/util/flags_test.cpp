@@ -88,5 +88,53 @@ TEST(Flags, MissingValueFails) {
   EXPECT_FALSE(f.parse(2, argv));
 }
 
+TEST(Flags, NumericAccessorsRejectTrailingGarbage) {
+  Flags f = standard_flags();
+  const char* argv[] = {"prog", "--n=123abc", "--rate=0.5x"};
+  ASSERT_TRUE(f.parse(3, argv));  // lexing succeeds; typed access throws
+  EXPECT_THROW((void)f.i64("n"), FlagError);
+  EXPECT_THROW((void)f.u64("n"), FlagError);
+  EXPECT_THROW((void)f.u32("n"), FlagError);
+  EXPECT_THROW((void)f.f64("rate"), FlagError);
+}
+
+TEST(Flags, UnsignedAccessorsRejectNegatives) {
+  Flags f = standard_flags();
+  const char* argv[] = {"prog", "--n=-5"};
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_THROW((void)f.u64("n"), FlagError);
+  EXPECT_THROW((void)f.u32("n"), FlagError);
+  EXPECT_EQ(f.i64("n"), -5);  // signed accessor still accepts it
+}
+
+TEST(Flags, UnsignedAccessorsRejectOverflow) {
+  Flags f = standard_flags();
+  const char* argv[] = {"prog", "--n=99999999999999999999999"};
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_THROW((void)f.u64("n"), FlagError);
+  EXPECT_THROW((void)f.u32("n"), FlagError);
+}
+
+TEST(Flags, U32RejectsValuesPastItsWidth) {
+  Flags f = standard_flags();
+  const char* argv[] = {"prog", "--n=4294967296"};  // 2^32
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_THROW((void)f.u32("n"), FlagError);
+  EXPECT_EQ(f.u64("n"), 4294967296u);
+}
+
+TEST(Flags, RangedAccessorsNameTheFlagInErrors) {
+  Flags f = standard_flags();
+  const char* argv[] = {"prog", "--n=0"};
+  ASSERT_TRUE(f.parse(2, argv));
+  try {
+    (void)f.u32("n", 1);
+    FAIL() << "expected range violation to throw";
+  } catch (const FlagError& err) {
+    EXPECT_NE(std::string(err.what()).find("--n"), std::string::npos);
+  }
+  EXPECT_EQ(f.u32("n", 0), 0u);
+}
+
 }  // namespace
 }  // namespace diners::util

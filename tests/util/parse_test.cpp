@@ -1,0 +1,95 @@
+#include "util/parse.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using diners::util::parse_f64;
+using diners::util::parse_i64;
+using diners::util::parse_u64;
+
+constexpr auto kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+TEST(ParseU64, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), kU64Max);
+}
+
+TEST(ParseU64, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)parse_u64("123abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("12 "), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64(" 12"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("1.5"), std::invalid_argument);
+}
+
+TEST(ParseU64, RejectsEmptyAndNonNumeric) {
+  EXPECT_THROW((void)parse_u64(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("seven"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("+3"), std::invalid_argument);
+}
+
+TEST(ParseU64, RejectsNegativesInsteadOfWrapping) {
+  // std::stoull would wrap "-5" to 2^64-5 silently.
+  EXPECT_THROW((void)parse_u64("-5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("-0"), std::invalid_argument);
+}
+
+TEST(ParseU64, RejectsOverflowInsteadOfAborting) {
+  // std::stoull throws out_of_range, which tools never caught (abort).
+  EXPECT_THROW((void)parse_u64("99999999999999999999999"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("18446744073709551616"), std::invalid_argument);
+}
+
+TEST(ParseU64, RangedVariantEnforcesBoundsAndNamesTheFlag) {
+  EXPECT_EQ(parse_u64("7", 1, 10, "--n"), 7u);
+  EXPECT_EQ(parse_u64("1", 1, 10, "--n"), 1u);
+  EXPECT_EQ(parse_u64("10", 1, 10, "--n"), 10u);
+  try {
+    (void)parse_u64("11", 1, 10, "--n");
+    FAIL() << "expected out-of-range to throw";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("[1, 10]"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_u64("0", 1, 10, "--n"), std::invalid_argument);
+}
+
+TEST(ParseI64, AcceptsSignedDecimals) {
+  EXPECT_EQ(parse_i64("-5"), -5);
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseI64, RejectsGarbageAndOverflow) {
+  EXPECT_THROW((void)parse_i64("123abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_i64(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_i64("9223372036854775808"), std::invalid_argument);
+  EXPECT_THROW((void)parse_i64("--3"), std::invalid_argument);
+}
+
+TEST(ParseF64, AcceptsDecimalsAndExponents) {
+  EXPECT_DOUBLE_EQ(parse_f64("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_f64("-1.5e3"), -1500.0);
+  EXPECT_DOUBLE_EQ(parse_f64("3"), 3.0);
+  EXPECT_DOUBLE_EQ(parse_f64(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_f64("-.5"), -0.5);
+}
+
+TEST(ParseF64, RejectsGarbageAndNonFiniteSpellings) {
+  EXPECT_THROW((void)parse_f64("0.5x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_f64(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_f64("inf"), std::invalid_argument);
+  EXPECT_THROW((void)parse_f64("nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_f64("-"), std::invalid_argument);
+  EXPECT_THROW((void)parse_f64("."), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,446 @@
+// diners_bench — the perf-trajectory harness.
+//
+// Runs a curated quick suite over the repo's existing measurement binaries
+// and aggregates the results into one stable-schema BENCH_*.json record
+// (analysis/perf_trajectory.hpp documents the schema):
+//
+//   engine    BM_EngineStep[FullScan] n=64/192  (bench_figure1_actions,
+//             --benchmark_format json)           -> ns/step
+//   explorer  diners_mc --exhaustive --json on ring-4 and K4 at
+//             jobs=1/4                           -> states/sec
+//   batch     BM_BatchTrials n=64 jobs=1/4 (bench_batch_runner)
+//                                               -> trials/sec, speedup
+//   chaos     diners_chaos ring-8 soak          -> mean recovery steps
+//
+// Comparator mode (`--compare=BASELINE`) loads two records, prints the
+// per-metric deltas, and exits 3 when any metric is worse than the
+// baseline by more than --regress-threshold (direction-aware: ns/step
+// regressions are increases, states/sec regressions are decreases).
+// `--soft` downgrades the gate to a warning for CI soft-gating until a
+// trajectory exists.
+//
+// Exit codes: 0 ok / within threshold, 1 a driven binary failed or its
+// output did not parse, 2 usage error, 3 regression past threshold.
+//
+// Examples:
+//   diners_bench --quick --git-rev=$(git rev-parse --short HEAD)
+//   diners_bench --compare=BENCH_5.json --out=BENCH_6.json
+//   diners_bench --compare=BENCH_6.json --out=BENCH_ci.json --soft
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "analysis/perf_trajectory.hpp"
+#include "util/flags.hpp"
+#include "util/json_reader.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using diners::analysis::BenchMetric;
+using diners::analysis::BenchReport;
+using diners::util::JsonValue;
+
+constexpr int kDriverError = 1;
+constexpr int kUsageError = 2;
+constexpr int kRegression = 3;
+
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+struct DriverError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// POSIX-shell single-quotes `s` so paths survive word splitting.
+std::string shq(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Runs `cmd` under the shell, capturing stdout (stderr passes through).
+CommandResult run_command(const std::string& cmd) {
+  std::cerr << "+ " << cmd << "\n";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) throw DriverError("popen failed for: " + cmd);
+  CommandResult result;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.out.append(buf, got);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Runs `cmd`, requiring exit code 0.
+CommandResult run_checked(const std::string& cmd) {
+  CommandResult result = run_command(cmd);
+  if (result.exit_code != 0) {
+    throw DriverError("command exited " + std::to_string(result.exit_code) +
+                      ": " + cmd);
+  }
+  return result;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw DriverError("cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Finds the entry in Google Benchmark's `benchmarks` array whose name is
+/// exactly `name`.
+const JsonValue& gbench_entry(const JsonValue& doc, const std::string& name) {
+  for (const auto& b : doc.at("benchmarks").as_array()) {
+    if (const auto* n = b.find("name"); n != nullptr && n->is_string() &&
+        n->as_string() == name) {
+      return b;
+    }
+  }
+  throw DriverError("benchmark output has no entry named '" + name + "'");
+}
+
+// --- metric collectors -----------------------------------------------------
+
+/// Engine ns/step at n=64/192, incremental enabled-set engine vs the pinned
+/// full-scan reference path.
+void collect_engine(BenchReport& report, const fs::path& bench_dir,
+                    const fs::path& workdir) {
+  const fs::path out = workdir / "engine.json";
+  run_checked(shq((bench_dir / "bench_figure1_actions").string()) +
+              " --benchmark_filter='^BM_EngineStep(FullScan)?/n:(64|192)$'"
+              " --benchmark_out_format=json --benchmark_out=" +
+              shq(out.string()) + " >&2");
+  const JsonValue doc = diners::util::parse_json(read_file(out));
+  const struct {
+    const char* bench;
+    const char* metric;
+    const char* n;
+    const char* scan;
+  } rows[] = {
+      {"BM_EngineStep/n:64", "engine.step.n64.incremental", "64",
+       "incremental"},
+      {"BM_EngineStep/n:192", "engine.step.n192.incremental", "192",
+       "incremental"},
+      {"BM_EngineStepFullScan/n:64", "engine.step.n64.fullscan", "64",
+       "fullscan"},
+      {"BM_EngineStepFullScan/n:192", "engine.step.n192.fullscan", "192",
+       "fullscan"},
+  };
+  for (const auto& row : rows) {
+    const JsonValue& entry = gbench_entry(doc, row.bench);
+    if (entry.at("time_unit").as_string() != "ns") {
+      throw DriverError(std::string(row.bench) + ": unexpected time unit");
+    }
+    BenchMetric m;
+    m.name = row.metric;
+    m.value = entry.at("real_time").as_number();
+    m.unit = "ns/step";
+    m.higher_is_better = false;
+    m.params = {{"n", row.n}, {"scan", row.scan}, {"topology", "ring"}};
+    report.metrics.push_back(std::move(m));
+  }
+}
+
+/// Explorer throughput: exhaustive sound-threshold model check of ring-4
+/// and K4 at jobs=1/4, states/sec from the diners_mc --json summary.
+void collect_explorer(BenchReport& report, const fs::path& tools_dir,
+                      const fs::path& workdir) {
+  const struct {
+    const char* metric;
+    const char* topology;
+    const char* n;
+    const char* jobs;
+  } rows[] = {
+      {"explorer.ring4.jobs1", "ring", "4", "1"},
+      {"explorer.ring4.jobs4", "ring", "4", "4"},
+      {"explorer.k4.jobs1", "complete", "4", "1"},
+      {"explorer.k4.jobs4", "complete", "4", "4"},
+  };
+  for (const auto& row : rows) {
+    const fs::path out =
+        workdir / (std::string("mc_") + row.metric + ".json");
+    run_checked(shq((tools_dir / "diners_mc").string()) +
+                " --topology=" + row.topology + " --n=" + row.n +
+                " --exhaustive --threshold=sound --jobs=" + row.jobs +
+                " --json=" + shq(out.string()) + " >&2");
+    const JsonValue doc = diners::util::parse_json(read_file(out));
+    if (doc.at("result").as_string() != "verified") {
+      throw DriverError(std::string(row.metric) +
+                        ": model check did not verify");
+    }
+    BenchMetric m;
+    m.name = row.metric;
+    m.value = doc.at("states_per_second").as_number();
+    m.unit = "states/s";
+    m.higher_is_better = true;
+    m.params = {{"topology", row.topology},
+                {"n", row.n},
+                {"jobs", row.jobs},
+                {"states", std::to_string(static_cast<std::uint64_t>(
+                               doc.at("explored_states_total").as_number()))}};
+    report.metrics.push_back(std::move(m));
+  }
+}
+
+/// Batch-runner fan-out: trials/sec at jobs=1/4 plus the jobs=4 speedup
+/// over the serial baseline (bounded by the machine's core count; ~1.0 on
+/// a 1-core runner is the honest number).
+void collect_batch(BenchReport& report, const fs::path& bench_dir,
+                   const fs::path& workdir) {
+  const fs::path out = workdir / "batch.json";
+  run_checked(shq((bench_dir / "bench_batch_runner").string()) +
+              " --benchmark_filter='^BM_BatchTrials/n:64/jobs:(1|4)'"
+              " --benchmark_out_format=json --benchmark_out=" +
+              shq(out.string()) + " >&2");
+  const JsonValue doc = diners::util::parse_json(read_file(out));
+  const auto find_row = [&](const std::string& jobs) -> const JsonValue& {
+    // Explicit Iterations() settings show up as a /iterations: suffix in
+    // some benchmark versions; match on the stable prefix.
+    const std::string prefix = "BM_BatchTrials/n:64/jobs:" + jobs;
+    for (const auto& b : doc.at("benchmarks").as_array()) {
+      const auto* n = b.find("name");
+      if (n != nullptr && n->is_string() &&
+          (n->as_string() == prefix ||
+           n->as_string().rfind(prefix + "/", 0) == 0)) {
+        return b;
+      }
+    }
+    throw DriverError("bench_batch_runner output lacks " + prefix);
+  };
+  for (const char* jobs : {"1", "4"}) {
+    const JsonValue& entry = find_row(jobs);
+    BenchMetric m;
+    m.name = std::string("batch.n64.jobs") + jobs + ".trials_per_sec";
+    m.value = entry.at("trials_per_sec").as_number();
+    m.unit = "trials/s";
+    m.higher_is_better = true;
+    m.params = {{"n", "64"}, {"jobs", jobs}, {"topology", "ring"}};
+    report.metrics.push_back(std::move(m));
+  }
+  BenchMetric speedup;
+  speedup.name = "batch.n64.jobs4.speedup_vs_serial";
+  speedup.value = find_row("4").at("speedup_vs_serial").as_number();
+  speedup.unit = "x";
+  speedup.higher_is_better = true;
+  speedup.params = {{"n", "64"}, {"jobs", "4"}};
+  report.metrics.push_back(std::move(speedup));
+}
+
+/// Chaos recovery: mean watchdog steps-to-reconvergence per clean round of
+/// the deterministic ring-8 soak (fixed seed, bit-identical summary).
+void collect_chaos(BenchReport& report, const fs::path& tools_dir) {
+  const CommandResult run = run_checked(
+      shq((tools_dir / "diners_chaos").string()) +
+      " --rounds=60 --topology=ring --n=8 --trials=2 --seed=1 --incident=");
+  const JsonValue doc = diners::util::parse_json(run.out);
+  if (doc.at("incidents").as_number() != 0) {
+    throw DriverError("chaos soak reported incidents; not a perf sample");
+  }
+  BenchMetric m;
+  m.name = "chaos.ring8.recovery_steps_mean";
+  m.value = doc.at("recovery_steps").at("mean").as_number();
+  m.unit = "steps";
+  m.higher_is_better = false;
+  m.params = {{"topology", "ring"}, {"n", "8"}, {"rounds", "60"},
+              {"trials", "2"}, {"seed", "1"}};
+  report.metrics.push_back(std::move(m));
+}
+
+// --- modes -----------------------------------------------------------------
+
+void print_metrics(const BenchReport& report) {
+  diners::util::Table t({"metric", "value", "unit"});
+  for (const auto& m : report.metrics) {
+    t.add_row({m.name, m.value, m.unit});
+  }
+  t.print(std::cout);
+}
+
+/// The directory holding this binary (via /proc/self/exe, falling back to
+/// argv[0]); bench binaries default to the sibling ../bench directory.
+fs::path exe_dir(const char* argv0) {
+  std::error_code ec;
+  fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) self = fs::absolute(argv0);
+  return self.parent_path();
+}
+
+int run_suite(const diners::util::Flags& flags, const char* argv0) {
+  const fs::path tools_dir = flags.str("tools-dir").empty()
+                                 ? exe_dir(argv0)
+                                 : fs::path(flags.str("tools-dir"));
+  const fs::path bench_dir = flags.str("bench-dir").empty()
+                                 ? tools_dir.parent_path() / "bench"
+                                 : fs::path(flags.str("bench-dir"));
+  const auto require_dir = [](const char* what, const fs::path& path) {
+    if (!fs::is_directory(path)) {
+      throw UsageError(std::string(what) + " " + path.string() +
+                       " does not exist (pass --tools-dir/--bench-dir)");
+    }
+  };
+  require_dir("tools dir", tools_dir);
+  require_dir("bench dir", bench_dir);
+
+  const fs::path workdir = flags.str("workdir").empty()
+                               ? fs::temp_directory_path() / "diners_bench"
+                               : fs::path(flags.str("workdir"));
+  fs::create_directories(workdir);
+
+  BenchReport report;
+  report.git_rev = flags.str("git-rev");
+  report.label = flags.str("label");
+
+  collect_engine(report, bench_dir, workdir);
+  collect_explorer(report, tools_dir, workdir);
+  collect_batch(report, bench_dir, workdir);
+  collect_chaos(report, tools_dir);
+
+  const std::string out_path = flags.str("out");
+  std::ofstream out(out_path);
+  if (!out) throw UsageError("cannot write --out file " + out_path);
+  write_report(out, report);
+
+  print_metrics(report);
+  std::cout << report.metrics.size() << " metrics recorded to " << out_path;
+  if (!report.git_rev.empty()) std::cout << " (rev " << report.git_rev << ")";
+  std::cout << "\n";
+  if (!flags.flag("keep-temp")) {
+    std::error_code ec;
+    fs::remove_all(workdir, ec);
+  }
+  return 0;
+}
+
+BenchReport load_report(const std::string& path) {
+  try {
+    return diners::analysis::parse_report(read_file(path));
+  } catch (const std::invalid_argument& err) {
+    throw UsageError(path + ": " + err.what());
+  } catch (const DriverError& err) {
+    throw UsageError(err.what());
+  }
+}
+
+int run_compare(const diners::util::Flags& flags) {
+  const double threshold = flags.f64("regress-threshold");
+  if (threshold < 0) {
+    throw UsageError("--regress-threshold must be non-negative");
+  }
+  const BenchReport baseline = load_report(flags.str("compare"));
+  const BenchReport current = load_report(flags.str("out"));
+  if (baseline.suite_version != current.suite_version) {
+    std::cerr << "warning: suite_version differs (baseline "
+              << baseline.suite_version << ", current "
+              << current.suite_version << "); deltas may not be comparable\n";
+  }
+
+  const auto result = diners::analysis::compare_reports(baseline, current);
+  diners::util::Table t({"metric", "baseline", "current", "delta", "verdict"});
+  for (const auto& d : result.deltas) {
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%", d.regression * 100.0);
+    t.add_row({d.name, d.baseline, d.current, std::string(delta),
+               std::string(d.regression > threshold ? "REGRESSED" : "ok")});
+  }
+  t.print(std::cout);
+  for (const auto& name : result.only_baseline) {
+    std::cout << "dropped metric (baseline only): " << name << "\n";
+  }
+  for (const auto& name : result.only_current) {
+    std::cout << "new metric (current only): " << name << "\n";
+  }
+  std::cout << "worst regression: ";
+  std::printf("%+.1f%%", result.worst_regression * 100.0);
+  std::cout << " (threshold " << threshold * 100.0 << "%; delta is "
+            << "fraction worse in each metric's bad direction)\n";
+
+  if (!result.within(threshold)) {
+    if (flags.flag("soft")) {
+      std::cout << "SOFT GATE: regression past threshold (reporting only)\n";
+      return 0;
+    }
+    std::cout << "REGRESSION past threshold\n";
+    return kRegression;
+  }
+  std::cout << "within threshold\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  diners::util::Flags flags;
+  flags
+      .define("quick", "true",
+              "run the quick suite (engine, explorer, batch, chaos); "
+              "currently the only suite")
+      .define("out", "BENCH_6.json",
+              "record path: written in run mode, the 'current' side in "
+              "--compare mode")
+      .define("compare", "",
+              "baseline BENCH_*.json: compare --out against it instead of "
+              "running the suite")
+      .define("regress-threshold", "0.15",
+              "fail --compare when any metric is worse than the baseline "
+              "by more than this fraction")
+      .define("soft", "false",
+              "report regressions without failing (CI soft gate)")
+      .define("git-rev", "", "git revision recorded in the report")
+      .define("label", "", "free-form label recorded in the report")
+      .define("tools-dir", "",
+              "directory with diners_mc/diners_chaos (default: this "
+              "binary's directory)")
+      .define("bench-dir", "",
+              "directory with the bench_* binaries (default: ../bench "
+              "relative to --tools-dir)")
+      .define("workdir", "",
+              "scratch directory for driven-binary JSON (default: a "
+              "temp dir)")
+      .define("keep-temp", "false", "keep the scratch directory");
+  if (!flags.parse(argc, argv)) return kUsageError;
+
+  try {
+    if (!flags.str("compare").empty()) return run_compare(flags);
+    if (!flags.flag("quick")) {
+      throw UsageError("nothing to do: pick --quick or --compare=BASELINE");
+    }
+    return run_suite(flags, argv[0]);
+  } catch (const UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
+  } catch (const diners::util::FlagError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return kDriverError;
+  }
+}

@@ -19,13 +19,17 @@
 //   diners_chaos --mutate=no-fixdepth --corrupt-prob=1   # must exit 1
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
 #include "analysis/batch_runner.hpp"
 #include "chaos/campaign.hpp"
+#include "chaos/report.hpp"
 #include "core/config.hpp"
+#include "graph/graph.hpp"
 #include "util/flags.hpp"
+#include "util/parse.hpp"
 #include "verify/mutation.hpp"
 
 namespace {
@@ -37,42 +41,21 @@ struct UsageError : std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+/// Probability flags must land in [0, 1]; anything else is a usage error.
+double probability(const diners::util::Flags& flags, const std::string& name) {
+  const double p = flags.f64(name);
+  if (p < 0.0 || p > 1.0) {
+    throw UsageError("--" + name + ": " + flags.str(name) +
+                     " is not a probability in [0, 1]");
+  }
+  return p;
+}
+
 void print_summary(const diners::chaos::CampaignOptions& options,
                    const diners::chaos::CampaignBatchResult& result) {
   using diners::chaos::Backend;
-  const bool msg = options.backend == Backend::kMsgReliable ||
-                   options.backend == Backend::kMsgUnreliable;
-  // The threaded backend's meal and poll counts depend on real-time
-  // scheduling; they are reported on stderr instead so the JSON stays
-  // bit-identical across runs and --jobs values.
   const bool deterministic = options.backend != Backend::kThreaded;
-  std::cout << "{\n";
-  std::cout << "  \"backend\": \"" << to_string(options.backend) << "\",\n";
-  std::cout << "  \"topology\": \"" << options.topology << '/' << options.n
-            << "\",\n";
-  std::cout << "  \"trials\": " << result.trials << ",\n";
-  std::cout << "  \"rounds\": " << result.rounds << ",\n";
-  std::cout << "  \"incidents\": " << result.incidents << ",\n";
-  std::cout << "  \"clean_trials\": " << result.clean_trials << ",\n";
-  std::cout << "  \"crashes\": " << result.crashes << ",\n";
-  std::cout << "  \"restarts\": " << result.restarts << ",\n";
-  std::cout << "  \"corruptions\": " << result.corruptions;
-  if (deterministic) {
-    const auto& acc = result.recovery_steps;
-    std::cout << ",\n  \"recovery_steps\": {\"count\": " << acc.count()
-              << ", \"mean\": " << acc.mean() << ", \"stddev\": "
-              << acc.stddev() << ", \"min\": " << acc.min() << ", \"max\": "
-              << acc.max() << "},\n";
-    std::cout << "  \"meals\": " << result.total_meals;
-  }
-  if (msg) {
-    std::cout << ",\n  \"network\": {\"sent\": " << result.messages_sent
-              << ", \"delivered\": " << result.messages_delivered
-              << ", \"dropped\": " << result.messages_dropped
-              << ", \"duplicated\": " << result.messages_duplicated
-              << ", \"pending\": " << result.messages_pending << "}";
-  }
-  std::cout << "\n}\n";
+  diners::chaos::write_campaign_json(std::cout, options, result);
   std::cerr << "wall: " << result.wall_seconds << " s";
   if (!deterministic) {
     std::cerr << "; threaded meals (timing-dependent): "
@@ -90,51 +73,49 @@ int run(const diners::util::Flags& flags) {
     options.mutation =
         diners::verify::parse_guard_mutation(flags.str("mutate"));
     options.topology = flags.str("topology");
-    options.n = static_cast<diners::graph::NodeId>(flags.i64("n"));
-    options.gnp_p = flags.f64("gnp-p");
+    // All numeric flags go through the validated accessors: "123abc",
+    // "-5", and out-of-range values (e.g. --topology-seed past 2^64-1)
+    // must exit 2 with a message, never truncate or abort.
+    options.n = flags.u32("n", 1, diners::graph::kNoNode - 1);
+    options.gnp_p = probability(flags, "gnp-p");
     if (!flags.str("topology-seed").empty()) {
-      options.topology_seed = std::stoull(flags.str("topology-seed"));
+      options.topology_seed = diners::util::parse_u64(
+          flags.str("topology-seed"), 0,
+          std::numeric_limits<std::uint64_t>::max(), "--topology-seed");
     }
     options.config.diameter_override =
         diners::core::parse_threshold(flags.str("threshold"), options.n);
   } catch (const std::invalid_argument& err) {
     throw UsageError(err.what());
   }
-  options.rounds = static_cast<std::uint64_t>(flags.i64("rounds"));
-  options.max_crashes_per_burst =
-      static_cast<std::uint32_t>(flags.i64("burst"));
-  options.max_malicious_steps =
-      static_cast<std::uint32_t>(flags.i64("malice"));
-  options.restart_probability = flags.f64("restart-prob");
-  options.global_corruption_probability = flags.f64("corrupt-prob");
+  options.rounds = flags.u64("rounds", 1);
+  options.max_crashes_per_burst = flags.u32("burst", 1);
+  options.max_malicious_steps = flags.u32("malice");
+  options.restart_probability = probability(flags, "restart-prob");
+  options.global_corruption_probability = probability(flags, "corrupt-prob");
   options.process_corruption_probability =
-      flags.f64("process-corrupt-prob");
-  options.watchdog.budget_steps =
-      static_cast<std::uint64_t>(flags.i64("budget"));
-  options.watchdog.check_every =
-      static_cast<std::uint64_t>(flags.i64("check-every"));
-  options.watchdog.progress_window =
-      static_cast<std::uint64_t>(flags.i64("window"));
-  options.watchdog.locality_bound =
-      static_cast<std::uint32_t>(flags.i64("locality"));
+      probability(flags, "process-corrupt-prob");
+  options.watchdog.budget_steps = flags.u64("budget", 1);
+  options.watchdog.check_every = flags.u64("check-every", 1);
+  options.watchdog.progress_window = flags.u64("window");
+  options.watchdog.locality_bound = flags.u32("locality");
   options.daemon = flags.str("daemon");
-  options.fairness_bound = static_cast<std::uint64_t>(flags.i64("fairness"));
-  options.network_faults.drop = flags.f64("drop");
-  options.network_faults.duplicate = flags.f64("duplicate");
-  options.network_faults.reorder = flags.f64("reorder");
-  options.network_faults.delay = flags.f64("delay");
-  options.network_faults.corrupt = flags.f64("net-corrupt");
-  options.fault_phase_steps =
-      static_cast<std::uint64_t>(flags.i64("fault-steps"));
-  options.poll_sleep_us = static_cast<std::uint32_t>(flags.i64("poll-us"));
+  options.fairness_bound = flags.u64("fairness");
+  options.network_faults.drop = probability(flags, "drop");
+  options.network_faults.duplicate = probability(flags, "duplicate");
+  options.network_faults.reorder = probability(flags, "reorder");
+  options.network_faults.delay = probability(flags, "delay");
+  options.network_faults.corrupt = probability(flags, "net-corrupt");
+  options.fault_phase_steps = flags.u64("fault-steps");
+  options.poll_sleep_us = flags.u32("poll-us");
   if (options.mutation != diners::verify::GuardMutation::kNone &&
       options.backend != diners::chaos::Backend::kSharedMemory) {
     throw UsageError("--mutate applies to the shared-memory backend only");
   }
 
-  batch.trials = static_cast<std::uint64_t>(flags.i64("trials"));
-  batch.jobs = static_cast<unsigned>(flags.i64("jobs"));
-  batch.master_seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  batch.trials = flags.u64("trials", 1);
+  batch.jobs = flags.u32("jobs", 1);
+  batch.master_seed = flags.u64("seed");
 
   const auto result = diners::chaos::run_campaign_batch(options, batch);
   print_summary(options, result);
@@ -212,7 +193,12 @@ int main(int argc, char** argv) {
   try {
     return run(flags);
   } catch (const UsageError& err) {
-    std::cerr << "error: " << err.what() << "\n";
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
+  } catch (const diners::util::FlagError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
     return kUsageError;
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << "\n";

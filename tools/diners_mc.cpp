@@ -46,6 +46,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "util/flags.hpp"
+#include "util/json_writer.hpp"
 #include "verify/canonical.hpp"
 #include "verify/counterexample.hpp"
 #include "verify/explorer.hpp"
@@ -119,22 +120,26 @@ void write_json_summary(std::ostream& os, const std::string& topology,
                          ? static_cast<double>(s.explored_states_total) /
                                s.explore_seconds
                          : 0.0;
-  os << "{\n"
-     << "  \"mode\": \"exhaustive\",\n"
-     << "  \"topology\": \"" << topology << "\",\n"
-     << "  \"n\": " << n << ",\n"
-     << "  \"jobs\": " << s.jobs << ",\n"
-     << "  \"mutation\": \"" << mutation << "\",\n"
-     << "  \"result\": \"" << result << "\",\n"
-     << "  \"healthy_states\": " << s.healthy_states << ",\n"
-     << "  \"healthy_arcs\": " << s.healthy_arcs << ",\n"
-     << "  \"layers\": " << s.layers << ",\n"
-     << "  \"legitimate\": " << s.legitimate << ",\n"
-     << "  \"explored_states_total\": " << s.explored_states_total << ",\n"
-     << "  \"explore_seconds\": " << s.explore_seconds << ",\n"
-     << "  \"states_per_second\": " << sps << ",\n"
-     << "  \"wall_seconds\": " << s.wall_seconds << "\n"
-     << "}\n";
+  // The shared writer escapes the user-controlled topology/mutation
+  // strings — a topology name containing '"' or '\' must still produce
+  // valid JSON.
+  diners::util::JsonWriter w(os);
+  w.begin_object();
+  w.field("mode", "exhaustive");
+  w.field("topology", topology);
+  w.field("n", static_cast<std::uint64_t>(n));
+  w.field("jobs", s.jobs);
+  w.field("mutation", mutation);
+  w.field("result", result);
+  w.field("healthy_states", s.healthy_states);
+  w.field("healthy_arcs", s.healthy_arcs);
+  w.field("layers", static_cast<std::uint64_t>(s.layers));
+  w.field("legitimate", s.legitimate);
+  w.field("explored_states_total", s.explored_states_total);
+  w.field("explore_seconds", s.explore_seconds);
+  w.field("states_per_second", sps);
+  w.field("wall_seconds", s.wall_seconds);
+  w.finish();
 }
 
 CheckSet parse_checks(const std::string& csv) {
@@ -254,10 +259,8 @@ int run_exhaustive(const diners::util::Flags& flags,
                    verify::GuardMutation mutation, const CheckSet& checks,
                    ExhaustiveStats& stats) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto max_states =
-      static_cast<std::uint32_t>(flags.i64("max-states"));
-  const auto jobs = static_cast<unsigned>(flags.i64("jobs"));
-  if (jobs == 0) throw UsageError("--jobs must be at least 1");
+  const std::uint32_t max_states = flags.u32("max-states", 1);
+  const unsigned jobs = flags.u32("jobs", 1);
   stats.jobs = jobs;
   std::string seeds_mode = flags.str("seeds");
   if (seeds_mode == "auto") {
@@ -449,15 +452,14 @@ int run_random(const diners::util::Flags& flags, DinersSystem& prototype,
                verify::GuardMutation mutation) {
   const auto t0 = std::chrono::steady_clock::now();
   verify::FuzzOptions opts;
-  opts.trials = static_cast<std::uint64_t>(flags.i64("random"));
-  opts.seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  opts.steps = static_cast<std::uint64_t>(flags.i64("steps"));
+  opts.trials = flags.u64("random");
+  opts.seed = flags.u64("seed");
+  opts.steps = flags.u64("steps");
   opts.shrink = flags.flag("shrink");
   opts.mutation = mutation;
   opts.daemon = flags.str("daemon");
-  opts.crashes = static_cast<std::uint32_t>(flags.i64("crashes"));
-  opts.malicious_steps =
-      static_cast<std::uint32_t>(flags.i64("malicious-steps"));
+  opts.crashes = flags.u32("crashes");
+  opts.malicious_steps = flags.u32("malicious-steps");
 
   const auto report =
       verify::run_fuzz(prototype.topology(), prototype.config(), opts);
@@ -479,8 +481,8 @@ int run_random(const diners::util::Flags& flags, DinersSystem& prototype,
 }
 
 int run(const diners::util::Flags& flags) {
-  const auto n = static_cast<NodeId>(flags.i64("n"));
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const NodeId n = flags.u32("n", 1, diners::graph::kNoNode - 1);
+  const std::uint64_t seed = flags.u64("seed");
   const std::string topo = flags.str("topology");
   auto g = build_topology(topo, n, seed);
 
@@ -514,8 +516,7 @@ int run(const diners::util::Flags& flags) {
   const verify::StateCodec codec(prototype.topology(), dmin, dmax);
 
   const bool exhaustive = flags.flag("exhaustive");
-  const std::uint64_t random_trials =
-      static_cast<std::uint64_t>(flags.i64("random"));
+  const std::uint64_t random_trials = flags.u64("random");
   if (!exhaustive && random_trials == 0) {
     throw UsageError("pick a mode: --exhaustive and/or --random=N");
   }
@@ -591,11 +592,15 @@ int main(int argc, char** argv) {
       .define("crashes", "1", "random-mode victims per locality trial")
       .define("malicious-steps", "3",
               "random-mode dying writes per malicious crash");
-  if (!flags.parse(argc, argv)) return 1;
+  if (!flags.parse(argc, argv)) return kUsageError;
 
   try {
     return run(flags);
   } catch (const UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
+  } catch (const diners::util::FlagError& err) {
     std::cerr << "error: " << err.what() << "\n"
               << "run with --help for usage\n";
     return kUsageError;

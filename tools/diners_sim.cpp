@@ -68,9 +68,9 @@ struct UsageError : std::invalid_argument {
 };
 
 int run_diners(const diners::util::Flags& flags) {
-  const auto n = static_cast<NodeId>(flags.i64("n"));
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  const auto steps = static_cast<std::uint64_t>(flags.i64("steps"));
+  const NodeId n = flags.u32("n", 1, diners::graph::kNoNode - 1);
+  const std::uint64_t seed = flags.u64("seed");
+  const std::uint64_t steps = flags.u64("steps");
   auto g = build_topology(flags.str("topology"), n, seed);
 
   DinersConfig cfg;
@@ -115,7 +115,8 @@ int run_diners(const diners::util::Flags& flags) {
 
   const bool csv = flags.flag("csv");
   const bool dot = flags.flag("dot");
-  const std::uint64_t sample = flags.i64("sample");
+  // sample = 0 would make the chunked loop below spin forever.
+  const std::uint64_t sample = flags.u64("sample", 1);
   if (csv) std::cout << "step,total_meals,violations,invariant\n";
   std::uint64_t done = 0;
   while (done < steps) {
@@ -167,8 +168,8 @@ int run_diners(const diners::util::Flags& flags) {
 int run_batch_mode(const diners::util::Flags& flags) {
   namespace analysis = diners::analysis;
 
-  const auto n = static_cast<NodeId>(flags.i64("n"));
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const NodeId n = flags.u32("n", 1, diners::graph::kNoNode - 1);
+  const std::uint64_t seed = flags.u64("seed");
 
   analysis::ScenarioOptions scenario;
   scenario.topology = flags.str("topology");
@@ -177,8 +178,8 @@ int run_batch_mode(const diners::util::Flags& flags) {
   scenario.fairness_bound = 256;  // match the single-run harness default
   scenario.corrupt = flags.flag("corrupt");
   scenario.workload = flags.str("workload");
-  scenario.max_steps = static_cast<std::uint64_t>(flags.i64("steps"));
-  scenario.window_steps = static_cast<std::uint64_t>(flags.i64("window"));
+  scenario.max_steps = flags.u64("steps");
+  scenario.window_steps = flags.u64("window");
 
   // Validate user input against a probe topology (seeded families resample
   // per trial, but the node count is seed-independent for every family).
@@ -199,14 +200,12 @@ int run_batch_mode(const diners::util::Flags& flags) {
   }
 
   analysis::BatchOptions batch;
-  batch.trials = static_cast<std::uint64_t>(flags.i64("trials"));
+  batch.trials = flags.u64("trials");
   batch.master_seed = seed;
   batch.hist_hi = static_cast<double>(scenario.max_steps ? scenario.max_steps
                                                          : 1);
-  const auto jobs = flags.i64("jobs");
-  if (jobs < 0) throw UsageError("--jobs must be >= 0");
-  batch.jobs = jobs == 0 ? diners::util::TrialPool::hardware_jobs()
-                         : static_cast<unsigned>(jobs);
+  const std::uint32_t jobs = flags.u32("jobs");  // 0 = hardware
+  batch.jobs = jobs == 0 ? diners::util::TrialPool::hardware_jobs() : jobs;
 
   const auto result = analysis::run_scenario_batch(scenario, batch);
 
@@ -277,12 +276,12 @@ int run_replay(const std::string& path) {
 
 template <typename System>
 int run_baseline(const diners::util::Flags& flags) {
-  const auto n = static_cast<NodeId>(flags.i64("n"));
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const NodeId n = flags.u32("n", 1, diners::graph::kNoNode - 1);
+  const std::uint64_t seed = flags.u64("seed");
   System system(build_topology(flags.str("topology"), n, seed));
   diners::sim::Engine engine(
       system, diners::sim::make_daemon(flags.str("daemon"), seed), 256);
-  engine.run(static_cast<std::uint64_t>(flags.i64("steps")));
+  engine.run(flags.u64("steps"));
   diners::util::Table t({"process", "state", "meals"});
   for (NodeId p = 0; p < system.topology().num_nodes(); ++p) {
     t.add_row({static_cast<std::int64_t>(p),
@@ -322,12 +321,12 @@ int main(int argc, char** argv) {
       .define("window", "0", "sweep starvation window steps (0 = none)")
       .define("replay", "",
               "replay a diners_mc counterexample file and exit");
-  if (!flags.parse(argc, argv)) return 1;
+  if (!flags.parse(argc, argv)) return kUsageError;
 
   try {
     if (!flags.str("replay").empty()) return run_replay(flags.str("replay"));
     const std::string algorithm = flags.str("algorithm");
-    if (flags.i64("trials") > 0) {
+    if (flags.u64("trials") > 0) {
       if (algorithm != "nesterenko-arora") {
         std::cerr << "error: --trials sweep mode supports only the "
                      "nesterenko-arora algorithm\n";
@@ -345,6 +344,10 @@ int main(int argc, char** argv) {
     std::cerr << "unknown algorithm: " << algorithm << "\n";
     return 1;
   } catch (const UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n"
+              << "run with --help for usage\n";
+    return kUsageError;
+  } catch (const diners::util::FlagError& err) {
     std::cerr << "error: " << err.what() << "\n"
               << "run with --help for usage\n";
     return kUsageError;
