@@ -7,17 +7,29 @@
 // Rows reported:
 //   guard_eval/<action>        — one guard evaluation (ring of 64)
 //   engine_step/<n>            — one weakly-fair engine step, steps/s
+//   flat_engine_step/<n>       — the same step on the SoA substrate
+//   flat_engine_rebuild/<jobs> — a sharded full enabled-set rebuild
 //   meals_throughput/<n>       — meals per second of simulated execution
 #include <benchmark/benchmark.h>
 
 #include "core/diners_system.hpp"
+#include "core/flat_engine.hpp"
 #include "graph/generators.hpp"
 #include "runtime/engine.hpp"
 
 namespace {
 
 using diners::core::DinersSystem;
+using diners::core::FlatEngine;
 using diners::graph::make_ring;
+
+/// Large-n ring config: the exact diameter (n/2 for even n) as an override,
+/// so construction skips the O(n*m) all-pairs BFS.
+diners::core::DinersConfig ring_config(diners::graph::NodeId n) {
+  diners::core::DinersConfig cfg;
+  cfg.diameter_override = n / 2;
+  return cfg;
+}
 
 void BM_GuardEval(benchmark::State& state) {
   const auto action = static_cast<diners::sim::ActionIndex>(state.range(0));
@@ -74,6 +86,40 @@ BENCHMARK(BM_EngineStepFullScan)
     ->Arg(128)
     ->Arg(192)
     ->ArgName("n");
+
+// The flat (structure-of-arrays) substrate on the same workload, including
+// the sizes the object engine cannot reach in bench time.
+void BM_FlatEngineStep(benchmark::State& state) {
+  const auto n = static_cast<diners::graph::NodeId>(state.range(0));
+  DinersSystem system(make_ring(n), ring_config(n));
+  FlatEngine engine(system, "round-robin", 1, 256);
+  for (auto _ : state) {
+    if (!engine.step()) state.SkipWithError("program terminated");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatEngineStep)
+    ->Arg(64)
+    ->Arg(192)
+    ->Arg(1024)
+    ->Arg(10240)
+    ->Arg(102400)
+    ->ArgName("n");
+
+// One full enabled-set rebuild (the reset_ages path: every guard in the
+// system re-evaluated), sharded across the given worker count.
+void BM_FlatEngineRebuild(benchmark::State& state) {
+  constexpr diners::graph::NodeId n = 102400;
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  DinersSystem system(make_ring(n), ring_config(n));
+  FlatEngine engine(system, "round-robin", 1, 256, jobs);
+  for (auto _ : state) {
+    engine.reset_ages();  // marks the whole set stale ...
+    benchmark::DoNotOptimize(engine.enabled_count());  // ... rebuild here
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FlatEngineRebuild)->Arg(1)->Arg(4)->ArgName("jobs");
 
 void BM_MealsThroughput(benchmark::State& state) {
   const auto n = static_cast<diners::graph::NodeId>(state.range(0));

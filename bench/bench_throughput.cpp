@@ -16,17 +16,17 @@
 #include "core/diners_system.hpp"
 #include "graph/generators.hpp"
 #include "runtime/engine.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
-using diners::graph::Graph;
 using P = diners::graph::NodeId;
 
-Graph topo(const std::string& kind, P n) {
-  if (kind == "ring") return diners::graph::make_ring(n);
-  if (kind == "grid") return diners::graph::make_grid(n / 4, 4);
-  return diners::graph::make_star(n);
-}
+/// Master seed of this bench; topology and daemon streams derive from it
+/// (util::derive_seed), like the rest of the bench suite.
+constexpr std::uint64_t kMasterSeed = 1;
+constexpr std::uint64_t kTopologyStream = 0x10;
+constexpr std::uint64_t kDaemonStream = 1;
 
 template <typename System>
 void run_throughput(benchmark::State& state, const std::string& kind) {
@@ -34,9 +34,13 @@ void run_throughput(benchmark::State& state, const std::string& kind) {
   double meals_per_1k = 0;
   double latency_p50 = 0;
   for (auto _ : state) {
-    System system(topo(kind, n));
+    System system(diners::graph::make_named(
+        kind, n, diners::util::derive_seed(kMasterSeed, kTopologyStream)));
     diners::sim::Engine engine(
-        system, diners::sim::make_daemon("round-robin", 1), 128);
+        system,
+        diners::sim::make_daemon(
+            "round-robin", diners::util::derive_seed(kMasterSeed, kDaemonStream)),
+        128);
     diners::analysis::MealLatencyMonitor latency(system, engine);
     engine.run(2000);  // warmup
     const auto before = system.total_meals();
@@ -91,9 +95,15 @@ void BM_AblationNoThresholdRing(benchmark::State& state) {
   for (auto _ : state) {
     diners::core::DinersConfig cfg;
     cfg.enable_dynamic_threshold = false;
-    diners::core::DinersSystem system(topo("ring", n), cfg);
+    diners::core::DinersSystem system(
+        diners::graph::make_named(
+            "ring", n, diners::util::derive_seed(kMasterSeed, kTopologyStream)),
+        cfg);
     diners::sim::Engine engine(
-        system, diners::sim::make_daemon("round-robin", 1), 128);
+        system,
+        diners::sim::make_daemon(
+            "round-robin", diners::util::derive_seed(kMasterSeed, kDaemonStream)),
+        128);
     engine.run(2000);
     const auto before = system.total_meals();
     engine.run(20000);

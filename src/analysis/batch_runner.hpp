@@ -99,6 +99,12 @@ struct ScenarioOptions {
   std::optional<std::uint32_t> diameter_override;
   std::uint64_t fairness_bound = 64;
   sim::ScanMode scan_mode = sim::ScanMode::kIncremental;
+  /// Engine implementation driving every trial (flat = core::FlatEngine;
+  /// aggregates are bit-identical to the object engine's).
+  sim::EngineKind engine_kind = sim::EngineKind::kObject;
+  /// Rebuild shard count inside the flat engine (per trial, on top of the
+  /// batch-level `jobs` fan-out). Results identical at every value.
+  unsigned engine_jobs = 1;
 
   /// Start from a uniformly corrupted state (Theorem 1 experiments).
   bool corrupt = false;

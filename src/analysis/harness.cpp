@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/flat_engine.hpp"
 #include "graph/algorithms.hpp"
 #include "runtime/daemon.hpp"
 
@@ -19,10 +20,18 @@ ExperimentHarness::ExperimentHarness(DinersSystem& system,
       plan_(std::move(plan)),
       options_(std::move(options)),
       rng_(util::derive_seed(options_.seed, /*stream=*/0xfau)) {
-  engine_ = std::make_unique<sim::Engine>(
-      system_,
-      sim::make_daemon(options_.daemon, util::derive_seed(options_.seed, 1)),
-      options_.fairness_bound, options_.scan_mode);
+  // Both engines receive the same daemon seed stream, so the flat engine's
+  // native random daemon consumes the identical Xoshiro sequence.
+  const std::uint64_t daemon_seed = util::derive_seed(options_.seed, 1);
+  if (options_.engine_kind == sim::EngineKind::kFlat) {
+    engine_ = std::make_unique<core::FlatEngine>(
+        system_, options_.daemon, daemon_seed, options_.fairness_bound,
+        options_.engine_jobs);
+  } else {
+    engine_ = std::make_unique<sim::Engine>(
+        system_, sim::make_daemon(options_.daemon, daemon_seed),
+        options_.fairness_bound, options_.scan_mode);
+  }
   if (workload_) workload_->prime(system_);
 }
 
@@ -99,7 +108,7 @@ StarvationReport measure_starvation(ExperimentHarness& harness,
 }
 
 StarvationReport measure_starvation(core::PhilosopherProgram& program,
-                                    sim::Engine& engine,
+                                    sim::EngineBase& engine,
                                     std::uint64_t window_steps) {
   return measure_starvation_impl(program, [&] { engine.run(window_steps); });
 }

@@ -25,8 +25,14 @@ struct HarnessOptions {
   std::uint64_t seed = 1;
   fault::CorruptionOptions corruption;
   /// Engine enabled-set maintenance; kFullScan is the differential-testing
-  /// reference path.
+  /// reference path. Only meaningful for the object engine.
   sim::ScanMode scan_mode = sim::ScanMode::kIncremental;
+  /// Which engine implementation drives the run. kFlat selects the
+  /// structure-of-arrays core::FlatEngine (byte-identical step traces).
+  sim::EngineKind engine_kind = sim::EngineKind::kObject;
+  /// Worker count for the flat engine's sharded full rebuilds. Results are
+  /// identical at every value; ignored by the object engine.
+  unsigned engine_jobs = 1;
 };
 
 class ExperimentHarness {
@@ -41,7 +47,7 @@ class ExperimentHarness {
   /// due crash events. Stops early if the program terminates.
   sim::RunResult run(std::uint64_t max_steps);
 
-  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] sim::EngineBase& engine() noexcept { return *engine_; }
   [[nodiscard]] core::DinersSystem& system() noexcept { return system_; }
   [[nodiscard]] util::Xoshiro256& rng() noexcept { return rng_; }
 
@@ -51,7 +57,7 @@ class ExperimentHarness {
   fault::CrashPlan plan_;
   HarnessOptions options_;
   util::Xoshiro256 rng_;
-  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<sim::EngineBase> engine_;
 };
 
 /// Empirical starvation over a measurement window.
@@ -78,7 +84,7 @@ struct StarvationReport {
 /// baselines): runs `engine` for the window with no fault/workload
 /// interleaving — crash the victims beforehand.
 [[nodiscard]] StarvationReport measure_starvation(
-    core::PhilosopherProgram& program, sim::Engine& engine,
+    core::PhilosopherProgram& program, sim::EngineBase& engine,
     std::uint64_t window_steps);
 
 }  // namespace diners::analysis

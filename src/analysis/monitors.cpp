@@ -9,7 +9,7 @@ namespace diners::analysis {
 using core::DinerState;
 using core::DinersSystem;
 
-SafetyMonitor::SafetyMonitor(const DinersSystem& system, sim::Engine& engine)
+SafetyMonitor::SafetyMonitor(const DinersSystem& system, sim::EngineBase& engine)
     : system_(system),
       last_(eating_violation_count(system)),
       max_(last_) {
@@ -27,7 +27,7 @@ void SafetyMonitor::rebaseline() {
 }
 
 MealLatencyMonitor::MealLatencyMonitor(const core::PhilosopherProgram& program,
-                                       sim::Engine& engine)
+                                       sim::EngineBase& engine)
     : hungry_since_(program.topology().num_nodes(),
                     static_cast<std::uint64_t>(-1)) {
   engine.add_observer([this](const sim::StepRecord& record) {
@@ -50,7 +50,7 @@ MealLatencyMonitor::MealLatencyMonitor(const core::PhilosopherProgram& program,
 }
 
 std::optional<std::uint64_t> steps_until_invariant(DinersSystem& system,
-                                                   sim::Engine& engine,
+                                                   sim::EngineBase& engine,
                                                    std::uint64_t max_steps,
                                                    std::uint64_t check_every) {
   if (check_every == 0) check_every = 1;

@@ -21,7 +21,7 @@ class SafetyMonitor {
  public:
   /// Attaches to `engine`; evaluates after every step. The monitor must
   /// outlive the engine's stepping.
-  SafetyMonitor(const core::DinersSystem& system, sim::Engine& engine);
+  SafetyMonitor(const core::DinersSystem& system, sim::EngineBase& engine);
 
   [[nodiscard]] std::size_t max_violations() const noexcept { return max_; }
   [[nodiscard]] bool ever_increased() const noexcept { return increased_; }
@@ -42,7 +42,7 @@ class SafetyMonitor {
 class MealLatencyMonitor {
  public:
   MealLatencyMonitor(const core::PhilosopherProgram& program,
-                     sim::Engine& engine);
+                     sim::EngineBase& engine);
 
   /// All completed hungry->eating latencies, in steps.
   [[nodiscard]] const std::vector<double>& latencies() const noexcept {
@@ -59,7 +59,7 @@ class MealLatencyMonitor {
 /// steps and at step 0), or `max_steps` elapse. Returns the number of steps
 /// executed before I held, or nullopt on timeout.
 [[nodiscard]] std::optional<std::uint64_t> steps_until_invariant(
-    core::DinersSystem& system, sim::Engine& engine, std::uint64_t max_steps,
+    core::DinersSystem& system, sim::EngineBase& engine, std::uint64_t max_steps,
     std::uint64_t check_every = 1);
 
 /// Same measurement driven through an ExperimentHarness, so due crash

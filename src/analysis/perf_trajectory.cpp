@@ -102,4 +102,19 @@ CompareResult compare_reports(const BenchReport& baseline,
   return result;
 }
 
+bool metric_matches(const std::string& name, const std::string& csv_patterns) {
+  std::size_t begin = 0;
+  while (begin <= csv_patterns.size()) {
+    std::size_t end = csv_patterns.find(',', begin);
+    if (end == std::string::npos) end = csv_patterns.size();
+    if (end > begin &&
+        name.find(csv_patterns.substr(begin, end - begin)) !=
+            std::string::npos) {
+      return true;
+    }
+    begin = end + 1;
+  }
+  return false;
+}
+
 }  // namespace diners::analysis

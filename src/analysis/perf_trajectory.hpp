@@ -95,4 +95,11 @@ struct CompareResult {
 [[nodiscard]] CompareResult compare_reports(const BenchReport& baseline,
                                             const BenchReport& current);
 
+/// True iff `name` contains any of the comma-separated substrings in
+/// `csv_patterns` (empty patterns and a wholly empty list match nothing).
+/// The matcher behind `diners_bench --soft-match`: per-metric soft gating
+/// for noisy timing metrics while the rest of the suite gates hard.
+[[nodiscard]] bool metric_matches(const std::string& name,
+                                  const std::string& csv_patterns);
+
 }  // namespace diners::analysis

@@ -19,6 +19,7 @@ DinersSystem::DinersSystem(graph::Graph g, DinersConfig config)
   }
   d_ = config_.diameter_override ? *config_.diameter_override
                                  : graph::diameter(graph_);
+  csr_ = graph::CsrView(graph_);
   const auto n = graph_.num_nodes();
   states_.assign(n, DinerState::kThinking);
   depths_.assign(n, 0);
@@ -158,10 +159,62 @@ bool DinersSystem::enabled(ProcessId p, sim::ActionIndex a) const {
   }
 }
 
+std::uint32_t DinersSystem::guard_mask(ProcessId p) const noexcept {
+  // One CSR pass computes the four neighborhood aggregates every Figure 1
+  // guard reads. priority(p,q) holds an endpoint id, so on each incident
+  // edge q is either a direct ancestor (priority == q) or a direct
+  // descendant (priority == p) — one comparison classifies the edge.
+  bool anc_not_thinking = false;
+  bool desc_eating = false;
+  bool has_desc = false;
+  std::int64_t maxd = std::numeric_limits<std::int64_t>::min();
+  const std::uint32_t* offsets = csr_.offsets();
+  const graph::NodeId* nbrs = csr_.neighbors();
+  const graph::EdgeId* eids = csr_.edge_ids();
+  for (std::uint32_t i = offsets[p], end = offsets[p + 1]; i != end; ++i) {
+    const ProcessId q = nbrs[i];
+    const bool desc = priority_[eids[i]] == p;
+    const DinerState sq = states_[q];
+    anc_not_thinking |= !desc && sq != DinerState::kThinking;
+    desc_eating |= desc && sq == DinerState::kEating;
+    has_desc |= desc;
+    if (desc && depths_[q] > maxd) maxd = depths_[q];
+  }
+  const DinerState s = states_[p];
+  const bool thinking = s == DinerState::kThinking;
+  const bool hungry = s == DinerState::kHungry;
+  const bool eating = s == DinerState::kEating;
+  const bool all_anc_thinking = !anc_not_thinking;
+  const bool cycle = config_.enable_cycle_breaking;
+  std::uint32_t mask = 0;
+  mask |= static_cast<std::uint32_t>(needs_[p] != 0 && thinking &&
+                                     all_anc_thinking)
+          << kJoin;
+  mask |= static_cast<std::uint32_t>(config_.enable_dynamic_threshold &&
+                                     hungry && anc_not_thinking)
+          << kLeave;
+  mask |= static_cast<std::uint32_t>(hungry && all_anc_thinking &&
+                                     !desc_eating)
+          << kEnter;
+  mask |= static_cast<std::uint32_t>(
+              eating ||
+              (cycle && depths_[p] > static_cast<std::int64_t>(d_)))
+          << kExit;
+  // fixdepth guard depth < max + 1 rewritten as depth <= max: equivalent on
+  // every representable max and free of signed overflow at INT64_MAX.
+  mask |= static_cast<std::uint32_t>(cycle && has_desc && depths_[p] <= maxd)
+          << kFixDepth;
+  return mask;
+}
+
 void DinersSystem::execute(ProcessId p, sim::ActionIndex a) {
   if (!enabled(p, a)) {
     throw std::logic_error("execute: action is not enabled");
   }
+  apply_action(p, a);
+}
+
+void DinersSystem::apply_action(ProcessId p, sim::ActionIndex a) {
   switch (a) {
     case kJoin:
       states_[p] = DinerState::kHungry;
@@ -191,7 +244,7 @@ void DinersSystem::execute(ProcessId p, sim::ActionIndex a) {
       depths_[p] = max_descendant_depth(p) + 1;
       break;
     default:
-      throw std::out_of_range("execute: bad action index");
+      throw std::out_of_range("apply_action: bad action index");
   }
 }
 

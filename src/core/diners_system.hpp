@@ -31,6 +31,7 @@
 #include "core/philosopher_program.hpp"
 #include "core/state.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "runtime/program.hpp"
 
@@ -71,6 +72,28 @@ class DinersSystem final : public PhilosopherProgram {
   /// only the closed neighborhood N[p] can change enabledness.
   bool affected(ProcessId p, sim::ActionIndex a,
                 std::vector<ProcessId>& out) const override;
+
+  // --- flat substrate (core::FlatEngine) ----------------------------------
+  // The state store is already structure-of-arrays (states_/depths_/needs_/
+  // alive_/priority_ are contiguous per-process and per-edge arrays); these
+  // entry points expose it without virtual dispatch: one CSR neighborhood
+  // pass computes every guard of a process at once, and apply_action writes
+  // an action's effect without re-checking its guard.
+
+  /// Packed CSR adjacency, index-aligned (neighbor, edge id) pairs; same
+  /// iteration order as topology().neighbors()/incident_edges().
+  [[nodiscard]] const graph::CsrView& csr() const noexcept { return csr_; }
+
+  /// All five guards of `p` in one neighborhood scan, as a bitmask indexed
+  /// by Action (bit a set iff enabled(p, a)). Does NOT consult alive(p) —
+  /// like enabled(), guards are a function of the state only; the engine
+  /// masks dead processes. Precondition: p < n.
+  [[nodiscard]] std::uint32_t guard_mask(ProcessId p) const noexcept;
+
+  /// Applies action `a` of process `p` without evaluating its guard (the
+  /// flat engine already knows it is enabled). Identical effect to
+  /// execute(p, a); execute() is guard-check + apply_action().
+  void apply_action(ProcessId p, sim::ActionIndex a);
 
   // --- PhilosopherProgram interface / observers ---------------------------
   [[nodiscard]] DinerState state(ProcessId p) const override {
@@ -148,6 +171,7 @@ class DinersSystem final : public PhilosopherProgram {
   [[nodiscard]] std::int64_t max_descendant_depth(ProcessId p) const;
 
   graph::Graph graph_;
+  graph::CsrView csr_;
   DinersConfig config_;
   std::uint32_t d_;  ///< the constant D of Figure 1
 

@@ -1,0 +1,362 @@
+#include "core/flat_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace diners::core {
+
+namespace {
+
+/// Bits >= b of a 64-bit word.
+constexpr std::uint64_t mask_from(std::uint32_t b) { return ~0ULL << b; }
+
+/// Bits strictly above b of a 64-bit word.
+constexpr std::uint64_t mask_above(std::uint32_t b) {
+  return b == 63 ? 0 : ~0ULL << (b + 1);
+}
+
+}  // namespace
+
+FlatEngine::FlatEngine(DinersSystem& system, const std::string& daemon,
+                       std::uint64_t daemon_seed, std::uint64_t fairness_bound,
+                       unsigned rebuild_jobs)
+    : system_(system),
+      daemon_name_(daemon),
+      rng_(daemon_seed),
+      fairness_bound_(fairness_bound),
+      rebuild_jobs_(rebuild_jobs) {
+  if (daemon == "round-robin") {
+    kind_ = DaemonKind::kRoundRobin;
+  } else if (daemon == "random") {
+    kind_ = DaemonKind::kRandom;
+  } else if (daemon == "adversarial-age") {
+    kind_ = DaemonKind::kAdversarialAge;
+  } else if (daemon == "biased") {
+    kind_ = DaemonKind::kBiased;
+  } else {
+    throw std::invalid_argument("FlatEngine: unknown daemon '" + daemon + "'");
+  }
+  if (fairness_bound_ == 0) {
+    throw std::invalid_argument("FlatEngine: fairness bound must be positive");
+  }
+  if (rebuild_jobs_ == 0) {
+    throw std::invalid_argument("FlatEngine: rebuild jobs must be positive");
+  }
+  n_ = system_.topology().num_nodes();
+  slots_ = n_ * kActions;
+  words_ = (slots_ + 63) / 64;
+  sum1_words_ = (words_ + 63) / 64;
+  sum2_words_ = (sum1_words_ + 63) / 64;
+  enabled_.assign(words_, 0);
+  sum1_.assign(sum1_words_, 0);
+  sum2_.assign(sum2_words_, 0);
+  fen_.assign(words_ + 1, 0);
+  enabled_since_.assign(slots_, 0);
+  prev_.assign(slots_, kNull);
+  next_.assign(slots_, kNull);
+  // The first build is deferred to the first step (pending_ = kZeroAges),
+  // matching sim::Engine: state written between construction and stepping
+  // is observed.
+}
+
+void FlatEngine::fenwick_add(std::uint32_t word, std::int64_t delta) const {
+  for (std::uint32_t i = word + 1; i <= words_; i += i & (~i + 1)) {
+    fen_[i] += delta;
+  }
+}
+
+void FlatEngine::set_bit(Slot s) const {
+  const std::uint32_t w = s >> 6;
+  if (enabled_[w] == 0) {
+    const std::uint32_t s1 = w >> 6;
+    if (sum1_[s1] == 0) sum2_[s1 >> 6] |= 1ULL << (s1 & 63);
+    sum1_[s1] |= 1ULL << (w & 63);
+  }
+  enabled_[w] |= 1ULL << (s & 63);
+  fenwick_add(w, 1);
+  ++total_;
+}
+
+void FlatEngine::clear_bit(Slot s) const {
+  const std::uint32_t w = s >> 6;
+  enabled_[w] &= ~(1ULL << (s & 63));
+  if (enabled_[w] == 0) {
+    const std::uint32_t s1 = w >> 6;
+    sum1_[s1] &= ~(1ULL << (w & 63));
+    if (sum1_[s1] == 0) sum2_[s1 >> 6] &= ~(1ULL << (s1 & 63));
+  }
+  fenwick_add(w, -1);
+  --total_;
+}
+
+std::uint32_t FlatEngine::next_nonzero_word(std::uint32_t w) const {
+  std::uint32_t s1 = w >> 6;
+  std::uint64_t m = sum1_[s1] & mask_above(w & 63);
+  if (m == 0) {
+    std::uint32_t s2 = s1 >> 6;
+    std::uint64_t m2 = sum2_[s2] & mask_above(s1 & 63);
+    while (m2 == 0) {
+      if (++s2 >= sum2_words_) return kNull;
+      m2 = sum2_[s2];
+    }
+    s1 = (s2 << 6) + static_cast<std::uint32_t>(std::countr_zero(m2));
+    m = sum1_[s1];
+  }
+  return (s1 << 6) + static_cast<std::uint32_t>(std::countr_zero(m));
+}
+
+FlatEngine::Slot FlatEngine::find_first_at(Slot s) const {
+  if (total_ == 0 || s >= slots_) return kNull;
+  std::uint32_t w = s >> 6;
+  const std::uint64_t head = enabled_[w] & mask_from(s & 63);
+  if (head != 0) {
+    return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(head));
+  }
+  w = next_nonzero_word(w);
+  if (w == kNull) return kNull;
+  return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(enabled_[w]));
+}
+
+FlatEngine::Slot FlatEngine::select(std::uint64_t k) const {
+  // Fenwick descent: find the last word prefix whose popcount sum is <= k.
+  std::uint32_t pos = 0;
+  std::uint32_t step = std::bit_floor(words_);
+  std::uint64_t rem = k;
+  for (; step != 0; step >>= 1) {
+    const std::uint32_t nxt = pos + step;
+    if (nxt <= words_ && static_cast<std::uint64_t>(fen_[nxt]) <= rem) {
+      pos = nxt;
+      rem -= static_cast<std::uint64_t>(fen_[nxt]);
+    }
+  }
+  std::uint64_t word = enabled_[pos];
+  while (rem > 0) {
+    word &= word - 1;
+    --rem;
+  }
+  return (pos << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
+}
+
+void FlatEngine::list_unlink(Slot s) const {
+  const Slot p = prev_[s];
+  const Slot n = next_[s];
+  if (p == kNull) head_ = n; else next_[p] = n;
+  if (n == kNull) tail_ = p; else prev_[n] = p;
+}
+
+void FlatEngine::list_append_tail(Slot s) const {
+  prev_[s] = tail_;
+  next_[s] = kNull;
+  if (tail_ == kNull) head_ = s; else next_[tail_] = s;
+  tail_ = s;
+}
+
+void FlatEngine::list_insert_max_stamp(Slot s) const {
+  const std::uint64_t stamp = enabled_since_[s];
+  Slot after = tail_;
+  // Walk back over the same-stamp tail segment until the (stamp, slot)
+  // position is found. The segment holds only slots stamped this step —
+  // at most the executed process's neighborhood — so the walk is O(deg).
+  while (after != kNull && enabled_since_[after] == stamp && after > s) {
+    after = prev_[after];
+  }
+  if (after == kNull) {
+    prev_[s] = kNull;
+    next_[s] = head_;
+    if (head_ == kNull) tail_ = s; else prev_[head_] = s;
+    head_ = s;
+  } else {
+    const Slot n = next_[after];
+    prev_[s] = after;
+    next_[s] = n;
+    next_[after] = s;
+    if (n == kNull) tail_ = s; else prev_[n] = s;
+  }
+}
+
+FlatEngine::Slot FlatEngine::youngest() const {
+  Slot s = tail_;
+  const std::uint64_t stamp = enabled_since_[s];
+  while (prev_[s] != kNull && enabled_since_[prev_[s]] == stamp) s = prev_[s];
+  return s;
+}
+
+void FlatEngine::refresh_process(sim::ProcessId p) const {
+  const std::uint32_t mask =
+      system_.alive(p) ? system_.guard_mask(p) : 0;
+  const Slot base = p * kActions;
+  for (std::uint32_t a = 0; a < kActions; ++a) {
+    const Slot s = base + a;
+    const bool now = (mask >> a) & 1u;
+    if (now == test(s)) continue;
+    if (now) {
+      set_bit(s);
+      enabled_since_[s] = steps_;
+      list_insert_max_stamp(s);
+    } else {
+      clear_bit(s);
+      list_unlink(s);
+    }
+  }
+}
+
+void FlatEngine::rebuild(bool keep_ages) const {
+  // Parallel phase: 64-process blocks (5 * 64 = 320 slots = exactly five
+  // words) evaluate guards and write their disjoint enabled words and
+  // stamps. Output is a pure function of program state, so it is
+  // bit-identical for every jobs count and partition.
+  const auto eval_block = [&](std::size_t block) {
+    const sim::ProcessId lo = static_cast<sim::ProcessId>(block) * 64;
+    const sim::ProcessId hi =
+        std::min<sim::ProcessId>(lo + 64, n_);
+    for (sim::ProcessId p = lo; p < hi; ++p) {
+      const std::uint32_t mask =
+          system_.alive(p) ? system_.guard_mask(p) : 0;
+      const Slot base = p * kActions;
+      for (std::uint32_t a = 0; a < kActions; ++a) {
+        const Slot s = base + a;
+        const bool now = (mask >> a) & 1u;
+        const std::uint32_t w = s >> 6;
+        const std::uint64_t bit = 1ULL << (s & 63);
+        if (now) {
+          if (!keep_ages || (enabled_[w] & bit) == 0) {
+            enabled_since_[s] = steps_;
+          }
+          enabled_[w] |= bit;
+        } else {
+          enabled_[w] &= ~bit;
+        }
+      }
+    }
+  };
+  const std::size_t blocks = (static_cast<std::size_t>(n_) + 63) / 64;
+  if (rebuild_jobs_ <= 1) {
+    for (std::size_t b = 0; b < blocks; ++b) eval_block(b);
+  } else {
+    util::TrialPool pool(rebuild_jobs_);
+    pool.run(blocks, eval_block);
+  }
+
+  // Serial merge: summaries, Fenwick, and the age list from the words.
+  std::fill(sum1_.begin(), sum1_.end(), 0);
+  std::fill(sum2_.begin(), sum2_.end(), 0);
+  total_ = 0;
+  order_.clear();
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    std::uint64_t word = enabled_[w];
+    fen_[w + 1] = std::popcount(word);
+    if (word == 0) continue;
+    sum1_[w >> 6] |= 1ULL << (w & 63);
+    total_ += static_cast<std::uint64_t>(std::popcount(word));
+    while (word != 0) {
+      order_.push_back((w << 6) +
+                       static_cast<std::uint32_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+  for (std::uint32_t s1 = 0; s1 < sum1_words_; ++s1) {
+    if (sum1_[s1] != 0) sum2_[s1 >> 6] |= 1ULL << (s1 & 63);
+  }
+  for (std::uint32_t i = 1; i <= words_; ++i) {
+    const std::uint32_t j = i + (i & (~i + 1));
+    if (j <= words_) fen_[j] += fen_[i];
+  }
+  // order_ is slot-ascending; a stable sort by stamp yields (stamp, slot)
+  // order. After a zero-ages rebuild all stamps are equal — skip the sort.
+  if (keep_ages) {
+    std::stable_sort(order_.begin(), order_.end(),
+                     [this](Slot a, Slot b) {
+                       return enabled_since_[a] < enabled_since_[b];
+                     });
+  }
+  head_ = tail_ = kNull;
+  for (const Slot s : order_) list_append_tail(s);
+}
+
+void FlatEngine::ensure_fresh() const {
+  if (pending_ != Refresh::kNone) {
+    rebuild(/*keep_ages=*/pending_ == Refresh::kKeepAges);
+    dirty_.clear();
+    pending_ = Refresh::kNone;
+  } else if (!dirty_.empty()) {
+    for (const sim::ProcessId q : dirty_) refresh_process(q);
+    dirty_.clear();
+  }
+}
+
+FlatEngine::Slot FlatEngine::choose_slot() {
+  switch (kind_) {
+    case DaemonKind::kBiased:
+      return find_first();
+    case DaemonKind::kRoundRobin: {
+      Slot s = rr_cursor_ == kNull || rr_cursor_ + 1 >= slots_
+                   ? kNull
+                   : find_first_at(rr_cursor_ + 1);
+      if (s == kNull) s = find_first();
+      rr_cursor_ = s;
+      return s;
+    }
+    case DaemonKind::kRandom:
+      return select(rng_.below(total_));
+    case DaemonKind::kAdversarialAge:
+      return youngest();
+  }
+  return kNull;  // unreachable
+}
+
+std::optional<sim::StepRecord> FlatEngine::step() {
+  ensure_fresh();
+  if (total_ == 0) {
+    // Never cache termination, exactly like sim::Engine.
+    if (pending_ == Refresh::kNone) pending_ = Refresh::kKeepAges;
+    return std::nullopt;
+  }
+
+  // Weak fairness: the list head is the oldest (min stamp, ties to the
+  // lowest slot). A forced execution bypasses the daemon entirely — the
+  // round-robin cursor does not move and the random stream is not consumed,
+  // matching the object engine.
+  Slot chosen;
+  if (steps_ - enabled_since_[head_] >= fairness_bound_) {
+    chosen = head_;
+  } else {
+    chosen = choose_slot();
+  }
+
+  const sim::ProcessId p = chosen / kActions;
+  const auto a = static_cast<sim::ActionIndex>(chosen % kActions);
+  system_.apply_action(p, a);
+
+  sim::StepRecord record{steps_, p, a, system_.action_name(p, a)};
+  ++steps_;
+
+  // Restamp the executed slot. Its new stamp steps_ (post-increment) is a
+  // strict maximum, so its (stamp, slot) position is the tail.
+  enabled_since_[chosen] = steps_;
+  list_unlink(chosen);
+  list_append_tail(chosen);
+
+  // Defer N[p]'s guard re-evaluation to the next ensure_fresh().
+  dirty_.push_back(p);
+  const auto nbrs = system_.csr().neighbors_of(p);
+  dirty_.insert(dirty_.end(), nbrs.begin(), nbrs.end());
+
+  for (const auto& observer : observers_) observer(record);
+  return record;
+}
+
+std::size_t FlatEngine::enabled_count() const {
+  ensure_fresh();
+  return static_cast<std::size_t>(total_);
+}
+
+void FlatEngine::invalidate_all() {
+  if (pending_ != Refresh::kZeroAges) pending_ = Refresh::kKeepAges;
+}
+
+void FlatEngine::reset_ages() { pending_ = Refresh::kZeroAges; }
+
+}  // namespace diners::core

@@ -1,0 +1,24 @@
+#include "graph/csr.hpp"
+
+namespace diners::graph {
+
+CsrView::CsrView(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    total += g.degree(u);
+    offsets_[u + 1] = static_cast<std::uint32_t>(total);
+  }
+  neighbors_.reserve(total);
+  edge_ids_.reserve(total);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& nbrs = g.neighbors(u);
+    const auto& inc = g.incident_edges(u);
+    neighbors_.insert(neighbors_.end(), nbrs.begin(), nbrs.end());
+    edge_ids_.insert(edge_ids_.end(), inc.begin(), inc.end());
+  }
+}
+
+}  // namespace diners::graph

@@ -1,0 +1,61 @@
+// Packed CSR (compressed sparse row) view of a Graph: the adjacency and
+// incident-edge lists flattened into three contiguous arrays. One pointer
+// chase per neighborhood scan instead of two vector indirections per
+// neighbor, and index-aligned (neighbor, edge id) pairs — the layout the
+// flat simulation substrate (core::FlatEngine) iterates.
+//
+// The view is a value type built from (and ordered exactly like) the
+// source Graph: neighbors_of(u) enumerates the same sorted neighbor list
+// as Graph::neighbors(u), and edge_ids_of(u) is aligned index-for-index,
+// so algorithms produce identical results on either representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace diners::graph {
+
+class CsrView {
+ public:
+  CsrView() = default;
+  explicit CsrView(const Graph& g);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Half-open index range [begin(u), end(u)) into neighbors()/edge_ids().
+  [[nodiscard]] std::uint32_t begin(NodeId u) const { return offsets_[u]; }
+  [[nodiscard]] std::uint32_t end(NodeId u) const { return offsets_[u + 1]; }
+  [[nodiscard]] std::uint32_t degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::span<const NodeId> neighbors_of(NodeId u) const {
+    return {neighbors_.data() + offsets_[u], degree(u)};
+  }
+  [[nodiscard]] std::span<const EdgeId> edge_ids_of(NodeId u) const {
+    return {edge_ids_.data() + offsets_[u], degree(u)};
+  }
+
+  /// Raw flattened arrays for index-based hot loops.
+  [[nodiscard]] const std::uint32_t* offsets() const noexcept {
+    return offsets_.data();
+  }
+  [[nodiscard]] const NodeId* neighbors() const noexcept {
+    return neighbors_.data();
+  }
+  [[nodiscard]] const EdgeId* edge_ids() const noexcept {
+    return edge_ids_.data();
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  ///< size n+1
+  std::vector<NodeId> neighbors_;      ///< size 2m, sorted within each row
+  std::vector<EdgeId> edge_ids_;       ///< aligned with neighbors_
+};
+
+}  // namespace diners::graph

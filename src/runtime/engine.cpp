@@ -6,6 +6,22 @@
 
 namespace diners::sim {
 
+RunResult EngineBase::run(std::uint64_t max_steps,
+                          const std::function<bool()>& stop) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps) {
+    if (stop && stop()) return RunResult{RunOutcome::kPredicateSatisfied, executed};
+    if (!step()) return RunResult{RunOutcome::kTerminated, executed};
+    ++executed;
+  }
+  if (stop && stop()) return RunResult{RunOutcome::kPredicateSatisfied, executed};
+  return RunResult{RunOutcome::kStepLimit, executed};
+}
+
+void EngineBase::add_observer(std::function<void(const StepRecord&)> observer) {
+  observers_.push_back(std::move(observer));
+}
+
 Engine::Engine(Program& program, std::unique_ptr<Daemon> daemon,
                std::uint64_t fairness_bound, ScanMode mode)
     : program_(program),
@@ -183,22 +199,6 @@ std::optional<StepRecord> Engine::step() {
 
   for (const auto& observer : observers_) observer(record);
   return record;
-}
-
-RunResult Engine::run(std::uint64_t max_steps,
-                      const std::function<bool()>& stop) {
-  std::uint64_t executed = 0;
-  while (executed < max_steps) {
-    if (stop && stop()) return RunResult{RunOutcome::kPredicateSatisfied, executed};
-    if (!step()) return RunResult{RunOutcome::kTerminated, executed};
-    ++executed;
-  }
-  if (stop && stop()) return RunResult{RunOutcome::kPredicateSatisfied, executed};
-  return RunResult{RunOutcome::kStepLimit, executed};
-}
-
-void Engine::add_observer(std::function<void(const StepRecord&)> observer) {
-  observers_.push_back(std::move(observer));
 }
 
 std::size_t Engine::enabled_count() const {

@@ -51,23 +51,30 @@ enum class ScanMode {
   kFullScan,
 };
 
-class Engine {
+/// Which engine implementation runs a scenario. The object engine executes
+/// any sim::Program through the virtual interface; the flat engine
+/// (core::FlatEngine) is the structure-of-arrays substrate specialized to
+/// the paper's algorithm, byte-identical in its step traces.
+enum class EngineKind {
+  kObject,
+  kFlat,
+};
+
+/// The common surface every step engine exposes: stepping, the shared
+/// run() loop, observers, and the external-mutation contract. Harnesses,
+/// monitors, and batch runners drive this interface so the object-model
+/// Engine and the flat substrate are interchangeable.
+class EngineBase {
  public:
-  /// The engine borrows the program; the daemon is owned. `fairness_bound`:
-  /// an action continuously enabled for this many steps is forcibly
-  /// executed, guaranteeing weak fairness under any daemon. It must be > 0.
-  Engine(Program& program, std::unique_ptr<Daemon> daemon,
-         std::uint64_t fairness_bound = 4096,
-         ScanMode mode = ScanMode::kIncremental);
+  virtual ~EngineBase() = default;
 
   /// Executes one step. Returns the step record, or nullopt if no action of
   /// any live process is enabled (the computation has terminated).
-  std::optional<StepRecord> step();
+  virtual std::optional<StepRecord> step() = 0;
 
   /// Runs until `stop` returns true (checked before each step), the program
   /// terminates, or `max_steps` further steps have executed.
-  RunResult run(std::uint64_t max_steps,
-                const std::function<bool()>& stop = {});
+  RunResult run(std::uint64_t max_steps, const std::function<bool()>& stop = {});
 
   /// Registers an observer invoked after every executed step.
   void add_observer(std::function<void(const StepRecord&)> observer);
@@ -78,19 +85,38 @@ class Engine {
   /// Number of currently enabled actions of live processes — O(1) off the
   /// maintained enabled-set. Reflects external mutation only after
   /// invalidate_all()/reset_ages(), like the rest of the engine.
-  [[nodiscard]] std::size_t enabled_count() const;
-
-  [[nodiscard]] Daemon& daemon() noexcept { return *daemon_; }
-  [[nodiscard]] ScanMode scan_mode() const noexcept { return mode_; }
+  [[nodiscard]] virtual std::size_t enabled_count() const = 0;
 
   /// Announces external mutation of program state (fault injection, crash,
   /// harness writes): every guard is re-evaluated before the next step.
   /// Fairness ages of actions that remain enabled are preserved.
-  void invalidate_all();
+  virtual void invalidate_all() = 0;
 
   /// invalidate_all() plus a reset of all fairness ages (use after fault
   /// injection, so stale ages do not force spurious executions).
-  void reset_ages();
+  virtual void reset_ages() = 0;
+
+ protected:
+  std::uint64_t steps_ = 0;
+  std::vector<std::function<void(const StepRecord&)>> observers_;
+};
+
+class Engine final : public EngineBase {
+ public:
+  /// The engine borrows the program; the daemon is owned. `fairness_bound`:
+  /// an action continuously enabled for this many steps is forcibly
+  /// executed, guaranteeing weak fairness under any daemon. It must be > 0.
+  Engine(Program& program, std::unique_ptr<Daemon> daemon,
+         std::uint64_t fairness_bound = 4096,
+         ScanMode mode = ScanMode::kIncremental);
+
+  std::optional<StepRecord> step() override;
+  [[nodiscard]] std::size_t enabled_count() const override;
+  void invalidate_all() override;
+  void reset_ages() override;
+
+  [[nodiscard]] Daemon& daemon() noexcept { return *daemon_; }
+  [[nodiscard]] ScanMode scan_mode() const noexcept { return mode_; }
 
  private:
   /// Flattened (process, action) index; ascending slot order is exactly the
@@ -123,7 +149,6 @@ class Engine {
   std::unique_ptr<Daemon> daemon_;
   std::uint64_t fairness_bound_;
   ScanMode mode_;
-  std::uint64_t steps_ = 0;
 
   std::vector<std::size_t> offset_;     ///< per-process slot base; size n+1
   std::vector<ProcessId> slot_owner_;   ///< slot -> process
@@ -145,7 +170,6 @@ class Engine {
   mutable Slot oldest_slot_ = kNoOldest;
 
   std::vector<ProcessId> affected_scratch_;
-  std::vector<std::function<void(const StepRecord&)>> observers_;
 };
 
 }  // namespace diners::sim

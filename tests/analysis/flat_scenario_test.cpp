@@ -1,0 +1,116 @@
+// Scenario-level equivalence of the flat substrate: run_scenario_batch with
+// engine_kind = kFlat must produce aggregates bit-identical to the object
+// engine's, and — per the determinism contract — bit-identical across every
+// combination of batch `jobs` and flat-engine `engine_jobs`. These tests run
+// in the TSan CI job (name-matched via 'FlatEngine'), so the sharded
+// parallel rebuild is also exercised under the race detector.
+#include <gtest/gtest.h>
+
+#include "analysis/batch_runner.hpp"
+#include "fault/injector.hpp"
+#include "graph/generators.hpp"
+
+namespace diners::analysis {
+namespace {
+
+/// Field-by-field equality of everything under the determinism contract
+/// (wall timing excluded).
+void expect_same_aggregate(const BatchResult& a, const BatchResult& b,
+                           const std::string& label) {
+  EXPECT_EQ(a.trials, b.trials) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+  EXPECT_EQ(a.primary.count(), b.primary.count()) << label;
+  EXPECT_EQ(a.primary.mean(), b.primary.mean()) << label;
+  EXPECT_EQ(a.primary.variance(), b.primary.variance()) << label;
+  EXPECT_EQ(a.primary.min(), b.primary.min()) << label;
+  EXPECT_EQ(a.primary.max(), b.primary.max()) << label;
+  EXPECT_EQ(a.meals.mean(), b.meals.mean()) << label;
+  EXPECT_EQ(a.starved.mean(), b.starved.mean()) << label;
+  EXPECT_EQ(a.max_locality_radius, b.max_locality_radius) << label;
+  ASSERT_EQ(a.primary_hist.bins().size(), b.primary_hist.bins().size())
+      << label;
+  for (std::size_t i = 0; i < a.primary_hist.bins().size(); ++i) {
+    EXPECT_EQ(a.primary_hist.bins()[i], b.primary_hist.bins()[i])
+        << label << ", bin " << i;
+  }
+}
+
+ScenarioOptions corrupted_scenario() {
+  ScenarioOptions scenario;
+  scenario.topology = "gnp";
+  scenario.n = 32;
+  scenario.gnp_p = 0.15;
+  scenario.daemon = "random";
+  scenario.corrupt = true;
+  scenario.crashes = {fault::CrashEvent{120, 3, 16}};
+  scenario.max_steps = 150000;
+  scenario.check_every = 8;
+  return scenario;
+}
+
+TEST(FlatEngineScenarioBatch, AggregatesMatchObjectEngine) {
+  ScenarioOptions scenario = corrupted_scenario();
+  BatchOptions batch;
+  batch.trials = 24;
+  batch.jobs = 2;
+  batch.master_seed = 11;
+
+  scenario.engine_kind = sim::EngineKind::kObject;
+  const BatchResult object = run_scenario_batch(scenario, batch);
+  scenario.engine_kind = sim::EngineKind::kFlat;
+  const BatchResult flat = run_scenario_batch(scenario, batch);
+  EXPECT_GT(object.converged, 0u);
+  expect_same_aggregate(object, flat, "flat vs object");
+}
+
+TEST(FlatEngineScenarioBatch, EngineJobsAreAggregateInvariant) {
+  ScenarioOptions scenario = corrupted_scenario();
+  scenario.engine_kind = sim::EngineKind::kFlat;
+  BatchOptions batch;
+  batch.trials = 12;
+  batch.master_seed = 5;
+
+  scenario.engine_jobs = 1;
+  batch.jobs = 1;
+  const BatchResult serial = run_scenario_batch(scenario, batch);
+  for (const unsigned engine_jobs : {4u, 8u}) {
+    scenario.engine_jobs = engine_jobs;
+    batch.jobs = 4;
+    const BatchResult sharded = run_scenario_batch(scenario, batch);
+    expect_same_aggregate(serial, sharded,
+                          "engine_jobs " + std::to_string(engine_jobs));
+  }
+}
+
+TEST(FlatEngineScenarioBatch, TenThousandProcessRunIsJobsInvariant) {
+  // The acceptance-scale check: one corrupted n=10k ring trial per jobs
+  // setting, aggregates bit-identical for rebuild shard counts 1/4/8.
+  ScenarioOptions scenario;
+  scenario.topology = "ring";
+  scenario.n = 10000;
+  scenario.daemon = "round-robin";
+  // Exact ring diameter, so trials skip the O(n*m) all-pairs BFS.
+  scenario.diameter_override = 5000;
+  scenario.corrupt = true;
+  scenario.max_steps = 300000;
+  scenario.check_every = 1024;
+  scenario.engine_kind = sim::EngineKind::kFlat;
+
+  BatchOptions batch;
+  batch.trials = 2;
+  batch.jobs = 2;
+  batch.master_seed = 3;
+
+  scenario.engine_jobs = 1;
+  const BatchResult serial = run_scenario_batch(scenario, batch);
+  EXPECT_EQ(serial.converged, serial.trials);
+  for (const unsigned engine_jobs : {4u, 8u}) {
+    scenario.engine_jobs = engine_jobs;
+    const BatchResult sharded = run_scenario_batch(scenario, batch);
+    expect_same_aggregate(serial, sharded,
+                          "n=10k engine_jobs " + std::to_string(engine_jobs));
+  }
+}
+
+}  // namespace
+}  // namespace diners::analysis

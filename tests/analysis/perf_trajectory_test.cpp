@@ -11,6 +11,7 @@ using diners::analysis::BenchMetric;
 using diners::analysis::BenchReport;
 using diners::analysis::compare_reports;
 using diners::analysis::parse_report;
+using diners::analysis::metric_matches;
 
 BenchMetric metric(std::string name, double value, bool higher_is_better) {
   BenchMetric m;
@@ -130,6 +131,18 @@ TEST(PerfTrajectory, ZeroBaselineDoesNotDivide) {
   const auto result = compare_reports(base, cur);
   ASSERT_EQ(result.deltas.size(), 1u);
   EXPECT_EQ(result.deltas[0].regression, 0.0);
+}
+
+TEST(MetricMatches, SubstringCsvSemantics) {
+  EXPECT_TRUE(metric_matches("engine.step.n192.flat", "engine.step."));
+  EXPECT_TRUE(metric_matches("engine.step.n64.incremental",
+                             "explorer.,engine.step."));
+  EXPECT_TRUE(metric_matches("batch.n64.jobs4.speedup_vs_serial", "speedup"));
+  EXPECT_FALSE(metric_matches("explorer.ring4.jobs1", "engine.step."));
+  EXPECT_FALSE(metric_matches("chaos.ring8.recovery_steps_mean", ""));
+  // Empty segments (leading/trailing/doubled commas) never match.
+  EXPECT_FALSE(metric_matches("anything", ",,"));
+  EXPECT_TRUE(metric_matches("engine.step.n1k.flat", ",engine.step.,"));
 }
 
 }  // namespace

@@ -67,6 +67,12 @@ struct UsageError : std::invalid_argument {
   using std::invalid_argument::invalid_argument;
 };
 
+diners::sim::EngineKind parse_engine(const std::string& name) {
+  if (name == "object") return diners::sim::EngineKind::kObject;
+  if (name == "flat") return diners::sim::EngineKind::kFlat;
+  throw UsageError("unknown engine: " + name + " (object | flat)");
+}
+
 int run_diners(const diners::util::Flags& flags) {
   const NodeId n = flags.u32("n", 1, diners::graph::kNoNode - 1);
   const std::uint64_t seed = flags.u64("seed");
@@ -105,6 +111,8 @@ int run_diners(const diners::util::Flags& flags) {
   diners::analysis::HarnessOptions options;
   options.daemon = flags.str("daemon");
   options.seed = seed;
+  options.engine_kind = parse_engine(flags.str("engine"));
+  options.engine_jobs = flags.u32("engine-jobs", 1);
   std::unique_ptr<diners::fault::Workload> workload;
   if (flags.str("workload") != "none") {
     workload = diners::fault::make_workload(flags.str("workload"), seed);
@@ -180,6 +188,9 @@ int run_batch_mode(const diners::util::Flags& flags) {
   scenario.workload = flags.str("workload");
   scenario.max_steps = flags.u64("steps");
   scenario.window_steps = flags.u64("window");
+  scenario.check_every = flags.u64("check-every", 1);
+  scenario.engine_kind = parse_engine(flags.str("engine"));
+  scenario.engine_jobs = flags.u32("engine-jobs", 1);
 
   // Validate user input against a probe topology (seeded families resample
   // per trial, but the node count is seed-independent for every family).
@@ -319,6 +330,12 @@ int main(int argc, char** argv) {
       .define("trials", "0", "sweep mode: run this many independent trials")
       .define("jobs", "1", "sweep worker threads (0 = hardware)")
       .define("window", "0", "sweep starvation window steps (0 = none)")
+      .define("engine", "object",
+              "engine implementation: object | flat (SoA substrate)")
+      .define("engine-jobs", "1",
+              "flat-engine rebuild shards (results identical at any value)")
+      .define("check-every", "16",
+              "sweep invariant-check interval in steps (raise for large n)")
       .define("replay", "",
               "replay a diners_mc counterexample file and exit");
   if (!flags.parse(argc, argv)) return kUsageError;
