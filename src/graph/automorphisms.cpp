@@ -1,0 +1,237 @@
+#include "graph/automorphisms.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+
+namespace diners::graph {
+namespace {
+
+// Walks a connected 2-regular graph from node 0 and returns the nodes in
+// cycle order.
+std::vector<NodeId> cycle_order(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  NodeId prev = kNoNode;
+  NodeId cur = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    order.push_back(cur);
+    const auto& nb = g.neighbors(cur);
+    const NodeId next = (nb[0] == prev) ? nb[1] : nb[0];
+    prev = cur;
+    cur = next;
+  }
+  return order;
+}
+
+// Path order from one degree-1 endpoint to the other.
+std::vector<NodeId> path_order(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  NodeId start = kNoNode;
+  for (NodeId p = 0; p < n; ++p) {
+    if (g.degree(p) == 1) {
+      start = p;
+      break;
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  NodeId prev = kNoNode;
+  NodeId cur = start;
+  for (NodeId i = 0; i < n; ++i) {
+    order.push_back(cur);
+    NodeId next = kNoNode;
+    for (NodeId nb : g.neighbors(cur)) {
+      if (nb != prev) {
+        next = nb;
+        break;
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  return order;
+}
+
+bool is_connected(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+void push_if_nontrivial(std::vector<Permutation>& out, Permutation perm) {
+  for (NodeId p = 0; p < perm.size(); ++p) {
+    if (perm[p] != p) {
+      out.push_back(std::move(perm));
+      return;
+    }
+  }
+}
+
+// Backtracking enumeration: images are assigned in node order with degree and
+// partial-adjacency pruning, so the output comes out in lexicographic order
+// of the image vector.
+void enumerate_rec(const Graph& g, Permutation& image, std::vector<bool>& used,
+                   NodeId depth, std::vector<Permutation>& out) {
+  const NodeId n = g.num_nodes();
+  if (depth == n) {
+    out.push_back(image);
+    return;
+  }
+  for (NodeId cand = 0; cand < n; ++cand) {
+    if (used[cand] || g.degree(cand) != g.degree(depth)) continue;
+    bool ok = true;
+    for (NodeId q = 0; q < depth && ok; ++q) {
+      if (g.has_edge(depth, q) != g.has_edge(cand, image[q])) ok = false;
+    }
+    if (!ok) continue;
+    image[depth] = cand;
+    used[cand] = true;
+    enumerate_rec(g, image, used, depth + 1, out);
+    used[cand] = false;
+  }
+}
+
+}  // namespace
+
+bool is_automorphism(const Graph& g, const Permutation& perm) {
+  const NodeId n = g.num_nodes();
+  if (perm.size() != n) return false;
+  std::vector<bool> used(n, false);
+  for (NodeId p = 0; p < n; ++p) {
+    if (perm[p] >= n || used[perm[p]]) return false;
+    used[perm[p]] = true;
+  }
+  // A bijection that maps edges to edges maps non-edges to non-edges too
+  // (finite, equal counts), so checking the edge list suffices.
+  for (const Edge& e : g.edges()) {
+    if (!g.has_edge(perm[e.u], perm[e.v])) return false;
+  }
+  return true;
+}
+
+std::vector<Permutation> enumerate_automorphisms(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<Permutation> out;
+  if (n == 0) return out;
+  Permutation image(n, kNoNode);
+  std::vector<bool> used(n, false);
+  enumerate_rec(g, image, used, 0, out);
+  return out;
+}
+
+std::vector<Permutation> automorphism_generators(const Graph& g,
+                                                 NodeId brute_force_limit) {
+  const NodeId n = g.num_nodes();
+  std::vector<Permutation> gens;
+  if (n < 2) return gens;
+
+  const EdgeId m = g.num_edges();
+  Permutation identity(n);
+  std::iota(identity.begin(), identity.end(), NodeId{0});
+
+  // Complete K_n (covers K2; K3 is also caught here before the ring test —
+  // either generating set yields the same group S3).
+  if (m == static_cast<EdgeId>(n) * (n - 1) / 2) {
+    Permutation swap01 = identity;
+    std::swap(swap01[0], swap01[1]);
+    push_if_nontrivial(gens, std::move(swap01));
+    Permutation rot = identity;
+    std::rotate(rot.begin(), rot.begin() + 1, rot.end());
+    push_if_nontrivial(gens, std::move(rot));
+    return gens;
+  }
+
+  // Ring: connected and 2-regular. Rotation + reflection generate the
+  // dihedral group of order 2n.
+  bool all_deg2 = n >= 3;
+  for (NodeId p = 0; p < n && all_deg2; ++p) all_deg2 = g.degree(p) == 2;
+  if (all_deg2 && is_connected(g)) {
+    const std::vector<NodeId> order = cycle_order(g);
+    Permutation rot(n), refl(n);
+    for (NodeId i = 0; i < n; ++i) {
+      rot[order[i]] = order[(i + 1) % n];
+      refl[order[i]] = order[(n - i) % n];
+    }
+    push_if_nontrivial(gens, std::move(rot));
+    push_if_nontrivial(gens, std::move(refl));
+    return gens;
+  }
+
+  // Star: one hub of degree n-1, every other node a leaf. Aut = S_{n-1} on
+  // the leaves, generated by one leaf transposition and one leaf cycle.
+  if (n >= 3) {
+    NodeId hub = kNoNode;
+    bool star = true;
+    for (NodeId p = 0; p < n && star; ++p) {
+      if (g.degree(p) == static_cast<std::size_t>(n) - 1) {
+        if (hub != kNoNode) star = false;
+        hub = p;
+      } else if (g.degree(p) != 1) {
+        star = false;
+      }
+    }
+    if (star && hub != kNoNode) {
+      std::vector<NodeId> leaves;
+      for (NodeId p = 0; p < n; ++p) {
+        if (p != hub) leaves.push_back(p);
+      }
+      Permutation swap2 = identity;
+      std::swap(swap2[leaves[0]], swap2[leaves[1]]);
+      push_if_nontrivial(gens, std::move(swap2));
+      Permutation cyc = identity;
+      for (std::size_t i = 0; i < leaves.size(); ++i) {
+        cyc[leaves[i]] = leaves[(i + 1) % leaves.size()];
+      }
+      push_if_nontrivial(gens, std::move(cyc));
+      return gens;
+    }
+  }
+
+  // Path: connected, max degree 2, exactly two endpoints. Aut = {id, flip}.
+  if (n >= 2 && m == static_cast<EdgeId>(n) - 1) {
+    NodeId endpoints = 0;
+    bool path = true;
+    for (NodeId p = 0; p < n && path; ++p) {
+      if (g.degree(p) == 1) {
+        ++endpoints;
+      } else if (g.degree(p) != 2) {
+        path = false;
+      }
+    }
+    if (path && endpoints == 2 && is_connected(g)) {
+      const std::vector<NodeId> order = path_order(g);
+      Permutation refl(n);
+      for (NodeId i = 0; i < n; ++i) refl[order[i]] = order[n - 1 - i];
+      push_if_nontrivial(gens, std::move(refl));
+      return gens;
+    }
+  }
+
+  // Irregular graph: exact brute force when small enough, trivial group
+  // otherwise (a missing symmetry only costs reduction, never soundness).
+  if (n <= brute_force_limit) {
+    for (Permutation& perm : enumerate_automorphisms(g)) {
+      push_if_nontrivial(gens, std::move(perm));
+    }
+  }
+  return gens;
+}
+
+}  // namespace diners::graph

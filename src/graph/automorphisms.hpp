@@ -1,0 +1,43 @@
+// Automorphism groups of the small verification topologies.
+//
+// A graph automorphism is a node permutation pi with {u, v} an edge iff
+// {pi(u), pi(v)} is an edge. The explorer's symmetry reduction
+// (verify::SymmetryGroup) quotients the reachable state space by the group
+// these permutations generate, so this module only has to supply a
+// *generating set*: closure is taken downstream.
+//
+// Recognized families get their textbook generators directly (ring: rotation
+// + reflection, K_n: adjacent transpositions, star: leaf transpositions,
+// path: end-to-end reflection). Anything else small enough falls back to
+// brute-force enumeration of all automorphisms, which is exact and — at the
+// n <= 10 scale the exhaustive explorer can reach — cheap enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace diners::graph {
+
+/// A node permutation: perm[p] is the image of node p.
+using Permutation = std::vector<NodeId>;
+
+/// True iff `perm` is a well-formed permutation of g's nodes that preserves
+/// the edge relation.
+[[nodiscard]] bool is_automorphism(const Graph& g, const Permutation& perm);
+
+/// A generating set for Aut(g). Recognizes ring / complete / star / path by
+/// structure (not by name, so e.g. make_named("ring", 4) and a hand-built
+/// 4-cycle get the same generators); falls back to brute-force enumeration
+/// for other graphs with at most `brute_force_limit` nodes. Returns an empty
+/// vector (trivial group) when the graph is asymmetric or too large to
+/// enumerate. The identity is never included.
+[[nodiscard]] std::vector<Permutation> automorphism_generators(
+    const Graph& g, NodeId brute_force_limit = 10);
+
+/// All automorphisms of g by brute force (n! * m work; callers should keep
+/// n <= 10). Includes the identity; deterministic lexicographic order.
+[[nodiscard]] std::vector<Permutation> enumerate_automorphisms(const Graph& g);
+
+}  // namespace diners::graph

@@ -36,12 +36,11 @@ core::DinerState parse_state_token(const std::string& token) {
                               token + "'");
 }
 
-CexEvent write_event(const StateGraph& g, const StateCodec& codec,
-                     sim::ProcessId victim, std::uint32_t state) {
+CexEvent write_event(const StateCodec& codec, const Key& key,
+                     sim::ProcessId victim) {
   CexEvent e;
   e.kind = CexEvent::Kind::kWrite;
   e.process = victim;
-  const Key& key = g.keys[state];
   e.wstate = codec.state_of(key, victim);
   e.wdepth = codec.depth_of(key, victim);
   for (graph::EdgeId edge : codec.topology().incident_edges(victim)) {
@@ -50,30 +49,58 @@ CexEvent write_event(const StateGraph& g, const StateCodec& codec,
   return e;
 }
 
+CexEvent action_event(std::uint16_t move) {
+  CexEvent e;
+  e.kind = CexEvent::Kind::kAction;
+  e.process = move_process(move);
+  e.action = move_action(move);
+  return e;
+}
+
 }  // namespace
 
 Stem stem_to(const StateGraph& g, const StateCodec& codec,
-             std::optional<sim::ProcessId> victim, std::uint32_t state) {
+             std::optional<sim::ProcessId> victim, std::uint32_t state,
+             std::uint16_t start_frame) {
+  // Collect the BFS-tree path seed -> state.
+  std::vector<std::uint32_t> path{state};
+  while (g.parent[path.back()] != kNoIndex) path.push_back(g.parent[path.back()]);
+  std::reverse(path.begin(), path.end());
+
   Stem stem;
-  std::uint32_t cur = state;
-  while (g.parent[cur] != kNoIndex) {
+  stem.seed = path.front();
+  stem.end_frame = start_frame;
+  const SymmetryGroup* grp = g.sym.get();
+  std::uint16_t frame = start_frame;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const std::uint32_t cur = path[i];
     const std::uint16_t move = g.parent_move[cur];
     CexEvent e;
     if (move >= kDemonMoveBase) {
       if (!victim) {
         throw std::logic_error("stem_to: demonic move without a victim");
       }
-      e = write_event(g, codec, *victim, cur);
+      // The demonic write lands the system in this state; render the
+      // victim's concrete written fields (under symmetry: of the concrete
+      // instance A_{frame'^{-1}}(rep), with the arc witness folded in —
+      // the victim itself is fixed by every frame, since frames preserve
+      // the alive labels).
+      if (grp != nullptr) {
+        frame = grp->compose(g.parent_witness[cur], frame);
+        e = write_event(codec, grp->apply(grp->inverse(frame), g.keys[cur]),
+                        *victim);
+      } else {
+        e = write_event(codec, g.keys[cur], *victim);
+      }
+    } else if (grp != nullptr) {
+      e = action_event(grp->permute_move(grp->inverse(frame), move));
+      frame = grp->compose(g.parent_witness[cur], frame);
     } else {
-      e.kind = CexEvent::Kind::kAction;
-      e.process = move_process(move);
-      e.action = move_action(move);
+      e = action_event(move);
     }
     stem.events.push_back(std::move(e));
-    cur = g.parent[cur];
   }
-  stem.seed = cur;
-  std::reverse(stem.events.begin(), stem.events.end());
+  stem.end_frame = grp != nullptr ? frame : start_frame;
   return stem;
 }
 
@@ -81,14 +108,76 @@ std::vector<CexEvent> arcs_to_events(
     const std::vector<StateGraph::Arc>& arcs) {
   std::vector<CexEvent> events;
   events.reserve(arcs.size());
+  for (const auto& arc : arcs) events.push_back(action_event(arc.move));
+  return events;
+}
+
+std::vector<CexEvent> cycle_to_events(
+    const StateGraph& g, std::uint16_t start_frame,
+    const std::vector<StateGraph::Arc>& arcs) {
+  if (g.sym == nullptr) return arcs_to_events(arcs);
+  const SymmetryGroup& grp = *g.sym;
+  std::vector<CexEvent> events;
+  events.reserve(arcs.size());
+  std::uint16_t frame = start_frame;
   for (const auto& arc : arcs) {
-    CexEvent e;
-    e.kind = CexEvent::Kind::kAction;
-    e.process = move_process(arc.move);
-    e.action = move_action(arc.move);
-    events.push_back(std::move(e));
+    events.push_back(
+        action_event(grp.permute_move(grp.inverse(frame), arc.move)));
+    frame = grp.compose(arc.witness, frame);
   }
   return events;
+}
+
+Counterexample compose_counterexample(const StateGraph& healthy,
+                                      const StateCodec& codec,
+                                      const core::DinersSystem& prototype,
+                                      std::optional<sim::ProcessId> victim,
+                                      const StateGraph* crashed,
+                                      const Violation& v) {
+  const StateGraph& vg = crashed != nullptr ? *crashed : healthy;
+  Stem stem = stem_to(vg, codec, victim, v.state);
+
+  Counterexample cex;
+  cex.property = v.property;
+  cex.detail = v.detail;
+
+  Key start_key = healthy.keys[stem.seed];
+  if (crashed != nullptr) {
+    Stem pre = stem_to(healthy, codec, std::nullopt, stem.seed);
+    if (healthy.sym != nullptr &&
+        pre.end_frame != SymmetryGroup::kIdentity) {
+      const std::uint16_t f = pre.end_frame;
+      pre = stem_to(healthy, codec, std::nullopt, stem.seed,
+                    healthy.sym->inverse(f));
+      start_key = healthy.sym->apply(f, healthy.keys[pre.seed]);
+    } else {
+      start_key = healthy.keys[pre.seed];
+    }
+    cex.events = std::move(pre.events);
+    CexEvent crash;
+    crash.kind = CexEvent::Kind::kCrash;
+    crash.process = *victim;
+    cex.events.push_back(std::move(crash));
+  }
+  cex.events.insert(cex.events.end(), stem.events.begin(), stem.events.end());
+
+  if (v.kind == Violation::Kind::kClosure) {
+    std::uint16_t move = v.move;
+    if (vg.sym != nullptr) {
+      move = vg.sym->permute_move(vg.sym->inverse(stem.end_frame), move);
+    }
+    cex.events.push_back(action_event(move));
+  }
+  cex.stem_length = cex.events.size();
+  if (v.kind == Violation::Kind::kCycle) {
+    auto cycle = cycle_to_events(vg, stem.end_frame, v.cycle);
+    cex.events.insert(cex.events.end(), cycle.begin(), cycle.end());
+  }
+
+  core::DinersSystem start = core::clone(prototype);
+  codec.decode(start_key, start);
+  cex.start = core::capture(start);
+  return cex;
 }
 
 void write_counterexample(std::ostream& os, const graph::Graph& g,

@@ -16,6 +16,7 @@
 #include "graph/graph.hpp"
 #include "verify/canonical.hpp"
 #include "verify/explorer.hpp"
+#include "verify/properties.hpp"
 
 namespace diners::verify {
 
@@ -54,18 +55,61 @@ struct Counterexample {
 struct Stem {
   std::uint32_t seed = kNoIndex;  ///< state index the path starts from
   std::vector<CexEvent> events;
+  /// Symmetry frame after the stem: the concrete state reached by replaying
+  /// `events` is A_{end_frame^{-1}}(rep(state)). kIdentity on unreduced
+  /// graphs and for empty stems with start frame kIdentity.
+  std::uint16_t end_frame = SymmetryGroup::kIdentity;
 };
 
 /// Reconstructs the shortest event path ending at `state`. Demonic moves
 /// are rendered as kWrite events of `victim` (required if the graph was
-/// explored with one).
+/// explored with one). On a symmetry-reduced graph the events are
+/// *concrete* moves: the lift starts at A_{start_frame^{-1}}(rep(seed))
+/// and each arc's witness composes into the running frame (Stem::end_frame
+/// receives the final one, for chaining into a cycle or a follow-on graph).
 [[nodiscard]] Stem stem_to(const StateGraph& g, const StateCodec& codec,
                            std::optional<sim::ProcessId> victim,
-                           std::uint32_t state);
+                           std::uint32_t state,
+                           std::uint16_t start_frame = SymmetryGroup::kIdentity);
 
 /// Converts protocol arcs (e.g. a Violation's witness cycle) to events.
+/// Unreduced form: moves are taken verbatim.
 [[nodiscard]] std::vector<CexEvent> arcs_to_events(
     const std::vector<StateGraph::Arc>& arcs);
+
+/// Frame-aware form of arcs_to_events for a Violation's witness cycle:
+/// each move is relabeled through the running frame, starting from
+/// `start_frame` (a closed cycle's witness product is the identity, so the
+/// lifted cycle closes concretely from any start frame). Falls back to
+/// arcs_to_events on unreduced graphs.
+[[nodiscard]] std::vector<CexEvent> cycle_to_events(
+    const StateGraph& g, std::uint16_t start_frame,
+    const std::vector<StateGraph::Arc>& arcs);
+
+/// Assembles a full replayable counterexample for a Violation found by the
+/// property oracles. When `crashed` is non-null the violation lives in a
+/// demonic-victim graph whose seed index i equals healthy state index i
+/// (the crashed exploration is seeded with the healthy reachable keys in
+/// order — an alignment that survives symmetry reduction, because canonical
+/// keys of the healthy stabilizer are fixpoints of the crashed stabilizer's
+/// canonicalization and distinct representatives stay distinct under a
+/// subgroup). The trace is then: healthy stem to the crash point, the
+/// crash, the victim's dying writes interleaved with protocol steps, then
+/// the violating move / cycle.
+///
+/// On symmetry-reduced graphs the junction needs care: the crashed-graph
+/// stem, the victim's identity, and the violation all live in the *rep
+/// frame* of the shared seed key. The healthy pre-stem is therefore lifted
+/// twice: once at the identity frame to learn its end frame f, then again
+/// at start frame f⁻¹ so it provably ends at the identity frame — i.e. its
+/// concrete end state is exactly the rep key the crashed phase starts from.
+/// (The witness product along a fixed BFS path is fixed, so the second
+/// lift ends at f·f⁻¹ = identity.) The start snapshot is then
+/// A_f(rep(pre-seed)), a genuine concrete state of the seed's orbit.
+[[nodiscard]] Counterexample compose_counterexample(
+    const StateGraph& healthy, const StateCodec& codec,
+    const core::DinersSystem& prototype, std::optional<sim::ProcessId> victim,
+    const StateGraph* crashed, const Violation& v);
 
 /// Writes the self-contained text form (see counterexample.cpp for the
 /// grammar).

@@ -5,8 +5,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "analysis/invariants.hpp"
 #include "core/serialize.hpp"
 #include "fault/injector.hpp"
+#include "graph/automorphisms.hpp"
 #include "util/thread_pool.hpp"
 
 namespace diners::verify {
@@ -23,6 +25,36 @@ constexpr std::uint32_t kPendingTag = 0x8000'0000u;
 constexpr std::uint32_t kDroppedIdx = 0x7FFF'FFFFu;
 /// Largest admissible state count (indices must stay below kDroppedIdx).
 constexpr std::uint32_t kMaxAdmittable = kDroppedIdx - 1;
+
+/// A visited-set shard: a KeyIndex, or a CompactKeyIndex when
+/// Options::compact_visited asks for bit-packed key storage. Both share the
+/// kAbsent sentinel, so callers branch-free on the returned value.
+class VisitedShard {
+ public:
+  static_assert(KeyIndex::kAbsent == CompactKeyIndex::kAbsent);
+
+  void init(bool compact, std::uint32_t key_bits) {
+    compact_ = compact;
+    if (compact) packed_.init(key_bits);
+  }
+  void reserve(std::size_t expected) {
+    compact_ ? packed_.reserve(expected) : plain_.reserve(expected);
+  }
+  [[nodiscard]] std::uint32_t find(const Key& k) const noexcept {
+    return compact_ ? packed_.find(k) : plain_.find(k);
+  }
+  std::pair<std::uint32_t, bool> insert(const Key& k, std::uint32_t value) {
+    return compact_ ? packed_.insert(k, value) : plain_.insert(k, value);
+  }
+  void update(const Key& k, std::uint32_t value) noexcept {
+    compact_ ? packed_.update(k, value) : plain_.update(k, value);
+  }
+
+ private:
+  bool compact_ = false;
+  KeyIndex plain_;
+  CompactKeyIndex packed_;
+};
 
 }  // namespace
 
@@ -80,6 +112,18 @@ Explorer::Explorer(core::DinersSystem& scratch, const StateCodec& codec,
     pg.exit_set = ex;
   }
   procs_[n].nbr_begin = static_cast<std::uint32_t>(nbrs_.size());
+
+  nbr_mask_.assign(n, 0);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    for (const graph::NodeId q : topo.neighbors(p)) {
+      nbr_mask_[p] |= std::uint64_t{0x1F}
+                      << (q * core::DinersSystem::kNumActions);
+    }
+  }
+  if (options_.reduce_sym) {
+    full_group_ = std::make_shared<SymmetryGroup>(
+        codec_, graph::automorphism_generators(topo));
+  }
 
   if (!options_.demon_victim) return;
   const sim::ProcessId victim = *options_.demon_victim;
@@ -223,7 +267,28 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
     }
   }
 
+  // Quotient group for this exploration: the stabilizer of the environment
+  // inputs inside the topology's automorphism group. Null group = no
+  // reduction (the unreduced paths below are byte-identical to the
+  // pre-reduction explorer).
+  std::shared_ptr<const SymmetryGroup> grp;
+  if (full_group_ && !full_group_->trivial()) {
+    std::vector<std::uint8_t> label(n);
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      label[p] = static_cast<std::uint8_t>((procs_[p].needs << 1) |
+                                           procs_[p].alive);
+    }
+    if (auto stab = full_group_->stabilizer(label); !stab->trivial()) {
+      grp = std::move(stab);
+    }
+  }
+  const bool sym_on = grp != nullptr;
+  // POR is inert under a demonic victim: arbitrary writes overlap every
+  // process's guard footprint, so no action set is provably independent.
+  const bool por_on = options_.reduce_por && demon_patterns_.empty();
+
   StateGraph g;
+  g.sym = grp;
   const std::uint32_t cap = options_.max_states;
   const unsigned jobs = options_.jobs;
   util::TrialPool pool(jobs);
@@ -232,14 +297,22 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
   g.keys.reserve(hint);
   g.parent.reserve(hint);
   g.parent_move.reserve(hint);
+  if (sym_on) g.parent_witness.reserve(hint);
   g.enabled.reserve(hint);
   g.succ_begin.reserve(hint + 1);
   g.succ_begin.push_back(0);
 
   // Hash-sharded visited set: shard = KeyHash % jobs, each owned by one
   // worker during resolution, so the hot probe/insert path is lock-free.
-  std::vector<KeyIndex> shards(jobs);
-  for (auto& s : shards) s.reserve(hint / jobs + 16);
+  std::vector<VisitedShard> shards(jobs);
+  for (auto& s : shards) {
+    s.init(options_.compact_visited, codec_.bits());
+    s.reserve(hint / jobs + 16);
+  }
+
+  // Per-worker reduction accounting, summed after the BFS. The candidate
+  // stream is jobs-invariant, so the totals are too.
+  std::vector<StateGraph::ReductionStats> wstats(jobs);
 
   // Demonic orbit-skip: the demon candidates of k are {base | pattern_i}
   // with base = k & ~demon_mask — a function of base alone. Once any state
@@ -270,6 +343,7 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
   std::vector<Cand> cands;
   std::vector<std::uint32_t> resolved;
   std::vector<std::uint32_t> cand_count;
+  std::vector<std::uint32_t> prot_count;  ///< protocol arcs kept per state
   std::vector<std::uint64_t> cand_begin;
   std::vector<std::size_t> woff(jobs + 1);
 
@@ -286,15 +360,25 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
     }
   }
 
+  // The ample rule's invisibility test evaluates the invariant on decoded
+  // states; give each worker a scratch system + shallow context for it.
+  std::vector<core::DinersSystem> por_sys;
+  std::vector<analysis::ShallowContext> por_ctx(por_on ? jobs : 0);
+  if (por_on) {
+    por_sys.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) por_sys.push_back(core::clone(scratch_));
+  }
+
   const auto shard_of = [jobs](const Key& k) {
     return static_cast<unsigned>(KeyHash{}(k) % jobs);
   };
 
-  const auto admit = [&g](const Cand& c) {
+  const auto admit = [&g, sym_on](const Cand& c) {
     const auto idx = static_cast<std::uint32_t>(g.keys.size());
     g.keys.push_back(c.key);
     g.parent.push_back(c.parent);
     g.parent_move.push_back(c.move);
+    if (sym_on) g.parent_witness.push_back(c.witness);
     return idx;
   };
 
@@ -361,6 +445,7 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
     const std::uint32_t m = end - begin;
     const std::uint32_t block = (m + jobs - 1) / jobs;
     cand_count.assign(m, 0);
+    prot_count.assign(m, 0);
     g.enabled.resize(end);
     pool.run(jobs, [&](std::size_t w) {
       auto& buf = wcands[w];
@@ -376,6 +461,50 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
             options_.legacy_successors
                 ? expand_legacy(legacy_sys[w], legacy_prog[w], k, i, buf)
                 : expand_fast(k, i, buf);
+        auto nprot = static_cast<std::uint32_t>(buf.size() - before);
+        if (por_on && nprot > 1) {
+          // Ample rule: if some process p's only enabled action is
+          // fixdepth and no neighbor of p has any action enabled, the
+          // remaining (deferred) actions sit at distance >= 2 from p —
+          // their guards read neither p's fields nor anything fixdepth(p)
+          // writes, so they commute with it. Keep only the fixdepth arc,
+          // provided it is invariant-invisible and its target is not yet
+          // visited (cycle proviso: shards are read-only during this
+          // phase, and an all-fresh-target cycle cannot exist — every
+          // cycle closes into an earlier-admitted state, which the probe
+          // sees). First eligible p wins; the candidate stream stays
+          // jobs-invariant because the probe set is fixed at chunk start.
+          constexpr std::uint64_t kFixBit =
+              std::uint64_t{1} << core::DinersSystem::kFixDepth;
+          constexpr std::uint64_t kActMask = 0x1F;
+          const std::uint64_t mask = g.enabled[i];
+          for (std::uint32_t p = 0; p < static_cast<std::uint32_t>(n); ++p) {
+            const std::uint64_t bits =
+                (mask >> (p * core::DinersSystem::kNumActions)) & kActMask;
+            if (bits != kFixBit || (mask & nbr_mask_[p]) != 0) continue;
+            const std::uint16_t want = protocol_move(
+                static_cast<sim::ProcessId>(p), core::DinersSystem::kFixDepth);
+            std::size_t ci = before;
+            while (buf[ci].move != want) ++ci;
+            const auto inv = [&](const Key& key) {
+              codec_.decode(key, por_sys[w]);
+              por_ctx[w].refresh(por_sys[w]);
+              return analysis::holds_invariant(por_sys[w], por_ctx[w]);
+            };
+            if (inv(k) != inv(buf[ci].key)) continue;
+            Key target = buf[ci].key;
+            if (sym_on) target = grp->canonical(target);
+            if (shards[shard_of(target)].find(target) != KeyIndex::kAbsent) {
+              continue;
+            }
+            buf[before] = buf[ci];
+            buf.resize(before + 1);
+            wstats[w].por_ample_states += 1;
+            wstats[w].por_arcs_pruned += nprot - 1;
+            nprot = 1;
+            break;
+          }
+        }
         if (!demon_patterns_.empty()) {
           const Key dbase = key_andnot(k, demon_mask_);
           if (orbit_seen.find(dbase) == KeyIndex::kAbsent) {
@@ -391,6 +520,19 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
             }
           }
         }
+        if (sym_on) {
+          wstats[w].raw_candidates += buf.size() - before;
+          for (std::size_t j = before; j < buf.size(); ++j) {
+            SymmetryGroup::ElemId wit = SymmetryGroup::kIdentity;
+            const Key ck = grp->canonical(buf[j].key, &wit);
+            if (wit != SymmetryGroup::kIdentity) {
+              buf[j].key = ck;
+              buf[j].witness = wit;
+              wstats[w].canonical_hits += 1;
+            }
+          }
+        }
+        prot_count[i - begin] = nprot;
         cand_count[i - begin] =
             static_cast<std::uint32_t>(buf.size() - before);
       }
@@ -423,12 +565,13 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
       g.enabled.resize(begin);
       return;
     }
-    // CSR arcs: per state, the protocol candidates are the first
-    // popcount(enabled) entries of its candidate range, in move order.
+    // CSR arcs: per state, the kept protocol candidates are the first
+    // prot_count entries of its candidate range, in move order. (Without
+    // POR, prot_count == popcount(enabled); with POR the ample rule may
+    // have kept fewer while `enabled` still records the full mask for the
+    // fairness analysis.)
     for (std::uint32_t ci = 0; ci < m; ++ci) {
-      g.succ_begin.push_back(
-          g.succ_begin.back() +
-          static_cast<std::uint32_t>(std::popcount(g.enabled[begin + ci])));
+      g.succ_begin.push_back(g.succ_begin.back() + prot_count[ci]);
     }
     g.succ.resize(g.succ_begin.back());
     pool.run(jobs, [&](std::size_t w) {
@@ -437,11 +580,10 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
           std::min(m, (static_cast<std::uint32_t>(w) + 1) * block);
       for (std::uint32_t ci = lo; ci < hi; ++ci) {
         const std::uint64_t cbase = cand_begin[ci];
-        const auto nprot =
-            static_cast<std::uint32_t>(std::popcount(g.enabled[begin + ci]));
         StateGraph::Arc* dst = g.succ.data() + g.succ_begin[begin + ci];
-        for (std::uint32_t a = 0; a < nprot; ++a) {
-          dst[a] = {resolved[cbase + a], cands[cbase + a].move};
+        for (std::uint32_t a = 0; a < prot_count[ci]; ++a) {
+          dst[a] = {resolved[cbase + a], cands[cbase + a].move,
+                    cands[cbase + a].witness};
         }
       }
     });
@@ -465,6 +607,18 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
       const std::size_t hi = std::min(count, (w + 1) * block);
       for (std::size_t j = lo; j < hi; ++j) {
         cands[j] = {seeds[seed_done + j], kNoIndex, kSeedMove};
+        if (sym_on) {
+          // A seed's witness maps the original seed key to its canonical
+          // representative (counterexample stems start lifting there).
+          SymmetryGroup::ElemId wit = SymmetryGroup::kIdentity;
+          const Key ck = grp->canonical(cands[j].key, &wit);
+          wstats[w].raw_candidates += 1;
+          if (wit != SymmetryGroup::kIdentity) {
+            cands[j].key = ck;
+            cands[j].witness = wit;
+            wstats[w].canonical_hits += 1;
+          }
+        }
       }
       if (jobs > 1) {
         for (auto& ob : outbox[w]) ob.clear();
@@ -498,6 +652,13 @@ StateGraph Explorer::explore(std::span<const Key> seeds) {
       depth[i] = depth[g.parent[i]] + 1;
       g.layers = std::max(g.layers, depth[i]);
     }
+  }
+
+  for (const auto& ws : wstats) {
+    g.reduction.raw_candidates += ws.raw_candidates;
+    g.reduction.canonical_hits += ws.canonical_hits;
+    g.reduction.por_ample_states += ws.por_ample_states;
+    g.reduction.por_arcs_pruned += ws.por_arcs_pruned;
   }
 
   // The final index is rebuilt from the canonical keys vector, so its

@@ -41,9 +41,25 @@
 // single sweep over the key's incident-edge fields. The original
 // decode/execute/encode path is kept behind Options::legacy_successors
 // (test-only) and is pinned byte-identical by tests/verify/explorer tests.
+// Reductions (Options::reduce_sym / reduce_por). With reduce_sym the graph
+// is the quotient under the stabilizer of the environment inputs inside the
+// topology's automorphism group: every candidate key is canonicalized to
+// its orbit minimum before dedup, and each arc records the group element w
+// ("witness") with rep(target) == A_w(raw successor of rep(source)).
+// Counterexample lifting and the group-product fairness analysis in
+// properties.cpp consume the witnesses; the quotient answers reachability
+// questions about the orbit closure of the seed set (for symmetric
+// properties this equals the unreduced verdict — DESIGN.md section 10).
+// With reduce_por a state whose only enabled action at some process p is
+// fixdepth, all of whose neighbors have no enabled action, keeps only that
+// fixdepth arc, provided the invariant label is unchanged and the target is
+// not already visited (the cycle proviso — see DESIGN.md). POR switches
+// itself off under a demonic victim, where writes make everything
+// dependent.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -52,6 +68,7 @@
 #include "verify/canonical.hpp"
 #include "verify/key_index.hpp"
 #include "verify/mutation.hpp"
+#include "verify/symmetry.hpp"
 
 namespace diners::verify {
 
@@ -91,6 +108,17 @@ struct StateGraph {
     std::uint32_t to;
     std::uint16_t move;  ///< always a protocol move (demonic arcs are not
                          ///< stored; they appear only as parent_move)
+    /// Symmetry witness: rep(to) == A_witness(raw result of `move` at
+    /// rep(source)). Always kIdentity without --reduce=sym.
+    std::uint16_t witness = SymmetryGroup::kIdentity;
+  };
+
+  /// Reduction accounting (zero when no reduction is active).
+  struct ReductionStats {
+    std::uint64_t raw_candidates = 0;   ///< keys generated before reduction
+    std::uint64_t canonical_hits = 0;   ///< keys moved by canonicalization
+    std::uint64_t por_ample_states = 0; ///< states reduced to an ample arc
+    std::uint64_t por_arcs_pruned = 0;  ///< protocol arcs the ample rule cut
   };
 
   std::vector<Key> keys;
@@ -105,11 +133,21 @@ struct StateGraph {
 
   std::vector<std::uint32_t> parent;       ///< BFS tree; kNoIndex for seeds
   std::vector<std::uint16_t> parent_move;  ///< kSeedMove for seeds
+  /// Symmetry witness of the BFS tree arc (for a seed: the element mapping
+  /// the original seed key to its canonical representative). Empty when
+  /// `sym` is null.
+  std::vector<std::uint16_t> parent_witness;
 
   /// CSR successor lists over protocol arcs: state i's arcs are
   /// succ[succ_begin[i] .. succ_begin[i+1]), for i < num_expanded.
   std::vector<std::uint32_t> succ_begin;
   std::vector<Arc> succ;
+
+  /// The symmetry group the quotient was taken under, or null when the
+  /// graph is unreduced (reduce_sym off, or the stabilizer of the
+  /// environment inputs is trivial). Property oracles branch on this.
+  std::shared_ptr<const SymmetryGroup> sym;
+  ReductionStats reduction;
 
   std::uint32_t num_seeds = 0;
   /// States [0, num_expanded) have enabled masks and successor lists;
@@ -152,6 +190,17 @@ class Explorer {
     /// Demonic malicious-crash victim (see file comment). The victim must
     /// already be dead in the scratch system.
     std::optional<sim::ProcessId> demon_victim;
+    /// Quotient the graph by the stabilizer of (needs, alive) inside the
+    /// topology's automorphism group (see the file comment). No effect when
+    /// that stabilizer is trivial.
+    bool reduce_sym = false;
+    /// Ample-set partial-order reduction on fixdepth actions (see the file
+    /// comment). Automatically inert under a demonic victim.
+    bool reduce_por = false;
+    /// Store visited keys bit-packed at their codec width (CompactKeyIndex,
+    /// ~21 bytes/key at ring-6 vs 48) at the cost of an indirection per
+    /// probe. Output is byte-identical either way.
+    bool compact_visited = false;
   };
 
   /// `scratch` supplies the topology, config, needs and alive sets — all
@@ -173,6 +222,7 @@ class Explorer {
     Key key;
     std::uint32_t parent;
     std::uint16_t move;
+    std::uint16_t witness = SymmetryGroup::kIdentity;
   };
 
   /// Per-process precomputed geometry for the key-patch generator.
@@ -221,6 +271,13 @@ class Explorer {
   /// owned-bit mask. Computed once at construction when demon_victim set.
   std::vector<Key> demon_patterns_;
   Key demon_mask_;
+
+  /// Full automorphism group of the topology (reduce_sym only); the
+  /// per-exploration quotient group is its (needs, alive)-stabilizer.
+  std::shared_ptr<const SymmetryGroup> full_group_;
+  /// Per process p: the enabled-mask bits of all of p's neighbors (the
+  /// ample rule requires them clear).
+  std::vector<std::uint64_t> nbr_mask_;
 };
 
 }  // namespace diners::verify

@@ -176,6 +176,209 @@ bool terminal(const StateGraph& g, std::uint32_t i) {
   return g.succ_begin[i + 1] == g.succ_begin[i];
 }
 
+// ---- group-product fairness search for symmetry-reduced graphs -----------
+//
+// A quotient graph (g.sym non-null) stores one representative per orbit;
+// fairness is NOT symmetric state-by-state (an SCC of representatives mixes
+// frames), so the SCC analysis runs on the *product* of the quotient with
+// the group: product node (s, h) stands for the concrete state
+// A_{h^{-1}}(rep(s)). Quotient arc (s -> t, move m, witness w) lifts to
+// (s, h) -> (t, w∘h) executing the concrete move (h^{-1}(proc(m)), act(m)),
+// and the concrete enabled mask at (s, h) is enabled[s] permuted by h^{-1}.
+// This product is exactly the concrete transition graph over the orbit
+// closure of the seed set, so find_fair_cycle's exactness argument applies
+// verbatim. Any closed product cycle has witness product == identity
+// (closure at a fixed frame forces it), so the returned rep-frame arc cycle
+// closes concretely from *any* start frame — counterexample lifting needs
+// no frame alignment.
+
+struct ProductQuery {
+  const StateGraph& g;
+  /// Frame-independent bad set (bad[s] covers every frame), or null.
+  const std::vector<std::uint8_t>* sym_bad = nullptr;
+  /// Starvation mode: per-state bitmask of hungry processes + the tracked
+  /// process; node (s, h) is bad iff rep process h(tracked) is hungry.
+  const std::vector<std::uint16_t>* hungry = nullptr;
+  std::optional<sim::ProcessId> tracked;
+};
+
+std::optional<FairCycle> find_fair_cycle_product(const ProductQuery& q) {
+  const StateGraph& g = q.g;
+  const SymmetryGroup& grp = *g.sym;
+  const auto G = static_cast<std::uint32_t>(grp.size());
+  const std::uint32_t n = g.num_states();
+
+  const auto in_set = [&](std::uint32_t s, std::uint16_t h) {
+    if (q.sym_bad != nullptr) return (*q.sym_bad)[s] != 0;
+    return (((*q.hungry)[s] >> grp.apply_node(h, *q.tracked)) & 1) != 0;
+  };
+  const auto excluded = [&](std::uint16_t move, std::uint16_t h) {
+    return q.tracked &&
+           move_action(move) == DinersSystem::kEnter &&
+           move_process(move) == grp.apply_node(h, *q.tracked);
+  };
+
+  // Dense product-node ids, allocated on first touch (the product is
+  // sparse: only bad nodes and their intra-bad arcs are walked).
+  KeyIndex ids;
+  std::vector<std::uint64_t> node;  ///< dense -> s * G + h
+  std::vector<std::uint32_t> idx, low, comp;
+  std::vector<std::uint8_t> on_stack;
+  const auto dense_of = [&](std::uint64_t nid) {
+    Key pk;
+    pk.lo = nid;
+    const auto [v, inserted] =
+        ids.insert(pk, static_cast<std::uint32_t>(node.size()));
+    if (inserted) {
+      node.push_back(nid);
+      idx.push_back(kNoIndex);
+      low.push_back(0);
+      comp.push_back(kNoIndex);
+      on_stack.push_back(0);
+    }
+    return v;
+  };
+
+  std::vector<std::uint32_t> stack;
+  std::uint32_t counter = 0, comp_counter = 0;
+  struct Frame {
+    std::uint32_t dense;
+    std::uint32_t arc;  ///< absolute index into g.succ
+  };
+  std::vector<Frame> dfs;
+
+  for (std::uint32_t root_s = 0; root_s < n; ++root_s) {
+    for (std::uint32_t root_h = 0; root_h < G; ++root_h) {
+      if (!in_set(root_s, static_cast<std::uint16_t>(root_h))) continue;
+      const std::uint32_t root =
+          dense_of(static_cast<std::uint64_t>(root_s) * G + root_h);
+      if (idx[root] != kNoIndex) continue;
+      idx[root] = low[root] = counter++;
+      stack.push_back(root);
+      on_stack[root] = 1;
+      dfs.push_back({root, g.succ_begin[root_s]});
+
+      while (!dfs.empty()) {
+        const std::uint32_t u = dfs.back().dense;
+        const auto u_s = static_cast<std::uint32_t>(node[u] / G);
+        const auto u_h = static_cast<std::uint16_t>(node[u] % G);
+        if (dfs.back().arc < g.succ_begin[u_s + 1]) {
+          const StateGraph::Arc arc = g.succ[dfs.back().arc++];
+          if (excluded(arc.move, u_h)) continue;
+          const std::uint16_t t_h = grp.compose(arc.witness, u_h);
+          if (!in_set(arc.to, t_h)) continue;
+          const std::uint32_t v =
+              dense_of(static_cast<std::uint64_t>(arc.to) * G + t_h);
+          if (idx[v] == kNoIndex) {
+            idx[v] = low[v] = counter++;
+            stack.push_back(v);
+            on_stack[v] = 1;
+            dfs.push_back({v, g.succ_begin[arc.to]});
+          } else if (on_stack[v]) {
+            low[u] = std::min(low[u], idx[v]);
+          }
+          continue;
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          low[dfs.back().dense] = std::min(low[dfs.back().dense], low[u]);
+        }
+        if (low[u] != idx[u]) continue;
+
+        const std::uint32_t id = comp_counter++;
+        std::vector<std::uint32_t> members;
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = id;
+          members.push_back(w);
+          if (w == u) break;
+        }
+        std::uint64_t always = ~std::uint64_t{0};
+        std::uint64_t executed = 0;
+        bool has_arc = false;
+        for (const std::uint32_t d : members) {
+          const auto s = static_cast<std::uint32_t>(node[d] / G);
+          const auto h = static_cast<std::uint16_t>(node[d] % G);
+          const auto h_inv = grp.inverse(h);
+          always &= grp.permute_mask(h_inv, g.enabled[s]);
+          for (const auto& arc : g.arcs_of(s)) {
+            if (excluded(arc.move, h)) continue;
+            const std::uint16_t t_h = grp.compose(arc.witness, h);
+            if (!in_set(arc.to, t_h)) continue;
+            const std::uint32_t td =
+                dense_of(static_cast<std::uint64_t>(arc.to) * G + t_h);
+            if (comp[td] != id) continue;
+            has_arc = true;
+            executed |= std::uint64_t{1} << grp.permute_move(h_inv, arc.move);
+          }
+        }
+        always &= ~kJoinBits;
+        if (!has_arc || (always & ~executed) != 0) continue;
+
+        // Entry: the member with the smallest (state, frame); shortest
+        // product cycle through it via BFS over intra-SCC arcs.
+        const std::uint32_t entry = *std::min_element(
+            members.begin(), members.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return node[a] < node[b]; });
+        std::unordered_map<std::uint32_t,
+                           std::pair<std::uint32_t, StateGraph::Arc>>
+            parent;
+        std::deque<std::uint32_t> queue{entry};
+        constexpr std::uint32_t kUnset =
+            std::numeric_limits<std::uint32_t>::max();
+        std::uint32_t closing_from = kUnset;
+        StateGraph::Arc closing_arc{};
+        while (!queue.empty() && closing_from == kUnset) {
+          const std::uint32_t d = queue.front();
+          queue.pop_front();
+          const auto s = static_cast<std::uint32_t>(node[d] / G);
+          const auto h = static_cast<std::uint16_t>(node[d] % G);
+          for (const auto& arc : g.arcs_of(s)) {
+            if (excluded(arc.move, h)) continue;
+            const std::uint16_t t_h = grp.compose(arc.witness, h);
+            if (!in_set(arc.to, t_h)) continue;
+            const std::uint32_t td =
+                dense_of(static_cast<std::uint64_t>(arc.to) * G + t_h);
+            if (comp[td] != id) continue;
+            if (td == entry) {
+              closing_from = d;
+              closing_arc = arc;
+              break;
+            }
+            if (!parent.contains(td)) {
+              parent.emplace(td, std::make_pair(d, arc));
+              queue.push_back(td);
+            }
+          }
+        }
+        std::vector<StateGraph::Arc> cycle;
+        cycle.push_back(closing_arc);
+        for (std::uint32_t d = closing_from; d != entry;) {
+          const auto& [pred, arc] = parent.at(d);
+          cycle.push_back(arc);
+          d = pred;
+        }
+        std::reverse(cycle.begin(), cycle.end());
+        return FairCycle{static_cast<std::uint32_t>(node[entry] / G),
+                         std::move(cycle), members.size()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Dispatch: product search on a symmetry-reduced graph, direct search
+/// otherwise. `bad` must be a symmetric (frame-independent) label.
+std::optional<FairCycle> find_fair_cycle_any(
+    const StateGraph& g, const std::vector<std::uint8_t>& bad) {
+  if (g.sym) {
+    return find_fair_cycle_product({.g = g, .sym_bad = &bad});
+  }
+  return find_fair_cycle(g, bad, kNoMove);
+}
+
 Violation cycle_violation(std::string property, std::string detail,
                           FairCycle&& fc) {
   Violation v;
@@ -266,7 +469,7 @@ std::optional<Violation> check_convergence(
       return v;
     }
   }
-  if (auto fc = find_fair_cycle(g, bad, kNoMove)) {
+  if (auto fc = find_fair_cycle_any(g, bad)) {
     return cycle_violation("convergence",
                            "weakly fair run stays outside I forever",
                            std::move(*fc));
@@ -287,7 +490,7 @@ std::optional<Violation> check_far_safety(
       return v;
     }
   }
-  if (auto fc = find_fair_cycle(g, far_bad, kNoMove)) {
+  if (auto fc = find_fair_cycle_any(g, far_bad)) {
     return cycle_violation(
         "far-safety", "weakly fair run keeps a far eating violation forever",
         std::move(*fc));
@@ -299,26 +502,70 @@ std::optional<Violation> check_no_starvation(const StateGraph& g,
                                              const StateCodec& codec,
                                              sim::ProcessId p) {
   require_complete(g, "check_no_starvation");
-  std::vector<std::uint8_t> hungry(g.num_states());
+  if (g.sym == nullptr) {
+    std::vector<std::uint8_t> hungry(g.num_states());
+    for (std::uint32_t i = 0; i < g.num_states(); ++i) {
+      hungry[i] =
+          codec.state_of(g.keys[i], p) == core::DinerState::kHungry ? 1 : 0;
+      if (hungry[i] != 0 && terminal(g, i)) {
+        Violation v;
+        v.kind = Violation::Kind::kStuck;
+        v.property = "starvation";
+        v.detail = "process " + std::to_string(p) +
+                   " is hungry in a terminal state";
+        v.state = i;
+        return v;
+      }
+    }
+    if (auto fc = find_fair_cycle(g, hungry,
+                                  protocol_move(p, DinersSystem::kEnter))) {
+      return cycle_violation("starvation",
+                             "process " + std::to_string(p) +
+                                 " stays hungry forever without eating",
+                             std::move(*fc));
+    }
+    return std::nullopt;
+  }
+
+  // Symmetry-reduced graph: each representative covers its whole orbit of
+  // concrete states, so p is hungry "at rep i under frame h" iff h(p) is
+  // hungry in the rep — the per-state labels become bitmasks over p's
+  // orbit, and the fairness search runs on the group product. The verdict
+  // covers every process in p's orbit (the lifted run may starve any of
+  // them, up to relabeling by an automorphism).
+  const SymmetryGroup& grp = *g.sym;
+  const auto n_procs =
+      static_cast<sim::ProcessId>(codec.topology().num_nodes());
+  std::uint16_t orbit_bits = 0;
+  for (SymmetryGroup::ElemId e = 0; e < grp.size(); ++e) {
+    orbit_bits |= static_cast<std::uint16_t>(1u << grp.apply_node(e, p));
+  }
+  std::vector<std::uint16_t> hungry(g.num_states(), 0);
   for (std::uint32_t i = 0; i < g.num_states(); ++i) {
-    hungry[i] =
-        codec.state_of(g.keys[i], p) == core::DinerState::kHungry ? 1 : 0;
-    if (hungry[i] != 0 && terminal(g, i)) {
+    std::uint16_t m = 0;
+    for (sim::ProcessId q = 0; q < n_procs; ++q) {
+      if (codec.state_of(g.keys[i], q) == core::DinerState::kHungry) {
+        m |= static_cast<std::uint16_t>(1u << q);
+      }
+    }
+    hungry[i] = m;
+    if ((m & orbit_bits) != 0 && terminal(g, i)) {
       Violation v;
       v.kind = Violation::Kind::kStuck;
       v.property = "starvation";
-      v.detail = "process " + std::to_string(p) +
-                 " is hungry in a terminal state";
+      v.detail = "a process in the orbit of process " + std::to_string(p) +
+                 " is hungry in a terminal state (symmetry-reduced graph)";
       v.state = i;
       return v;
     }
   }
-  if (auto fc = find_fair_cycle(g, hungry,
-                                protocol_move(p, DinersSystem::kEnter))) {
-    return cycle_violation("starvation",
-                           "process " + std::to_string(p) +
-                               " stays hungry forever without eating",
-                           std::move(*fc));
+  if (auto fc = find_fair_cycle_product(
+          {.g = g, .hungry = &hungry, .tracked = p})) {
+    return cycle_violation(
+        "starvation",
+        "a process in the orbit of process " + std::to_string(p) +
+            " stays hungry forever without eating (symmetry-reduced graph)",
+        std::move(*fc));
   }
   return std::nullopt;
 }

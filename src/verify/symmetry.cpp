@@ -1,0 +1,245 @@
+#include "verify/symmetry.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "verify/explorer.hpp"
+
+namespace diners::verify {
+
+namespace {
+
+graph::Permutation compose_perm(const graph::Permutation& a,
+                                const graph::Permutation& b) {
+  graph::Permutation out(a.size());
+  for (std::size_t p = 0; p < a.size(); ++p) out[p] = a[b[p]];
+  return out;
+}
+
+bool key_less(const Key& a, const Key& b) noexcept {
+  return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+}
+
+constexpr std::size_t kComposeTableLimit = 4096;
+
+}  // namespace
+
+SymmetryGroup::SymmetryGroup(const StateCodec& codec,
+                             const std::vector<graph::Permutation>& generators)
+    : SymmetryGroup(codec, [&] {
+        const graph::NodeId n = codec.topology().num_nodes();
+        if (n > 16) {
+          throw std::invalid_argument(
+              "SymmetryGroup: > 16 nodes overflow the packed-permutation "
+              "lookup");
+        }
+        for (const auto& gen : generators) {
+          if (!graph::is_automorphism(codec.topology(), gen)) {
+            throw std::invalid_argument(
+                "SymmetryGroup: generator is not an automorphism of the "
+                "topology");
+          }
+        }
+        // BFS closure under composition, starting from the identity.
+        graph::Permutation identity(n);
+        std::iota(identity.begin(), identity.end(), graph::NodeId{0});
+        std::vector<graph::Permutation> all{identity};
+        std::vector<graph::Permutation> frontier{identity};
+        const auto known = [&](const graph::Permutation& p) {
+          return std::find(all.begin(), all.end(), p) != all.end();
+        };
+        while (!frontier.empty()) {
+          std::vector<graph::Permutation> next;
+          for (const auto& f : frontier) {
+            for (const auto& gen : generators) {
+              graph::Permutation c = compose_perm(gen, f);
+              if (!known(c)) {
+                if (all.size() >= kMaxElements) {
+                  throw std::invalid_argument(
+                      "SymmetryGroup: closure exceeds the 16-bit element "
+                      "limit");
+                }
+                all.push_back(c);
+                next.push_back(std::move(c));
+              }
+            }
+          }
+          frontier = std::move(next);
+        }
+        return all;
+      }(), ClosedTag{}) {}
+
+SymmetryGroup::SymmetryGroup(const StateCodec& codec,
+                             std::vector<graph::Permutation> all, ClosedTag)
+    : codec_(&codec), depth_bits_(codec.depth_field_bits()) {
+  // Deterministic element ids: sort lexicographically. The identity is the
+  // lex-minimum permutation, so kIdentity == 0 holds by construction.
+  std::sort(all.begin(), all.end());
+  elems_.resize(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    elems_[i].perm = std::move(all[i]);
+  }
+  build_tables();
+}
+
+std::uint64_t SymmetryGroup::pack_perm(const graph::Permutation& p) const {
+  std::uint64_t packed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    packed |= static_cast<std::uint64_t>(p[i]) << (4 * i);
+  }
+  return packed;
+}
+
+void SymmetryGroup::build_tables() {
+  const auto& topo = codec_->topology();
+  const graph::NodeId n = topo.num_nodes();
+  const graph::EdgeId m = topo.num_edges();
+  const auto size = static_cast<ElemId>(elems_.size());
+
+  by_packed_.reserve(elems_.size());
+  for (ElemId e = 0; e < size; ++e) {
+    Elem& el = elems_[e];
+    el.dst_state_pos.resize(n);
+    el.dst_depth_pos.resize(n);
+    el.dst_edge_pos.resize(m);
+    el.edge_flip.resize(m);
+    for (graph::NodeId p = 0; p < n; ++p) {
+      el.dst_state_pos[p] = codec_->state_pos(el.perm[p]);
+      el.dst_depth_pos[p] = codec_->depth_pos(el.perm[p]);
+    }
+    for (graph::EdgeId ed = 0; ed < m; ++ed) {
+      const auto& edge = topo.edge(ed);
+      const graph::NodeId iu = el.perm[edge.u], iv = el.perm[edge.v];
+      const graph::EdgeId target = topo.edge_index(iu, iv);
+      el.dst_edge_pos[ed] = codec_->edge_pos(target);
+      el.edge_flip[ed] = iu > iv ? 1 : 0;
+    }
+    by_packed_.emplace_back(pack_perm(el.perm), e);
+  }
+  std::sort(by_packed_.begin(), by_packed_.end());
+
+  const auto lookup = [&](const graph::Permutation& p) {
+    const std::uint64_t packed = pack_perm(p);
+    const auto it = std::lower_bound(
+        by_packed_.begin(), by_packed_.end(), packed,
+        [](const auto& entry, std::uint64_t v) { return entry.first < v; });
+    return it->second;
+  };
+
+  inverse_.resize(size);
+  for (ElemId e = 0; e < size; ++e) {
+    graph::Permutation inv(n);
+    for (graph::NodeId p = 0; p < n; ++p) inv[elems_[e].perm[p]] = p;
+    inverse_[e] = lookup(inv);
+  }
+  if (elems_.size() <= kComposeTableLimit) {
+    compose_.resize(elems_.size() * elems_.size());
+    for (ElemId a = 0; a < size; ++a) {
+      for (ElemId b = 0; b < size; ++b) {
+        compose_[static_cast<std::size_t>(a) * size + b] =
+            lookup(compose_perm(elems_[a].perm, elems_[b].perm));
+      }
+    }
+  }
+}
+
+SymmetryGroup::ElemId SymmetryGroup::compose(ElemId a, ElemId b) const {
+  if (!compose_.empty()) {
+    return compose_[static_cast<std::size_t>(a) * elems_.size() + b];
+  }
+  const graph::Permutation c = compose_perm(elems_[a].perm, elems_[b].perm);
+  const std::uint64_t packed = pack_perm(c);
+  const auto it = std::lower_bound(
+      by_packed_.begin(), by_packed_.end(), packed,
+      [](const auto& entry, std::uint64_t v) { return entry.first < v; });
+  return it->second;
+}
+
+Key SymmetryGroup::apply(ElemId e, const Key& k) const {
+  const Elem& el = elems_[e];
+  const auto n = static_cast<graph::NodeId>(el.dst_state_pos.size());
+  const auto m = static_cast<graph::EdgeId>(el.dst_edge_pos.size());
+  Key out;
+  for (graph::NodeId p = 0; p < n; ++p) {
+    key_set_bits(out, el.dst_state_pos[p], 2,
+                 key_get_bits(k, codec_->state_pos(p), 2));
+    key_set_bits(out, el.dst_depth_pos[p], depth_bits_,
+                 key_get_bits(k, codec_->depth_pos(p), depth_bits_));
+  }
+  for (graph::EdgeId ed = 0; ed < m; ++ed) {
+    key_set_bits(out, el.dst_edge_pos[ed], 1,
+                 key_get_bits(k, codec_->edge_pos(ed), 1) ^ el.edge_flip[ed]);
+  }
+  return out;
+}
+
+std::uint16_t SymmetryGroup::permute_move(ElemId e,
+                                          std::uint16_t move) const {
+  if (move >= kDemonMoveBase) return move;
+  return protocol_move(elems_[e].perm[move_process(move)], move_action(move));
+}
+
+std::uint64_t SymmetryGroup::permute_mask(ElemId e,
+                                          std::uint64_t mask) const {
+  if (e == kIdentity) return mask;
+  constexpr std::uint32_t kActs = core::DinersSystem::kNumActions;
+  constexpr std::uint64_t kActMask = (std::uint64_t{1} << kActs) - 1;
+  const auto& perm = elems_[e].perm;
+  std::uint64_t out = 0;
+  for (std::size_t p = 0; p < perm.size(); ++p) {
+    out |= ((mask >> (p * kActs)) & kActMask) << (perm[p] * kActs);
+  }
+  return out;
+}
+
+Key SymmetryGroup::canonical(const Key& k, ElemId* witness) const {
+  Key best = k;
+  ElemId best_e = kIdentity;
+  for (ElemId e = 1; e < elems_.size(); ++e) {
+    const Key img = apply(e, k);
+    if (key_less(img, best)) {
+      best = img;
+      best_e = e;
+    }
+  }
+  if (witness != nullptr) *witness = best_e;
+  return best;
+}
+
+std::shared_ptr<const SymmetryGroup> SymmetryGroup::stabilizer(
+    const std::vector<std::uint8_t>& label) const {
+  std::vector<graph::Permutation> kept;
+  for (const Elem& el : elems_) {
+    bool ok = true;
+    for (std::size_t p = 0; p < el.perm.size() && ok; ++p) {
+      ok = label[el.perm[p]] == label[p];
+    }
+    if (ok) kept.push_back(el.perm);
+  }
+  // The kept set is a subgroup (labels compose and invert), already closed.
+  return std::shared_ptr<const SymmetryGroup>(
+      new SymmetryGroup(*codec_, std::move(kept), ClosedTag{}));
+}
+
+std::vector<std::vector<graph::NodeId>> SymmetryGroup::node_orbits() const {
+  const auto n = static_cast<graph::NodeId>(elems_[0].perm.size());
+  std::vector<std::vector<graph::NodeId>> orbits;
+  std::vector<std::uint8_t> seen(n, 0);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    if (seen[p] != 0) continue;
+    std::vector<graph::NodeId> orbit;
+    for (const Elem& el : elems_) {
+      const graph::NodeId q = el.perm[p];
+      if (seen[q] == 0) {
+        seen[q] = 1;
+        orbit.push_back(q);
+      }
+    }
+    std::sort(orbit.begin(), orbit.end());
+    orbits.push_back(std::move(orbit));
+  }
+  return orbits;
+}
+
+}  // namespace diners::verify

@@ -8,7 +8,8 @@
 //             n=192/1k/10k/100k (bench_figure1_actions,
 //             --benchmark_format json)           -> ns/step
 //   explorer  diners_mc --exhaustive --json on ring-4 and K4 at
-//             jobs=1/4                           -> states/sec
+//             jobs=1/4, plus --reduce=sym,por rows (ring-4 box,
+//             ring-6 instance seeds)             -> states/sec
 //   batch     BM_BatchTrials n=64 jobs=1/4 (bench_batch_runner)
 //                                               -> trials/sec, speedup
 //   chaos     diners_chaos ring-8 soak          -> mean recovery steps
@@ -26,8 +27,8 @@
 //
 // Examples:
 //   diners_bench --quick --git-rev=$(git rev-parse --short HEAD)
-//   diners_bench --compare=BENCH_6.json --out=BENCH_7.json
-//   diners_bench --compare=BENCH_7.json --out=BENCH_ci.json \
+//   diners_bench --compare=BENCH_7.json --out=BENCH_8.json
+//   diners_bench --compare=BENCH_8.json --out=BENCH_ci.json \
 //                --soft-match=engine.step.
 #include <cstdio>
 #include <filesystem>
@@ -178,7 +179,11 @@ void collect_engine(BenchReport& report, const fs::path& bench_dir,
 }
 
 /// Explorer throughput: exhaustive sound-threshold model check of ring-4
-/// and K4 at jobs=1/4, states/sec from the diners_mc --json summary.
+/// and K4 at jobs=1/4, states/sec from the diners_mc --json summary. The
+/// explorer.reduced.* rows (append-only) run the same check under
+/// --reduce=sym,por: ring-4 over the full depth box, ring-6 from instance
+/// seeds (the box does not fit) with locality victims off so the metric
+/// stays a pure healthy-graph throughput sample.
 void collect_explorer(BenchReport& report, const fs::path& tools_dir,
                       const fs::path& workdir) {
   const struct {
@@ -186,11 +191,15 @@ void collect_explorer(BenchReport& report, const fs::path& tools_dir,
     const char* topology;
     const char* n;
     const char* jobs;
+    const char* extra;  // extra diners_mc flags, "" for the baseline rows
   } rows[] = {
-      {"explorer.ring4.jobs1", "ring", "4", "1"},
-      {"explorer.ring4.jobs4", "ring", "4", "4"},
-      {"explorer.k4.jobs1", "complete", "4", "1"},
-      {"explorer.k4.jobs4", "complete", "4", "4"},
+      {"explorer.ring4.jobs1", "ring", "4", "1", ""},
+      {"explorer.ring4.jobs4", "ring", "4", "4", ""},
+      {"explorer.k4.jobs1", "complete", "4", "1", ""},
+      {"explorer.k4.jobs4", "complete", "4", "4", ""},
+      {"explorer.reduced.ring4.jobs1", "ring", "4", "1", " --reduce=sym,por"},
+      {"explorer.reduced.ring6.jobs4", "ring", "6", "4",
+       " --reduce=sym,por --seeds=instance --victims=none"},
   };
   for (const auto& row : rows) {
     const fs::path out =
@@ -198,7 +207,7 @@ void collect_explorer(BenchReport& report, const fs::path& tools_dir,
     run_checked(shq((tools_dir / "diners_mc").string()) +
                 " --topology=" + row.topology + " --n=" + row.n +
                 " --exhaustive --threshold=sound --jobs=" + row.jobs +
-                " --json=" + shq(out.string()) + " >&2");
+                row.extra + " --json=" + shq(out.string()) + " >&2");
     const JsonValue doc = diners::util::parse_json(read_file(out));
     if (doc.at("result").as_string() != "verified") {
       throw DriverError(std::string(row.metric) +
@@ -214,6 +223,9 @@ void collect_explorer(BenchReport& report, const fs::path& tools_dir,
                 {"jobs", row.jobs},
                 {"states", std::to_string(static_cast<std::uint64_t>(
                                doc.at("explored_states_total").as_number()))}};
+    if (row.extra[0] != '\0') {
+      m.params.emplace("reduce", doc.at("reduction").at("mode").as_string());
+    }
     report.metrics.push_back(std::move(m));
   }
 }
@@ -422,7 +434,7 @@ int main(int argc, char** argv) {
       .define("quick", "true",
               "run the quick suite (engine, explorer, batch, chaos); "
               "currently the only suite")
-      .define("out", "BENCH_7.json",
+      .define("out", "BENCH_8.json",
               "record path: written in run mode, the 'current' side in "
               "--compare mode")
       .define("compare", "",

@@ -53,6 +53,7 @@
 #include "verify/fuzz.hpp"
 #include "verify/mutation.hpp"
 #include "verify/properties.hpp"
+#include "verify/symmetry.hpp"
 
 namespace {
 
@@ -108,6 +109,10 @@ struct ExhaustiveStats {
   std::uint64_t explored_states_total = 0;
   double explore_seconds = 0;
   double wall_seconds = 0;
+  /// Reduction accounting, summed over the healthy exploration and every
+  /// demonic-victim re-exploration.
+  std::string reduce_mode = "none";
+  verify::StateGraph::ReductionStats reduction;
 };
 
 void write_json_summary(std::ostream& os, const std::string& topology,
@@ -139,6 +144,25 @@ void write_json_summary(std::ostream& os, const std::string& topology,
   w.field("explore_seconds", s.explore_seconds);
   w.field("states_per_second", sps);
   w.field("wall_seconds", s.wall_seconds);
+  // Appended in schema v2 (append-only: consumers of the fields above are
+  // unaffected). canonical_hit_ratio is the fraction of generated successor
+  // candidates that canonicalization rewrote to a different orbit
+  // representative — 0 when --reduce has no sym, or the topology has no
+  // label-preserving symmetry.
+  const double hit_ratio =
+      s.reduction.raw_candidates > 0
+          ? static_cast<double>(s.reduction.canonical_hits) /
+                static_cast<double>(s.reduction.raw_candidates)
+          : 0.0;
+  w.key("reduction");
+  w.begin_object();
+  w.field("mode", s.reduce_mode);
+  w.field("raw_candidates", s.reduction.raw_candidates);
+  w.field("canonical_hits", s.reduction.canonical_hits);
+  w.field("canonical_hit_ratio", hit_ratio);
+  w.field("por_ample_states", s.reduction.por_ample_states);
+  w.field("por_arcs_pruned", s.reduction.por_arcs_pruned);
+  w.end_object();
   w.finish();
 }
 
@@ -165,6 +189,51 @@ CheckSet parse_checks(const std::string& csv) {
   return c;
 }
 
+struct ReduceSet {
+  bool sym = false;
+  bool por = false;
+
+  [[nodiscard]] std::string name() const {
+    if (sym && por) return "sym,por";
+    if (sym) return "sym";
+    if (por) return "por";
+    return "none";
+  }
+};
+
+ReduceSet parse_reduce(const std::string& csv) {
+  ReduceSet r;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty() || token == "none") continue;
+    if (token == "sym") {
+      r.sym = true;
+    } else if (token == "por") {
+      r.por = true;
+    } else {
+      throw UsageError("bad --reduce token '" + token +
+                       "' (want none|sym|por)");
+    }
+  }
+  return r;
+}
+
+bool parse_compact(const std::string& text, const ReduceSet& reduce) {
+  if (text == "auto") return reduce.sym || reduce.por;
+  if (text == "on" || text == "true") return true;
+  if (text == "off" || text == "false") return false;
+  throw UsageError("bad --compact '" + text + "' (want auto|on|off)");
+}
+
+void accumulate(verify::StateGraph::ReductionStats& into,
+                const verify::StateGraph::ReductionStats& from) {
+  into.raw_candidates += from.raw_candidates;
+  into.canonical_hits += from.canonical_hits;
+  into.por_ample_states += from.por_ample_states;
+  into.por_arcs_pruned += from.por_arcs_pruned;
+}
+
 std::pair<std::int64_t, std::int64_t> parse_depth_box(const std::string& text,
                                                       std::uint32_t d) {
   if (text.empty()) return {0, static_cast<std::int64_t>(d) + 1};
@@ -183,54 +252,6 @@ std::pair<std::int64_t, std::int64_t> parse_depth_box(const std::string& text,
   } catch (const std::exception&) {
     throw UsageError("bad --depth-box '" + text + "' (want MIN:MAX)");
   }
-}
-
-/// Assembles a replayable counterexample for `v`. When `crashed` is set, the
-/// violation lives in the demonic-victim graph and its seed index i equals
-/// healthy state index i (the crashed exploration is seeded with the healthy
-/// reachable keys in order), so the full trace is: healthy stem to the crash
-/// point, the crash, the victim's dying writes interleaved with protocol
-/// steps, then the violating move / cycle.
-verify::Counterexample compose_counterexample(
-    const verify::StateGraph& healthy, const verify::StateCodec& codec,
-    const DinersSystem& prototype, std::optional<NodeId> victim,
-    const verify::StateGraph* crashed, const verify::Violation& v) {
-  const verify::StateGraph& vg = crashed != nullptr ? *crashed : healthy;
-  verify::Stem stem = verify::stem_to(vg, codec, victim, v.state);
-
-  verify::Counterexample cex;
-  cex.property = v.property;
-  cex.detail = v.detail;
-
-  std::uint32_t healthy_seed = stem.seed;
-  if (crashed != nullptr) {
-    verify::Stem pre = verify::stem_to(healthy, codec, std::nullopt, stem.seed);
-    healthy_seed = pre.seed;
-    cex.events = std::move(pre.events);
-    verify::CexEvent crash;
-    crash.kind = verify::CexEvent::Kind::kCrash;
-    crash.process = *victim;
-    cex.events.push_back(std::move(crash));
-  }
-  cex.events.insert(cex.events.end(), stem.events.begin(), stem.events.end());
-
-  if (v.kind == verify::Violation::Kind::kClosure) {
-    verify::CexEvent e;
-    e.kind = verify::CexEvent::Kind::kAction;
-    e.process = verify::move_process(v.move);
-    e.action = verify::move_action(v.move);
-    cex.events.push_back(std::move(e));
-  }
-  cex.stem_length = cex.events.size();
-  if (v.kind == verify::Violation::Kind::kCycle) {
-    auto cycle = verify::arcs_to_events(v.cycle);
-    cex.events.insert(cex.events.end(), cycle.begin(), cycle.end());
-  }
-
-  DinersSystem start = diners::core::clone(prototype);
-  codec.decode(healthy.keys[healthy_seed], start);
-  cex.start = diners::core::capture(start);
-  return cex;
 }
 
 int report_counterexample(const verify::Counterexample& cex,
@@ -262,6 +283,9 @@ int run_exhaustive(const diners::util::Flags& flags,
   const std::uint32_t max_states = flags.u32("max-states", 1);
   const unsigned jobs = flags.u32("jobs", 1);
   stats.jobs = jobs;
+  const ReduceSet reduce = parse_reduce(flags.str("reduce"));
+  const bool compact = parse_compact(flags.str("compact"), reduce);
+  stats.reduce_mode = reduce.name();
   std::string seeds_mode = flags.str("seeds");
   if (seeds_mode == "auto") {
     // figure2 is a pinned mid-run scenario; its arbitrary-start box is far
@@ -292,9 +316,13 @@ int run_exhaustive(const diners::util::Flags& flags,
   opts.mutation = mutation;
   opts.max_states = max_states;
   opts.jobs = jobs;
+  opts.reduce_sym = reduce.sym;
+  opts.reduce_por = reduce.por;
+  opts.compact_visited = compact;
   // Box seeding knows the exact reachable count up front (the box is
   // closed under the protocol); instance seeding lets the explorer derive
-  // its own hint.
+  // its own hint. Under symmetry reduction the box count is an
+  // overestimate of the canonical count — still a safe reserve hint.
   if (seeds_mode == "box") opts.expected_states = seeds.size();
   verify::Explorer explorer(scratch, codec, opts);
   const auto te0 = std::chrono::steady_clock::now();
@@ -302,6 +330,7 @@ int run_exhaustive(const diners::util::Flags& flags,
   const double healthy_seconds = seconds_since(te0);
   stats.explore_seconds += healthy_seconds;
   stats.explored_states_total += healthy.num_states();
+  accumulate(stats.reduction, healthy.reduction);
   stats.healthy_states = healthy.num_states();
   stats.healthy_arcs = healthy.succ.size();
   stats.layers = healthy.layers;
@@ -323,13 +352,36 @@ int run_exhaustive(const diners::util::Flags& flags,
                        ? healthy.num_states() / healthy_seconds
                        : 0)
             << " states/s); " << legit << " legitimate\n";
+  if (reduce.sym || reduce.por) {
+    std::cout << "reduction " << reduce.name() << ": "
+              << healthy.reduction.canonical_hits << "/"
+              << healthy.reduction.raw_candidates
+              << " candidates canonicalized, "
+              << healthy.reduction.por_ample_states << " ample states ("
+              << healthy.reduction.por_arcs_pruned << " arcs pruned)"
+              << (healthy.sym ? "" : "; no nontrivial symmetry") << "\n";
+  }
+
+  // One representative per process orbit of the graph's symmetry group:
+  // check_* verdicts for p cover every process some automorphism maps p
+  // to, so the sibling checks are redundant. All-true when unreduced.
+  const auto orbit_reps = [](const verify::StateGraph& sg, NodeId nn) {
+    std::vector<std::uint8_t> rep(nn, 1);
+    if (sg.sym != nullptr) {
+      for (const auto& orb : sg.sym->node_orbits()) {
+        for (std::size_t i = 1; i < orb.size(); ++i) rep[orb[i]] = 0;
+      }
+    }
+    return rep;
+  };
 
   const std::string cex_path = flags.str("cex");
   const auto fail = [&](std::optional<NodeId> victim,
                         const verify::StateGraph* crashed,
                         const verify::Violation& v) {
     return report_counterexample(
-        compose_counterexample(healthy, codec, prototype, victim, crashed, v),
+        verify::compose_counterexample(healthy, codec, prototype, victim,
+                                       crashed, v),
         prototype, cex_path);
   };
 
@@ -350,7 +402,9 @@ int run_exhaustive(const diners::util::Flags& flags,
       // Individual progress for everyone holds only crash-free; with dead
       // processes present the locality check below covers the far ones (the
       // near ones are exactly what failure locality 2 permits to starve).
+      const auto prep = orbit_reps(healthy, prototype.topology().num_nodes());
       for (NodeId p = 0; p < prototype.topology().num_nodes(); ++p) {
+        if (prep[p] == 0) continue;
         if (const auto v = verify::check_no_starvation(healthy, codec, p)) {
           return fail(std::nullopt, nullptr, *v);
         }
@@ -375,8 +429,10 @@ int run_exhaustive(const diners::util::Flags& flags,
       if (const auto v = verify::check_far_safety(healthy, far_bad)) {
         return fail(std::nullopt, nullptr, *v);
       }
+      const auto prep = orbit_reps(healthy, g.num_nodes());
       for (NodeId p = 0; p < g.num_nodes(); ++p) {
-        if (!prototype.alive(p) || dist[p] <= 2 || !prototype.needs(p)) {
+        if (!prototype.alive(p) || dist[p] <= 2 || !prototype.needs(p) ||
+            prep[p] == 0) {
           continue;
         }
         if (const auto v = verify::check_no_starvation(healthy, codec, p)) {
@@ -397,9 +453,18 @@ int run_exhaustive(const diners::util::Flags& flags,
       throw UsageError("bad --victims '" + victims_mode +
                        "' (want each|none|auto)");
     }
+    // One victim per orbit of the healthy graph's symmetry group: crashing
+    // π(v) produces a state graph isomorphic (via A_π) to crashing v, so
+    // one demonic re-exploration covers the whole orbit.
+    const auto vrep = orbit_reps(healthy, g.num_nodes());
     for (NodeId victim = 0;
          victims_mode == "each" && victim < g.num_nodes(); ++victim) {
       if (!prototype.alive(victim)) continue;
+      if (vrep[victim] == 0) {
+        std::cout << "locality(victim " << victim
+                  << "): covered by its orbit representative\n";
+        continue;
+      }
       DinersSystem crashed_scratch = diners::core::clone(prototype);
       crashed_scratch.crash(victim);
       verify::Explorer::Options copts;
@@ -408,11 +473,15 @@ int run_exhaustive(const diners::util::Flags& flags,
       copts.jobs = jobs;
       copts.expected_states = healthy.num_states();
       copts.demon_victim = victim;
+      copts.reduce_sym = reduce.sym;
+      copts.reduce_por = reduce.por;
+      copts.compact_visited = compact;
       verify::Explorer demon(crashed_scratch, codec, copts);
       const auto tv0 = std::chrono::steady_clock::now();
       const verify::StateGraph crashed = demon.explore(healthy.keys);
       stats.explore_seconds += seconds_since(tv0);
       stats.explored_states_total += crashed.num_states();
+      accumulate(stats.reduction, crashed.reduction);
       if (!crashed.complete) {
         std::cout << "INCONCLUSIVE: victim " << victim << " hit --max-states="
                   << max_states << "\n";
@@ -427,9 +496,10 @@ int run_exhaustive(const diners::util::Flags& flags,
       if (const auto v = verify::check_far_safety(crashed, far_bad)) {
         return fail(victim, &crashed, *v);
       }
+      const auto crep = orbit_reps(crashed, g.num_nodes());
       for (NodeId p = 0; p < g.num_nodes(); ++p) {
         if (!crashed_scratch.alive(p) || dist[p] <= 2 ||
-            !crashed_scratch.needs(p)) {
+            !crashed_scratch.needs(p) || crep[p] == 0) {
           continue;
         }
         if (const auto v = verify::check_no_starvation(crashed, codec, p)) {
@@ -573,7 +643,16 @@ int main(int argc, char** argv) {
               "deliberately broken guard: none|no-fixdepth|greedy-enter")
       .define("check", "all",
               "comma list of closure|convergence|progress|locality|all")
-      .define("max-states", "4000000", "exploration state cap (exact)")
+      .define("max-states", "4000000",
+              "exploration state cap (exact; counts canonical states under "
+              "--reduce=sym)")
+      .define("reduce", "none",
+              "state-space reductions, comma list of sym (symmetry/orbit "
+              "canonicalization) and por (ample-set partial order "
+              "reduction, crash-free graphs only) | none")
+      .define("compact", "auto",
+              "bit-packed visited-set pages: auto (on when --reduce is "
+              "active) | on | off")
       .define("jobs", "1",
               "exploration worker threads (sharded parallel BFS; the "
               "explored graph is identical for every value)")
