@@ -31,6 +31,17 @@ Summary summarize(std::vector<double> xs) {
   return s;
 }
 
+double quantile(std::vector<double> xs, double q) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[idx == 0 ? 0 : std::min(idx - 1, xs.size() - 1)];
+}
+
 void Accumulator::add(double x) noexcept {
   if (count_ == 0) {
     min_ = max_ = x;
@@ -105,6 +116,25 @@ std::uint64_t Histogram::total() const noexcept {
   std::uint64_t t = underflow_ + overflow_;
   for (const auto b : bins_) t += b;
   return t;
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+  }
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = underflow_;
+  if (seen >= rank) return lo_;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen >= rank) return lo_ + width * static_cast<double>(i + 1);
+  }
+  return hi_;  // rank lands in the overflow bucket
 }
 
 }  // namespace diners::analysis

@@ -21,6 +21,13 @@ struct Summary {
 /// an all-zero summary. Percentiles use the nearest-rank method.
 [[nodiscard]] Summary summarize(std::vector<double> xs);
 
+/// Nearest-rank quantile of `xs` (q in [0, 1]; q=0.5 is the median, q=0.99
+/// the p99). Sorts a copy. Empty input yields 0; q outside [0, 1] throws
+/// std::invalid_argument. The tail quantiles the service SLO reports need
+/// (p99/p999) sit beyond Summary's fixed p50/p95 pair, hence the free
+/// function.
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
 /// Streaming count/mean/variance (Welford) plus min/max, with a parallel
 /// merge (Chan et al.) so per-shard accumulators can be combined after a
 /// fan-out. Merging shard accumulators yields the same result as a single
@@ -71,6 +78,14 @@ class Histogram {
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Conservative (upper-bin-edge) quantile estimate: the smallest bin
+  /// upper edge at or below which at least ceil(q * total) samples fall.
+  /// Underflow counts toward the rank at value `lo()`; if the rank lands in
+  /// the overflow bucket the estimate is `hi()` (the histogram cannot see
+  /// past its range — size the layout so the tail of interest fits).
+  /// Empty histogram yields 0; q outside [0, 1] throws.
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   double lo_;

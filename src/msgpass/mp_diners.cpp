@@ -32,6 +32,7 @@ MessagePassingDiners::MessagePassingDiners(graph::Graph g,
   depths_.assign(n, 0);
   needs_.assign(n, 1);
   alive_.assign(n, 1);
+  hold_eating_.assign(n, 0);
   meals_.assign(n, 0);
   endpoints_.resize(n);
   for (ProcessId p = 0; p < n; ++p) {
@@ -146,7 +147,10 @@ void MessagePassingDiners::protocol_step(ProcessId p) {
   const auto& nbrs = graph_.neighbors(p);
 
   bool transitioned = false;
-  if (st == DinerState::kEating ||
+  // A pinned lease (hold_eating_) defers the voluntary exit; the
+  // cycle-breaking exit still fires — the lease is revocable when a
+  // corrupted priority cycle must be broken.
+  if ((st == DinerState::kEating && hold_eating_[p] == 0) ||
       (config_.enable_cycle_breaking && depths_[p] > d)) {
     // exit: yield every edge with a dominating version, release all tokens.
     states_[p] = DinerState::kThinking;
@@ -270,6 +274,7 @@ void MessagePassingDiners::restart(ProcessId p) {
   alive_[p] = 1;
   states_[p] = DinerState::kThinking;
   depths_[p] = 0;
+  hold_eating_[p] = 0;  // a restart revokes any pinned lease
   const auto& nbrs = graph_.neighbors(p);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
     EdgeEndpoint& ep = endpoints_[p][i];

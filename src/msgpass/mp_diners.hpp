@@ -94,6 +94,22 @@ class MessagePassingDiners {
   /// Corrupts local states, caches, counters, and the in-flight channels.
   void corrupt(util::Xoshiro256& rng);
 
+  /// Lease pinning, for the service layer (src/service): while set, p
+  /// defers its `exit` action and stays eating — an external client holds
+  /// the critical section, so the meal lasts until the client releases it
+  /// instead of one protocol step. All tokens stay held throughout, so
+  /// neighbor exclusion is exactly the eating guarantee. The lease is
+  /// *revocable*: cycle breaking (depth > D, only reachable from corrupted
+  /// state) still forces the exit, and restart() clears the pin — holders
+  /// must tolerate revocation. No effect on any other transition; with the
+  /// pin never set the protocol is step-for-step identical to before.
+  void set_hold_eating(ProcessId p, bool hold) {
+    hold_eating_.at(p) = hold ? 1 : 0;
+  }
+  [[nodiscard]] bool hold_eating(ProcessId p) const {
+    return hold_eating_.at(p) != 0;
+  }
+
   // --- observation ----------------------------------------------------------
   [[nodiscard]] core::DinerState state(ProcessId p) const {
     return states_.at(p);
@@ -165,6 +181,7 @@ class MessagePassingDiners {
   std::vector<std::int64_t> depths_;
   std::vector<std::uint8_t> needs_;
   std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> hold_eating_;
   /// endpoints_[p][i] corresponds to topology().neighbors(p)[i].
   std::vector<std::vector<EdgeEndpoint>> endpoints_;
 

@@ -1,0 +1,471 @@
+#include "service/arbiter.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "chaos/watchdog.hpp"
+#include "util/rng.hpp"
+
+namespace diners::service {
+
+namespace {
+
+/// What a pollfd slot refers to; parallel to the pollfd vector.
+struct PollRef {
+  enum class Kind : std::uint8_t { kWake, kListen, kConn } kind;
+  graph::NodeId node = 0;
+  std::uint64_t conn = 0;
+};
+
+}  // namespace
+
+ServiceHost::ServiceHost(graph::Graph g, ServiceOptions options)
+    : graph_(std::move(g)),
+      options_(std::move(options)),
+      mp_(graph_, options_.config, options_.mp),
+      chaos_rng_(util::derive_seed(options_.mp.seed, 0x5e4c)) {
+  const auto n = graph_.num_nodes();
+  nodes_.resize(n);
+  // MpDiners starts saturated (every process hungry forever); the service
+  // starts demand-free — appetite comes only from connected clients.
+  for (graph::NodeId p = 0; p < n; ++p) mp_.set_needs(p, false);
+}
+
+ServiceHost::~ServiceHost() {
+  try {
+    stop();
+  } catch (...) {  // never throw from a destructor
+  }
+}
+
+std::string ServiceHost::endpoint_path(const std::string& dir,
+                                       graph::NodeId p) {
+  return dir + "/arbiter-" + std::to_string(p) + ".sock";
+}
+
+std::string ServiceHost::endpoint(graph::NodeId p) const {
+  return endpoint_path(options_.socket_dir, p);
+}
+
+void ServiceHost::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_) return;
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw std::runtime_error("pipe2() failed for service wakeup");
+  }
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+  for (graph::NodeId p = 0; p < graph_.num_nodes(); ++p) {
+    nodes_[p].listen = uds_listen(endpoint(p));
+  }
+  stop_ = false;
+  running_ = true;
+  lock.unlock();
+  loop_ = std::thread([this] { run_loop(); });
+}
+
+void ServiceHost::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    commands_.push_back({Command::Kind::kStop, 0, 0, nullptr});
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), "x", 1);
+  }
+  loop_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  conns_.clear();
+  for (graph::NodeId p = 0; p < graph_.num_nodes(); ++p) {
+    nodes_[p].listen.reset();
+    nodes_[p].queue.clear();
+    nodes_[p].fsm = NodeFsm::kIdle;
+    ::unlink(endpoint(p).c_str());
+  }
+  wake_read_.reset();
+  wake_write_.reset();
+  running_ = false;
+}
+
+void ServiceHost::crash(graph::NodeId victim, std::uint32_t malice) {
+  enqueue_command({Command::Kind::kCrash, victim, malice, nullptr});
+}
+
+void ServiceHost::restart(graph::NodeId p) {
+  enqueue_command({Command::Kind::kRestart, p, 0, nullptr});
+}
+
+void ServiceHost::enqueue_command(Command cmd) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!running_) {
+    // No loop to hand the command to (pre-start or post-stop): apply the
+    // protocol-level effect inline so tests can drive a cold host.
+    if (cmd.kind == Command::Kind::kCrash) {
+      apply_crash(cmd.node, cmd.malice);
+    } else if (cmd.kind == Command::Kind::kRestart) {
+      apply_restart(cmd.node);
+    }
+    return;
+  }
+  bool done = false;
+  cmd.done = &done;
+  commands_.push_back(cmd);
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_.get(), "x", 1);
+  cv_.wait(lock, [&done] { return done; });
+}
+
+chaos::WatchdogVerdict ServiceHost::await_recovery(
+    const chaos::WatchdogOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto n = graph_.num_nodes();
+  // Saturation probe: the quiescence oracle demands meal *progress*, which
+  // needs appetite. Raise every node's needs for the duration, then hand
+  // demand back to the client queues.
+  std::vector<std::uint8_t> saved_needs(n, 0);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    saved_needs[p] = mp_.needs(p) ? 1 : 0;
+    mp_.set_needs(p, true);
+  }
+  const msgpass::FaultModel saved_model = mp_.network().fault_model();
+  mp_.network().set_fault_model({});
+  const chaos::WatchdogVerdict verdict = chaos::await_quiescence(mp_, options);
+  mp_.network().set_fault_model(saved_model);
+  for (graph::NodeId p = 0; p < n; ++p) {
+    mp_.set_needs(p, saved_needs[p] != 0);
+  }
+  // The probe stepped the protocol; keep the FSMs honest about what the
+  // meanwhile may have done (grants, revocations) on the next loop pass.
+  stats_.steps += verdict.steps_to_converge;
+  return verdict;
+}
+
+ServiceStats ServiceHost::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats s = stats_;
+  s.meals = mp_.total_meals();
+  s.messages_sent = mp_.network().total_sent();
+  s.messages_delivered = mp_.network().total_delivered();
+  s.messages_dropped = mp_.network().total_dropped();
+  s.messages_duplicated = mp_.network().total_duplicated();
+  s.messages_pending = mp_.network().pending();
+  return s;
+}
+
+void ServiceHost::run_loop() {
+  std::vector<pollfd> pfds;
+  std::vector<PollRef> refs;
+  while (true) {
+    pfds.clear();
+    refs.clear();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pfds.push_back({wake_read_.get(), POLLIN, 0});
+      refs.push_back({PollRef::Kind::kWake, 0, 0});
+      for (graph::NodeId p = 0; p < graph_.num_nodes(); ++p) {
+        if (!nodes_[p].listen.valid()) continue;
+        pfds.push_back({nodes_[p].listen.get(), POLLIN, 0});
+        refs.push_back({PollRef::Kind::kListen, p, 0});
+      }
+      for (const auto& [key, conn] : conns_) {
+        pfds.push_back({conn.fd.get(), POLLIN, 0});
+        refs.push_back({PollRef::Kind::kConn, 0, key});
+      }
+    }
+    int rc;
+    do {
+      rc = ::poll(pfds.data(), pfds.size(),
+                  static_cast<int>(options_.poll_timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    apply_commands();
+    if (stop_) break;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      switch (refs[i].kind) {
+        case PollRef::Kind::kWake: {
+          std::uint8_t buf[64];
+          while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+          }
+          break;
+        }
+        case PollRef::Kind::kListen:
+          accept_pending(refs[i].node);
+          break;
+        case PollRef::Kind::kConn:
+          read_connection(refs[i].conn);
+          break;
+      }
+    }
+    for (std::uint32_t s = 0; s < options_.steps_per_poll; ++s) mp_.step();
+    stats_.steps += options_.steps_per_poll;
+    for (graph::NodeId p = 0; p < graph_.num_nodes(); ++p) advance_node(p);
+  }
+}
+
+void ServiceHost::apply_commands() {
+  while (!commands_.empty()) {
+    Command cmd = commands_.front();
+    commands_.pop_front();
+    switch (cmd.kind) {
+      case Command::Kind::kCrash:
+        apply_crash(cmd.node, cmd.malice);
+        break;
+      case Command::Kind::kRestart:
+        apply_restart(cmd.node);
+        break;
+      case Command::Kind::kStop:
+        stop_ = true;
+        break;
+    }
+    if (cmd.done != nullptr) {
+      *cmd.done = true;
+      cv_.notify_all();
+    }
+  }
+}
+
+void ServiceHost::apply_crash(graph::NodeId victim, std::uint32_t malice) {
+  // Protocol-level malicious crash, exactly the chaos campaign's model: the
+  // victim's arbitrary pre-halt sends are garbage on the wire, then silence.
+  mp_.crash(victim);
+  if (malice > 0) {
+    const auto depth_bound =
+        static_cast<std::int64_t>(mp_.diameter_constant()) + 4;
+    mp_.network().inject_garbage(malice, chaos_rng_,
+                                 options_.mp.handshake_modulus, depth_bound);
+  }
+  // Service-level: the endpoint vanishes without a goodbye. Clients observe
+  // EOF / ENOENT, never a protocol frame — crashes are undetectable here
+  // just as they are in the paper's model.
+  nodes_[victim].listen.reset();
+  ::unlink(endpoint(victim).c_str());
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [key, conn] : conns_) {
+    if (conn.node == victim) doomed.push_back(key);
+  }
+  for (const std::uint64_t key : doomed) {
+    ++stats_.dropped_connections;
+    conns_.erase(key);
+  }
+  nodes_[victim].queue.clear();
+  nodes_[victim].fsm = NodeFsm::kIdle;
+  sync_node(victim);
+}
+
+void ServiceHost::apply_restart(graph::NodeId p) {
+  mp_.restart(p);  // no-op on a live process, as is the fresh socket below
+  if (!nodes_[p].listen.valid()) {
+    try {
+      nodes_[p].listen = uds_listen(endpoint(p));
+    } catch (const std::runtime_error&) {
+      // The endpoint stays down; protocol-level restart already happened.
+      // Clients keep reconnect-backing-off against ENOENT.
+    }
+  }
+  sync_node(p);
+}
+
+void ServiceHost::accept_pending(graph::NodeId p) {
+  if (!nodes_[p].listen.valid()) return;
+  while (true) {
+    Fd fd = accept_connection(nodes_[p].listen.get());
+    if (!fd.valid()) break;
+    set_nonblocking(fd.get());
+    const std::uint64_t key = next_conn_key_++;
+    Connection conn;
+    conn.node = p;
+    conn.fd = std::move(fd);
+    conns_.emplace(key, std::move(conn));
+    ++stats_.accepted;
+    if (!send_frame(key, make_hello(static_cast<std::uint32_t>(p)))) {
+      drop_connection(key);
+      continue;
+    }
+  }
+}
+
+void ServiceHost::read_connection(std::uint64_t key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  std::uint8_t buf[4096];
+  while (true) {
+    const std::ptrdiff_t n = recv_some(it->second.fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      it->second.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == -1) break;  // drained
+    drop_connection(key);  // EOF or error
+    return;
+  }
+  while (true) {
+    auto f = it->second.decoder.next();
+    if (!f.has_value()) break;
+    if (!handle_frame(key, *f)) {
+      drop_connection(key);
+      return;
+    }
+    it = conns_.find(key);  // handle_frame may reshuffle state; re-anchor
+    if (it == conns_.end()) return;
+  }
+  if (it->second.decoder.poisoned()) drop_connection(key);
+}
+
+bool ServiceHost::handle_frame(std::uint64_t key, const Frame& f) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return true;
+  const graph::NodeId p = it->second.node;
+  NodeState& ns = nodes_[p];
+  switch (f.type) {
+    case FrameType::kAcquire: {
+      ++stats_.acquires;
+      ns.queue.push_back(Waiter{key, f.id});
+      if (ns.fsm == NodeFsm::kIdle) ns.fsm = NodeFsm::kWanting;
+      sync_node(p);
+      return true;
+    }
+    case FrameType::kRelease:
+    case FrameType::kCancel: {
+      const bool is_release = f.type == FrameType::kRelease;
+      if (is_release) {
+        ++stats_.releases;
+      } else {
+        ++stats_.cancels;
+      }
+      const bool holds_grant = ns.fsm == NodeFsm::kGranted &&
+                               !ns.queue.empty() &&
+                               ns.queue.front().conn == key &&
+                               ns.queue.front().id == f.id;
+      if (holds_grant) {
+        // A CANCEL that raced its GRANT counts as a release: the lease was
+        // live for a moment and the critical section must be yielded.
+        if (!send_frame(key, make_released(f.id))) {
+          drop_connection(key);
+          return true;
+        }
+        ns.queue.pop_front();
+        ns.fsm = NodeFsm::kDraining;
+        sync_node(p);
+        return true;
+      }
+      // Withdraw a pending (or already-forgotten) request. RELEASE of a
+      // non-granted id is a stale echo of a revocation race: ignore.
+      const auto w = std::find_if(ns.queue.begin(), ns.queue.end(),
+                                  [&](const Waiter& x) {
+                                    return x.conn == key && x.id == f.id;
+                                  });
+      if (w != ns.queue.end()) ns.queue.erase(w);
+      if (ns.fsm == NodeFsm::kWanting && ns.queue.empty()) {
+        ns.fsm = NodeFsm::kIdle;
+      }
+      sync_node(p);
+      return true;
+    }
+    default:
+      // Clients may only send ACQUIRE / RELEASE / CANCEL; anything else is
+      // a grammar violation and the connection is dropped.
+      return false;
+  }
+}
+
+void ServiceHost::drop_connection(std::uint64_t key) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  const graph::NodeId p = it->second.node;
+  NodeState& ns = nodes_[p];
+  const bool held_grant = ns.fsm == NodeFsm::kGranted && !ns.queue.empty() &&
+                          ns.queue.front().conn == key;
+  ns.queue.erase(std::remove_if(ns.queue.begin(), ns.queue.end(),
+                                [&](const Waiter& w) { return w.conn == key; }),
+                 ns.queue.end());
+  if (held_grant) {
+    // The lease holder vanished: reclaim the critical section.
+    ns.fsm = NodeFsm::kDraining;
+  } else if (ns.fsm == NodeFsm::kWanting && ns.queue.empty()) {
+    ns.fsm = NodeFsm::kIdle;
+  }
+  sync_node(p);
+  ++stats_.dropped_connections;
+  conns_.erase(it);
+}
+
+void ServiceHost::sync_node(graph::NodeId p) {
+  NodeState& ns = nodes_[p];
+  // FSM invariant, restated for the protocol: appetite iff clients wait;
+  // the meal pin is up from the moment a head waiter is armed until its
+  // release — so the meal that GRANT announces cannot slip away between
+  // protocol steps. kDraining deliberately drops the pin with needs still
+  // up: the exit must land (yield every edge) before the next arm, which is
+  // exactly the protocol's no-starvation handover.
+  mp_.set_needs(p, !ns.queue.empty());
+  mp_.set_hold_eating(
+      p, ns.fsm == NodeFsm::kWanting || ns.fsm == NodeFsm::kGranted);
+}
+
+void ServiceHost::advance_node(graph::NodeId p) {
+  NodeState& ns = nodes_[p];
+  if (!mp_.alive(p)) return;
+  switch (ns.fsm) {
+    case NodeFsm::kIdle:
+      break;
+    case NodeFsm::kWanting: {
+      if (ns.queue.empty()) {  // defensive: arm invariant broken
+        ns.fsm = NodeFsm::kIdle;
+        sync_node(p);
+        break;
+      }
+      if (mp_.state(p) == core::DinerState::kEating) {
+        const Waiter head = ns.queue.front();
+        if (!send_frame(head.conn, make_grant(head.id))) {
+          drop_connection(head.conn);
+          break;
+        }
+        ns.fsm = NodeFsm::kGranted;
+        ++stats_.grants;
+        sync_node(p);
+      }
+      break;
+    }
+    case NodeFsm::kGranted: {
+      if (mp_.state(p) != core::DinerState::kEating) {
+        // The protocol took the meal back under the pin: cycle breaking
+        // from corrupted state, or a restart cleared it. Revoke the lease.
+        if (!ns.queue.empty()) {
+          const Waiter head = ns.queue.front();
+          ns.queue.pop_front();
+          ++stats_.revocations;
+          if (!send_frame(head.conn, make_revoked(head.id))) {
+            drop_connection(head.conn);
+          }
+        }
+        ns.fsm = ns.queue.empty() ? NodeFsm::kIdle : NodeFsm::kWanting;
+        sync_node(p);
+      }
+      break;
+    }
+    case NodeFsm::kDraining: {
+      if (mp_.state(p) != core::DinerState::kEating) {
+        ns.fsm = ns.queue.empty() ? NodeFsm::kIdle : NodeFsm::kWanting;
+        sync_node(p);
+      }
+      break;
+    }
+  }
+}
+
+bool ServiceHost::send_frame(std::uint64_t key, const Frame& f) {
+  const auto it = conns_.find(key);
+  if (it == conns_.end()) return false;
+  std::vector<std::uint8_t> wire;
+  encode_frame(f, wire);
+  return send_all(it->second.fd.get(), wire.data(), wire.size());
+}
+
+}  // namespace diners::service

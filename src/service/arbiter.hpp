@@ -1,0 +1,205 @@
+// Diners-as-a-service: the networked lock/lease arbiter.
+//
+// A ServiceHost turns the message-passing diners protocol into a real
+// socket service. Every philosopher of the conflict graph becomes an
+// *arbiter endpoint* — a Unix-domain listening socket — that external
+// clients ask for critical-section entry through the length-prefixed
+// request/grant/release protocol (protocol.hpp). Inter-arbiter
+// synchronization is exactly msgpass::MessagePassingDiners over
+// msgpass::Network, so everything the paper proves about the protocol —
+// self-stabilization, crash failure locality 2, tolerance of malicious
+// crashes — becomes a *service-availability* property: crash one arbiter
+// and only clients within graph distance 2 of it lose their SLO.
+//
+// Mapping of client verbs onto protocol actions:
+//   ACQUIRE  -> the node's `needs` flag goes up and its eventual `enter`
+//               (eating) is pinned open via MpDiners::set_hold_eating —
+//               the meal *is* the lease, held until the client releases.
+//   RELEASE  -> the pin drops; the node's next protocol step is the
+//               paper's `exit`, yielding every edge.
+//   REVOKED  -> the protocol took the critical section back (cycle
+//               breaking from corrupted state, or arbiter recovery).
+//
+// Concurrency model: one event-loop thread owns every socket and the
+// MpDiners instance; a mutex guards the protocol + queue state so the
+// chaos surface (crash/restart/await_recovery/stats) can be driven from
+// other threads. Fault injection is applied *by the loop thread* via a
+// command queue (file descriptors never cross threads); the issuing
+// thread blocks until the command has landed, so "crash node 3 now"
+// means now. The service layer is wall-clock — unlike the simulation
+// backends it makes no bit-determinism promise; its contract is SLOs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/watchdog.hpp"
+#include "core/config.hpp"
+#include "graph/graph.hpp"
+#include "msgpass/mp_diners.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace diners::service {
+
+struct ServiceOptions {
+  /// Directory for the per-node socket files `arbiter-<p>.sock`. Must
+  /// exist. Keep it short: sockaddr_un caps paths at ~107 bytes.
+  std::string socket_dir = "/tmp";
+  core::DinersConfig config;
+  /// Protocol knobs; `mp.network_faults` is the deterministic fault model
+  /// on the *inter-arbiter* links (the unsupportive-environment dial for
+  /// live chaos campaigns), `mp.seed` the protocol RNG seed.
+  msgpass::MpOptions mp;
+  /// Protocol steps run per event-loop iteration. Together with
+  /// `poll_timeout_ms` this bounds grant latency and stabilization speed.
+  std::uint32_t steps_per_poll = 512;
+  std::uint32_t poll_timeout_ms = 1;
+};
+
+/// Monotonic counters, readable at any time. Socket-layer counts are
+/// arbiter-side; protocol/network counts mirror the MpDiners instance.
+struct ServiceStats {
+  std::uint64_t accepted = 0;             ///< connections accepted
+  std::uint64_t dropped_connections = 0;  ///< EOF, error, or bad frames
+  std::uint64_t acquires = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t steps = 0;                ///< protocol steps executed
+  std::uint64_t meals = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_pending = 0;
+};
+
+class ServiceHost {
+ public:
+  ServiceHost(graph::Graph g, ServiceOptions options);
+  ~ServiceHost();
+
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  /// Binds every arbiter endpoint and launches the event loop. Throws
+  /// std::runtime_error if a socket cannot be bound.
+  void start();
+
+  /// Stops the loop, drops every connection, and unlinks the socket files.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] const graph::Graph& topology() const noexcept {
+    return graph_;
+  }
+
+  /// Socket path of node p's arbiter endpoint.
+  [[nodiscard]] std::string endpoint(graph::NodeId p) const;
+  [[nodiscard]] static std::string endpoint_path(const std::string& dir,
+                                                 graph::NodeId p);
+
+  // --- chaos surface (any thread; blocks until the loop applied it) -------
+  /// Malicious crash of arbiter `victim`: `malice` garbage messages hit the
+  /// inter-arbiter links (the victim's arbitrary pre-halt sends), the
+  /// protocol process halts undetectably, the endpoint disappears
+  /// (listening socket unlinked, live connections dropped without a word).
+  void crash(graph::NodeId victim, std::uint32_t malice);
+
+  /// Restart (rejoin): protocol-level MpDiners::restart plus a fresh
+  /// listening socket. Clients reconnect through their backoff schedule.
+  void restart(graph::NodeId p);
+
+  /// Convergence watchdog over the live system: suspends the link fault
+  /// model, raises every node's appetite (the saturation probe the
+  /// quiescence oracle needs), and runs chaos::await_quiescence to verify
+  /// recovery — zero live eating-overlap edges plus meal progress outside
+  /// the dead set's locality ball. Client demand and the fault model are
+  /// restored afterwards. The event loop pauses for the duration; call it
+  /// in a quiescent window (after load), as chaos campaigns do.
+  [[nodiscard]] chaos::WatchdogVerdict await_recovery(
+      const chaos::WatchdogOptions& options);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  enum class NodeFsm : std::uint8_t {
+    kIdle,      ///< no client demand
+    kWanting,   ///< head waiter armed: needs up, next meal pinned
+    kGranted,   ///< head waiter holds the lease (node is eating, pinned)
+    kDraining,  ///< released; waiting for the exit step to land
+  };
+
+  struct Waiter {
+    std::uint64_t conn = 0;  ///< connection key
+    std::uint64_t id = 0;    ///< client request id
+  };
+
+  struct NodeState {
+    Fd listen;
+    NodeFsm fsm = NodeFsm::kIdle;
+    std::deque<Waiter> queue;  ///< front() is armed/granted
+  };
+
+  struct Connection {
+    graph::NodeId node = 0;
+    Fd fd;
+    FrameDecoder decoder;
+  };
+
+  struct Command {
+    enum class Kind : std::uint8_t { kCrash, kRestart, kStop } kind;
+    graph::NodeId node = 0;
+    std::uint32_t malice = 0;
+    bool* done = nullptr;  ///< loop sets it and notifies cv_
+  };
+
+  void run_loop();
+  void apply_commands();
+  void apply_crash(graph::NodeId victim, std::uint32_t malice);
+  void apply_restart(graph::NodeId p);
+  void accept_pending(graph::NodeId p);
+  void read_connection(std::uint64_t key);
+  /// Returns false if the frame was a grammar violation and the connection
+  /// must be dropped.
+  [[nodiscard]] bool handle_frame(std::uint64_t key, const Frame& f);
+  void drop_connection(std::uint64_t key);
+  /// Advances p's FSM against the observed protocol state:
+  /// kWanting->kGranted (send GRANT), kGranted->revocation (send REVOKED),
+  /// kDraining->next waiter.
+  void advance_node(graph::NodeId p);
+  /// Re-derives the protocol-facing demand from the FSM invariant:
+  /// needs == queue non-empty, hold == (kWanting or kGranted).
+  void sync_node(graph::NodeId p);
+  bool send_frame(std::uint64_t key, const Frame& f);
+  void enqueue_command(Command cmd);
+
+  graph::Graph graph_;
+  ServiceOptions options_;
+  msgpass::MessagePassingDiners mp_;
+  util::Xoshiro256 chaos_rng_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<NodeState> nodes_;
+  std::map<std::uint64_t, Connection> conns_;
+  std::uint64_t next_conn_key_ = 1;
+  std::deque<Command> commands_;
+  ServiceStats stats_;
+  bool running_ = false;
+  bool stop_ = false;
+
+  Fd wake_read_;
+  Fd wake_write_;
+  std::thread loop_;
+};
+
+}  // namespace diners::service

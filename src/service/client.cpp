@@ -1,0 +1,159 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace diners::service {
+
+namespace {
+
+using Clock = DinersClient::Clock;
+
+[[nodiscard]] std::int64_t ms_until(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now())
+      .count();
+}
+
+}  // namespace
+
+DinersClient::DinersClient(ClientOptions options)
+    : options_(std::move(options)),
+      backoff_(options_.backoff, options_.seed) {}
+
+void DinersClient::disconnect() noexcept {
+  fd_.reset();
+  decoder_ = FrameDecoder();
+  // A lease cannot outlive its connection: the arbiter reclaims it the
+  // moment it sees the drop, so the client-side record dies with the fd.
+  lease_id_ = 0;
+}
+
+bool DinersClient::ensure_connected(Clock::time_point deadline) {
+  while (!fd_.valid()) {
+    if (Clock::now() >= deadline) return false;
+    Fd fd = uds_connect(options_.endpoint);
+    if (fd.valid()) {
+      set_nonblocking(fd.get());
+      fd_ = std::move(fd);
+      decoder_ = FrameDecoder();
+      if (connected_once_) ++reconnects_;
+      connected_once_ = true;
+      backoff_.reset();
+      return true;
+    }
+    const auto delay = backoff_.next_delay_us();
+    if (!delay.has_value()) return false;  // schedule exhausted: give up
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - Clock::now());
+    const auto sleep_us = std::min<std::int64_t>(
+        static_cast<std::int64_t>(*delay), remaining.count());
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    }
+  }
+  return true;
+}
+
+bool DinersClient::send(const Frame& f) {
+  if (!fd_.valid()) return false;
+  std::vector<std::uint8_t> wire;
+  encode_frame(f, wire);
+  if (!send_all(fd_.get(), wire.data(), wire.size())) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+std::optional<Frame> DinersClient::next_frame(Clock::time_point deadline) {
+  while (true) {
+    if (fd_.valid()) {
+      auto f = decoder_.next();
+      if (decoder_.poisoned()) {
+        disconnect();
+        return std::nullopt;
+      }
+      if (f.has_value()) {
+        if (f->type == FrameType::kHello) {
+          server_node_ = f->node;
+          continue;
+        }
+        return f;
+      }
+    }
+    if (!fd_.valid()) return std::nullopt;
+    const std::int64_t remaining = ms_until(deadline);
+    if (remaining <= 0) return std::nullopt;
+    const int wait_ms = static_cast<int>(std::min<std::int64_t>(
+        remaining, options_.poll_granularity_ms));
+    if (!wait_readable(fd_.get(), wait_ms)) continue;
+    std::uint8_t buf[4096];
+    const std::ptrdiff_t n = recv_some(fd_.get(), buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0 || n == -2) {
+      disconnect();
+      return std::nullopt;
+    }
+    // n == -1: spurious wakeup; loop and re-check the deadline.
+  }
+}
+
+AcquireOutcome DinersClient::acquire(Clock::time_point deadline) {
+  const std::uint64_t id = next_id_++;
+  while (Clock::now() < deadline) {
+    if (!ensure_connected(deadline)) {
+      // Could not reach the arbiter at all. Exhausted backoff is a hard
+      // error; running out of clock is a timeout like any other.
+      return Clock::now() >= deadline ? AcquireOutcome::kTimeout
+                                      : AcquireOutcome::kError;
+    }
+    if (!send(make_acquire(id))) continue;  // connection died: reconnect
+    while (true) {
+      auto f = next_frame(deadline);
+      if (!f.has_value()) {
+        if (!connected()) break;  // reconnect and re-issue the same id
+        // Deadline: withdraw. The arbiter resolves the grant/cancel race —
+        // if GRANT won, our CANCEL counts as the release.
+        [[maybe_unused]] const bool sent = send(make_cancel(id));
+        return AcquireOutcome::kTimeout;
+      }
+      if (f->id != id) continue;  // stale frame from a withdrawn request
+      switch (f->type) {
+        case FrameType::kGrant:
+          lease_id_ = id;
+          return AcquireOutcome::kGranted;
+        case FrameType::kReject:
+          return AcquireOutcome::kError;
+        default:
+          continue;  // RELEASED/REVOKED echoes of a raced cancel
+      }
+    }
+  }
+  return AcquireOutcome::kTimeout;
+}
+
+ReleaseOutcome DinersClient::release(Clock::time_point deadline) {
+  if (lease_id_ == 0) {
+    // Connection loss already reclaimed the lease server-side.
+    return connected() ? ReleaseOutcome::kError : ReleaseOutcome::kRevoked;
+  }
+  const std::uint64_t id = lease_id_;
+  lease_id_ = 0;
+  if (!connected() || !send(make_release(id))) {
+    return ReleaseOutcome::kRevoked;  // lease died with the connection
+  }
+  while (true) {
+    auto f = next_frame(deadline);
+    if (!f.has_value()) {
+      return connected() ? ReleaseOutcome::kError : ReleaseOutcome::kRevoked;
+    }
+    if (f->id != id) continue;
+    if (f->type == FrameType::kReleased) return ReleaseOutcome::kReleased;
+    if (f->type == FrameType::kRevoked) return ReleaseOutcome::kRevoked;
+  }
+}
+
+}  // namespace diners::service

@@ -1,0 +1,102 @@
+// Client library for the diners lock/lease service.
+//
+// A DinersClient talks to ONE arbiter endpoint and drives the request
+// lifecycle with the failure handling a crashable service demands:
+//
+//  * deadline-based timeouts — every operation takes an absolute deadline;
+//    a request that cannot be granted in time is withdrawn with CANCEL
+//    (the arbiter resolves the grant/cancel race: a CANCEL that lost the
+//    race counts as a release, so a timed-out client never leaks a lease);
+//  * reconnect-on-crash — a vanished endpoint (EOF, ECONNREFUSED, ENOENT)
+//    triggers bounded exponential backoff with jitter (util::Backoff) and
+//    a fresh connection, transparently re-issuing the pending request;
+//  * revocation tolerance — the protocol may reclaim a granted lease
+//    (cycle breaking from corrupted state, arbiter restart); release()
+//    reports whether the lease ended by release or by revocation, and a
+//    connection lost while holding counts as revoked.
+//
+// The client is synchronous and single-threaded by design: a load
+// generator runs many of them, one per simulated client, each its own
+// open-loop arrival process.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+#include "util/backoff.hpp"
+
+namespace diners::service {
+
+enum class AcquireOutcome : std::uint8_t {
+  kGranted = 0,
+  kTimeout = 1,  ///< deadline hit; CANCEL sent (or connection already gone)
+  kError = 2,    ///< arbiter rejected the request, or backoff exhausted
+};
+
+enum class ReleaseOutcome : std::uint8_t {
+  kReleased = 0,
+  kRevoked = 1,  ///< the protocol reclaimed the lease before the release
+  kError = 2,    ///< no lease held, or no acknowledgment before deadline
+};
+
+struct ClientOptions {
+  std::string endpoint;  ///< arbiter socket path
+  util::BackoffOptions backoff;
+  std::uint64_t seed = 1;  ///< jitter stream seed (derive per client)
+  /// Longest single wait inside the frame pump, so deadline checks stay
+  /// responsive even against a silent peer.
+  std::uint32_t poll_granularity_ms = 5;
+};
+
+class DinersClient {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit DinersClient(ClientOptions options);
+
+  /// Requests the critical section; blocks until granted, the deadline
+  /// passes, or the request fails. Reconnects through backoff as needed.
+  [[nodiscard]] AcquireOutcome acquire(Clock::time_point deadline);
+
+  /// Releases the lease acquired last. Reports kRevoked if the protocol
+  /// took the lease back first (including by connection loss).
+  [[nodiscard]] ReleaseOutcome release(Clock::time_point deadline);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  [[nodiscard]] bool holds_lease() const noexcept { return lease_id_ != 0; }
+  /// Successful (re)connections past the first — the crash-visibility
+  /// counter a chaos campaign reads.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  /// Arbiter node id learned from the HELLO frame, if any arrived yet.
+  [[nodiscard]] std::optional<std::uint32_t> server_node() const noexcept {
+    return server_node_;
+  }
+
+  void disconnect() noexcept;
+
+ private:
+  /// Connects (with backoff) until `deadline`. True iff connected.
+  [[nodiscard]] bool ensure_connected(Clock::time_point deadline);
+  [[nodiscard]] bool send(const Frame& f);
+  /// Next frame from the arbiter, HELLO frames absorbed, or std::nullopt at
+  /// the deadline / on connection loss (check connected()).
+  [[nodiscard]] std::optional<Frame> next_frame(Clock::time_point deadline);
+
+  ClientOptions options_;
+  util::Backoff backoff_;
+  Fd fd_;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t lease_id_ = 0;
+  std::uint64_t reconnects_ = 0;
+  bool connected_once_ = false;
+  std::optional<std::uint32_t> server_node_;
+};
+
+}  // namespace diners::service

@@ -1,0 +1,68 @@
+#include "service/live_campaign.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace diners::service {
+
+LiveCampaignResult run_live_campaign(const LiveCampaignOptions& options) {
+  if (options.graph.num_nodes() == 0) {
+    throw std::invalid_argument("live campaign: empty topology");
+  }
+  if (options.victim >= options.graph.num_nodes()) {
+    throw std::invalid_argument("live campaign: victim out of range");
+  }
+  ServiceOptions sopts;
+  sopts.socket_dir = options.socket_dir;
+  sopts.config = options.config;
+  sopts.mp = options.mp;
+  sopts.steps_per_poll = options.steps_per_poll;
+  ServiceHost host(options.graph, sopts);
+  host.start();
+
+  LoadOptions load_options = options.load;
+  load_options.socket_dir = options.socket_dir;
+  load_options.num_nodes =
+      static_cast<std::uint32_t>(options.graph.num_nodes());
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  LoadReport load;
+  std::thread loader([&] { load = run_load(load_options); });
+
+  const auto at_ms = [&](double ms) {
+    return t0 + std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3));
+  };
+  std::this_thread::sleep_until(at_ms(options.crash_at_ms));
+  host.crash(options.victim, options.malice);
+  std::this_thread::sleep_until(at_ms(options.restart_at_ms));
+  host.restart(options.victim);
+  loader.join();
+
+  // Quiescent verification window, after the traffic drains: the
+  // convergence watchdog is the campaign's recovery oracle, exactly as in
+  // the simulated chaos campaigns.
+  const chaos::WatchdogVerdict recovery =
+      host.await_recovery(options.watchdog);
+
+  LiveCampaignResult result;
+  result.load = std::move(load);
+  result.service = host.stats();
+  SloOptions slo;
+  slo.victim = options.victim;
+  slo.crash_at_ms = options.crash_at_ms;
+  // Recovery (for phase-slicing purposes) is the restart plus the client
+  // reconnect horizon: until backoff has had a chance to re-reach the
+  // revived endpoint, slow requests are still the crash's fault.
+  slo.recovered_at_ms =
+      options.restart_at_ms + static_cast<double>(options.load.deadline_ms);
+  slo.p99_budget_ms = options.p99_budget_ms;
+  slo.far_distance = options.far_distance;
+  result.slo =
+      build_slo_report(options.graph, result.load, recovery, slo);
+  host.stop();
+  return result;
+}
+
+}  // namespace diners::service

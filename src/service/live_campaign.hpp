@@ -1,0 +1,65 @@
+// Live chaos campaign: malicious crash + restart against the RUNNING
+// service, under open-loop client load, judged by the failure-locality SLO.
+//
+// Sequence (all wall-clock, one process):
+//
+//   t=0                 ServiceHost up, load generator starts
+//   t=crash_at_ms       malicious crash of the victim arbiter (garbage on
+//                       the inter-arbiter links, endpoint vanishes); the
+//                       deterministic link fault model keeps running
+//   t=restart_at_ms     victim restarts; clients reconnect via backoff
+//   load drains         all scheduled requests resolved
+//   quiescent window    convergence watchdog (fault model suspended)
+//   verdict             build_slo_report: far clients kept their p99,
+//                       near clients recovered within the watchdog budget
+//
+// The load keeps running across the crash on purpose: the SLO stratification
+// needs in-flight far-stratum traffic DURING the impact window to prove the
+// locality claim non-vacuously.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/watchdog.hpp"
+#include "core/config.hpp"
+#include "msgpass/mp_diners.hpp"
+#include "service/arbiter.hpp"
+#include "service/load.hpp"
+#include "service/slo.hpp"
+
+namespace diners::service {
+
+struct LiveCampaignOptions {
+  /// Service topology (required, non-empty). Graph has no default state,
+  /// so the options start on a placeholder single node.
+  graph::Graph graph = graph::Graph::Builder(1).build();
+  std::string socket_dir;   ///< endpoints live here (required)
+  core::DinersConfig config;
+  msgpass::MpOptions mp;    ///< mp.network_faults = link chaos during load
+
+  graph::NodeId victim = 0;
+  std::uint32_t malice = 8;      ///< garbage messages at crash time
+  double crash_at_ms = 500.0;
+  double restart_at_ms = 1500.0;
+
+  /// Client load; socket_dir / num_nodes are filled in from the topology.
+  LoadOptions load;
+  chaos::WatchdogOptions watchdog;
+  double p99_budget_ms = 250.0;
+  std::uint32_t far_distance = 3;
+  std::uint32_t steps_per_poll = 512;
+};
+
+struct LiveCampaignResult {
+  SloReport slo;
+  LoadReport load;
+  ServiceStats service;
+};
+
+/// Runs one full campaign. Throws on configuration errors (unbindable
+/// socket dir, empty graph); load-level failures are data, not exceptions.
+[[nodiscard]] LiveCampaignResult run_live_campaign(
+    const LiveCampaignOptions& options);
+
+}  // namespace diners::service

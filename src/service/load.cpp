@@ -1,0 +1,143 @@
+#include "service/load.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "service/arbiter.hpp"
+#include "service/client.hpp"
+#include "util/rng.hpp"
+
+namespace diners::service {
+
+namespace {
+
+using Clock = DinersClient::Clock;
+
+double ms_since(Clock::time_point start, Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(t - start).count();
+}
+
+/// One client thread: serial requests at precomputed open-loop arrivals.
+struct ClientWorker {
+  const LoadOptions* options = nullptr;
+  std::uint32_t index = 0;
+  Clock::time_point start;
+  std::uint64_t total_requests = 0;
+  std::vector<RequestRecord> records;
+  std::uint64_t reconnects = 0;
+
+  void run() {
+    ClientOptions copts;
+    copts.endpoint = ServiceHost::endpoint_path(
+        options->socket_dir, options->num_nodes == 0
+                                 ? 0
+                                 : index % options->num_nodes);
+    copts.backoff = options->backoff;
+    copts.seed = util::derive_seed(options->seed, 0x10adULL + index);
+    DinersClient client(copts);
+    const graph::NodeId node = index % options->num_nodes;
+    // Client i owns requests j with j % clients == i, scheduled at j/rps.
+    for (std::uint64_t j = index; j < total_requests; j += options->clients) {
+      const double scheduled_ms = 1000.0 * static_cast<double>(j) /
+                                  options->rps;
+      const auto scheduled =
+          start + std::chrono::microseconds(
+                      static_cast<std::int64_t>(scheduled_ms * 1000.0));
+      std::this_thread::sleep_until(scheduled);  // open loop: never early
+      const auto deadline =
+          scheduled + std::chrono::milliseconds(options->deadline_ms);
+      RequestRecord rec;
+      rec.client = index;
+      rec.node = node;
+      rec.scheduled_ms = scheduled_ms;
+      switch (client.acquire(deadline)) {
+        case AcquireOutcome::kGranted: {
+          rec.grant_latency_ms = ms_since(start, Clock::now()) - scheduled_ms;
+          if (options->hold_us > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(options->hold_us));
+          }
+          // The release gets its own grace window beyond the acquire
+          // deadline; an unacknowledged release is a revocation in effect.
+          const auto release_deadline =
+              Clock::now() + std::chrono::milliseconds(options->deadline_ms);
+          switch (client.release(release_deadline)) {
+            case ReleaseOutcome::kReleased:
+              rec.outcome = RequestOutcome::kGranted;
+              break;
+            case ReleaseOutcome::kRevoked:
+              rec.outcome = RequestOutcome::kRevoked;
+              break;
+            case ReleaseOutcome::kError:
+              rec.outcome = RequestOutcome::kError;
+              break;
+          }
+          break;
+        }
+        case AcquireOutcome::kTimeout:
+          rec.outcome = RequestOutcome::kTimeout;
+          break;
+        case AcquireOutcome::kError:
+          rec.outcome = RequestOutcome::kError;
+          break;
+      }
+      records.push_back(rec);
+    }
+    reconnects = client.reconnects();
+  }
+};
+
+}  // namespace
+
+const char* to_string(RequestOutcome o) noexcept {
+  switch (o) {
+    case RequestOutcome::kGranted: return "granted";
+    case RequestOutcome::kTimeout: return "timeout";
+    case RequestOutcome::kRevoked: return "revoked";
+    case RequestOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+LoadReport run_load(const LoadOptions& options) {
+  if (options.num_nodes == 0) {
+    throw std::invalid_argument("run_load: num_nodes must be positive");
+  }
+  if (options.clients == 0) {
+    throw std::invalid_argument("run_load: clients must be positive");
+  }
+  if (!(options.rps > 0.0)) {
+    throw std::invalid_argument("run_load: rps must be positive");
+  }
+  const std::uint64_t total =
+      options.requests > 0
+          ? options.requests
+          : static_cast<std::uint64_t>(options.rps *
+                                       (options.duration_ms / 1000.0));
+  const auto start = Clock::now();
+
+  std::vector<ClientWorker> workers(options.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (std::uint32_t i = 0; i < options.clients; ++i) {
+    workers[i].options = &options;
+    workers[i].index = i;
+    workers[i].start = start;
+    workers[i].total_requests = total;
+    threads.emplace_back([&workers, i] { workers[i].run(); });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadReport report;
+  report.wall_ms = ms_since(start, Clock::now());
+  for (auto& w : workers) {
+    report.reconnects += w.reconnects;
+    report.records.insert(report.records.end(), w.records.begin(),
+                          w.records.end());
+  }
+  return report;
+}
+
+}  // namespace diners::service

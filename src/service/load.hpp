@@ -1,0 +1,70 @@
+// Open-loop load generator for the diners service.
+//
+// N client threads issue critical-section requests against the arbiter
+// endpoints at a fixed aggregate arrival rate. The arrival process is
+// OPEN-LOOP: request j has a precomputed scheduled time j/rps, and latency
+// is always measured from that scheduled time — a slow or crashed arbiter
+// does not slow the arrival clock down, so the histograms are free of
+// coordinated omission and a crash shows up as the latency cliff it really
+// is, not as a dip in offered load.
+//
+// Client i targets arbiter node i % num_nodes and runs its own requests
+// serially (a client is one logical actor: it cannot want the section
+// twice at once). Every terminal request outcome is recorded with its
+// scheduled time, so a chaos campaign can slice the records afterwards by
+// phase (before / during / after a crash) and by graph distance from the
+// victim — the raw material of the failure-locality SLO report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/backoff.hpp"
+
+namespace diners::service {
+
+enum class RequestOutcome : std::uint8_t {
+  kGranted = 0,  ///< granted and released within deadline
+  kTimeout = 1,
+  kRevoked = 2,  ///< granted, but the lease was reclaimed before release
+  kError = 3,
+};
+
+[[nodiscard]] const char* to_string(RequestOutcome o) noexcept;
+
+struct RequestRecord {
+  std::uint32_t client = 0;
+  graph::NodeId node = 0;         ///< arbiter the request targeted
+  double scheduled_ms = 0.0;      ///< arrival time, offset from load start
+  double grant_latency_ms = 0.0;  ///< scheduled -> granted; 0 if never
+  RequestOutcome outcome = RequestOutcome::kError;
+};
+
+struct LoadOptions {
+  std::string socket_dir;      ///< arbiter endpoints live here
+  std::uint32_t num_nodes = 0; ///< arbiter count; client i -> node i % n
+  std::uint32_t clients = 8;
+  double rps = 200.0;          ///< aggregate arrival rate (requests/second)
+  /// Total requests; 0 derives the count from `duration_ms` and `rps`.
+  std::uint64_t requests = 0;
+  std::uint32_t duration_ms = 2000;
+  std::uint32_t deadline_ms = 250;  ///< per-request acquire deadline
+  std::uint32_t hold_us = 200;      ///< dwell inside the critical section
+  util::BackoffOptions backoff;     ///< reconnect policy per client
+  std::uint64_t seed = 1;
+};
+
+struct LoadReport {
+  std::vector<RequestRecord> records;  ///< in (client, request) order
+  std::uint64_t reconnects = 0;        ///< across all clients
+  double wall_ms = 0.0;                ///< actual wall-clock span of the run
+};
+
+/// Runs the load to completion (all scheduled requests resolved) and
+/// returns every record. Throws std::invalid_argument on a config that
+/// cannot run (no nodes, no clients, non-positive rate).
+[[nodiscard]] LoadReport run_load(const LoadOptions& options);
+
+}  // namespace diners::service

@@ -1,0 +1,160 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace diners::service {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Body length (type byte included) each frame type must have exactly.
+std::size_t body_length(FrameType t) {
+  switch (t) {
+    case FrameType::kHello:
+      return 1 + 4 + 2;  // type, node, version
+    case FrameType::kAcquire:
+    case FrameType::kGrant:
+    case FrameType::kRelease:
+    case FrameType::kReleased:
+    case FrameType::kCancel:
+    case FrameType::kRevoked:
+      return 1 + 8;      // type, id
+    case FrameType::kReject:
+      return 1 + 8 + 1;  // type, id, reason
+  }
+  return 0;  // unknown type: caller treats 0 as "invalid"
+}
+
+Frame with_id(FrameType type, std::uint64_t id) {
+  Frame f;
+  f.type = type;
+  f.id = id;
+  return f;
+}
+
+}  // namespace
+
+Frame make_hello(std::uint32_t node) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.node = node;
+  f.version = kProtocolVersion;
+  return f;
+}
+
+Frame make_acquire(std::uint64_t id) { return with_id(FrameType::kAcquire, id); }
+Frame make_grant(std::uint64_t id) { return with_id(FrameType::kGrant, id); }
+Frame make_release(std::uint64_t id) { return with_id(FrameType::kRelease, id); }
+Frame make_released(std::uint64_t id) {
+  return with_id(FrameType::kReleased, id);
+}
+Frame make_cancel(std::uint64_t id) { return with_id(FrameType::kCancel, id); }
+Frame make_revoked(std::uint64_t id) { return with_id(FrameType::kRevoked, id); }
+
+Frame make_reject(std::uint64_t id, RejectReason reason) {
+  Frame f = with_id(FrameType::kReject, id);
+  f.reason = reason;
+  return f;
+}
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  const std::size_t body = body_length(f.type);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  switch (f.type) {
+    case FrameType::kHello:
+      put_u32(out, f.node);
+      put_u16(out, f.version);
+      break;
+    case FrameType::kReject:
+      put_u64(out, f.id);
+      out.push_back(static_cast<std::uint8_t>(f.reason));
+      break;
+    default:
+      put_u64(out, f.id);
+      break;
+  }
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned()) return;
+  // Compact lazily: drop the decoded prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned()) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  const std::uint8_t* base = buffer_.data() + consumed_;
+  const std::uint32_t len = get_u32(base);
+  if (len == 0 || len > kMaxFrameBody) {
+    error_ = "bad frame length " + std::to_string(len);
+    return std::nullopt;
+  }
+  if (available < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  const std::uint8_t* body = base + 4;
+  const auto type = static_cast<FrameType>(body[0]);
+  if (body_length(type) != len) {
+    error_ = "frame type " + std::to_string(body[0]) + " with body length " +
+             std::to_string(len);
+    return std::nullopt;
+  }
+  Frame f;
+  f.type = type;
+  switch (type) {
+    case FrameType::kHello:
+      f.node = get_u32(body + 1);
+      f.version = get_u16(body + 5);
+      break;
+    case FrameType::kReject:
+      f.id = get_u64(body + 1);
+      f.reason = static_cast<RejectReason>(body[9]);
+      break;
+    default:
+      f.id = get_u64(body + 1);
+      break;
+  }
+  consumed_ += 4 + static_cast<std::size_t>(len);
+  return f;
+}
+
+}  // namespace diners::service

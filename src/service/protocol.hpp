@@ -1,0 +1,103 @@
+// Wire protocol of the diners lock/lease service.
+//
+// Framing is transport-agnostic (Unix-domain sockets today, TCP tomorrow):
+// every frame is a 4-byte little-endian body length followed by the body,
+// whose first byte is the frame type. Bodies are fixed-layout little-endian
+// scalars — no varints, no strings — so encode/decode round-trips are
+// byte-exact and a fuzzer can cover the whole grammar.
+//
+//   client -> arbiter:  ACQUIRE(id)   request critical-section entry
+//                       CANCEL(id)    withdraw a pending request (a CANCEL
+//                                     for an already-granted id counts as
+//                                     RELEASE — the grant/cancel race is
+//                                     resolved server-side)
+//                       RELEASE(id)   leave the critical section
+//   arbiter -> client:  HELLO(node, version)  on accept
+//                       GRANT(id)     the lease is yours; node is eating
+//                       RELEASED(id)  release acknowledged
+//                       REVOKED(id)   lease revoked (cycle breaking or
+//                                     arbiter recovery); stop immediately
+//                       REJECT(id, reason)  request refused
+//
+// A crashed arbiter sends nothing: its endpoint disappears and clients see
+// EOF / ECONNREFUSED, which the client library turns into backoff-paced
+// reconnects. That silence is the point — the protocol carries no failure
+// notifications because malicious crashes do not announce themselves.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace diners::service {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Body length cap: the largest legal frame body (HELLO) is 7 bytes; a
+/// length prefix beyond this is garbage and fails the decode immediately
+/// instead of waiting for gigabytes that will never arrive.
+inline constexpr std::uint32_t kMaxFrameBody = 64;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kAcquire = 2,
+  kGrant = 3,
+  kRelease = 4,
+  kReleased = 5,
+  kCancel = 6,
+  kRevoked = 7,
+  kReject = 8,
+};
+
+enum class RejectReason : std::uint8_t {
+  kShutdown = 0,   ///< the arbiter is stopping
+  kBadFrame = 1,   ///< the client broke the protocol grammar
+};
+
+/// One decoded frame. The protocol is small enough that a single flat
+/// struct beats a variant: unused fields stay zero.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::uint64_t id = 0;         ///< request id (all but HELLO)
+  std::uint32_t node = 0;       ///< HELLO: arbiter node id
+  std::uint16_t version = 0;    ///< HELLO: protocol version
+  RejectReason reason = RejectReason::kShutdown;  ///< REJECT only
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+[[nodiscard]] Frame make_hello(std::uint32_t node);
+[[nodiscard]] Frame make_acquire(std::uint64_t id);
+[[nodiscard]] Frame make_grant(std::uint64_t id);
+[[nodiscard]] Frame make_release(std::uint64_t id);
+[[nodiscard]] Frame make_released(std::uint64_t id);
+[[nodiscard]] Frame make_cancel(std::uint64_t id);
+[[nodiscard]] Frame make_revoked(std::uint64_t id);
+[[nodiscard]] Frame make_reject(std::uint64_t id, RejectReason reason);
+
+/// Appends the framed encoding of `f` (length prefix included) to `out`.
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, next() pops
+/// complete frames in order. A grammar violation (oversized length prefix,
+/// unknown type, body length not matching the type) poisons the decoder:
+/// next() returns std::nullopt forever and error() is non-empty — the
+/// connection should be dropped, since framing can't resynchronize.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// The next complete frame, if one is buffered and the stream is healthy.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] bool poisoned() const noexcept { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+  std::string error_;
+};
+
+}  // namespace diners::service

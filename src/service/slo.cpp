@@ -1,0 +1,166 @@
+#include "service/slo.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "analysis/stats.hpp"
+#include "graph/algorithms.hpp"
+#include "util/json_writer.hpp"
+
+namespace diners::service {
+
+namespace {
+
+struct Cell {
+  StratumStats stats;
+  std::vector<double> latencies;  ///< granted only
+};
+
+void add_record(Cell& cell, const RequestRecord& rec) {
+  ++cell.stats.requests;
+  switch (rec.outcome) {
+    case RequestOutcome::kGranted:
+      ++cell.stats.granted;
+      cell.latencies.push_back(rec.grant_latency_ms);
+      break;
+    case RequestOutcome::kTimeout:
+      ++cell.stats.timeouts;
+      break;
+    case RequestOutcome::kRevoked:
+      // A revoked lease still entered the critical section: its grant
+      // latency is real signal, the revocation its own counter.
+      ++cell.stats.revoked;
+      cell.latencies.push_back(rec.grant_latency_ms);
+      break;
+    case RequestOutcome::kError:
+      ++cell.stats.errors;
+      break;
+  }
+}
+
+void finish_cell(Cell& cell) {
+  if (cell.latencies.empty()) return;
+  cell.stats.max_ms =
+      *std::max_element(cell.latencies.begin(), cell.latencies.end());
+  cell.stats.p50_ms = analysis::quantile(cell.latencies, 0.50);
+  cell.stats.p99_ms = analysis::quantile(cell.latencies, 0.99);
+  cell.stats.p999_ms = analysis::quantile(cell.latencies, 0.999);
+}
+
+[[nodiscard]] const char* phase_of(const RequestRecord& rec,
+                                   const SloOptions& options) {
+  if (rec.scheduled_ms < options.crash_at_ms) return "pre";
+  if (rec.scheduled_ms < options.recovered_at_ms) return "impact";
+  return "post";
+}
+
+}  // namespace
+
+SloReport build_slo_report(const graph::Graph& g, const LoadReport& load,
+                           const chaos::WatchdogVerdict& recovery,
+                           const SloOptions& options) {
+  SloReport report;
+  report.victim = options.victim;
+  report.far_distance = options.far_distance;
+  report.p99_budget_ms = options.p99_budget_ms;
+  report.crash_at_ms = options.crash_at_ms;
+  report.recovered_at_ms = options.recovered_at_ms;
+  report.node_distance = graph::bfs_distances(g, options.victim);
+  report.reconnects = load.reconnects;
+  report.recovered = recovery.ok();
+  report.recovery_steps = recovery.steps_to_converge;
+  report.recovery_failure = recovery.failure;
+
+  const std::uint32_t max_distance =
+      *std::max_element(report.node_distance.begin(),
+                        report.node_distance.end());
+  static constexpr const char* kPhases[] = {"pre", "impact", "post"};
+  // Strata: one per exact distance, plus the theorem's near/far rollups.
+  std::vector<std::string> strata;
+  for (std::uint32_t d = 0; d <= max_distance; ++d) {
+    strata.push_back("d=" + std::to_string(d));
+  }
+  strata.emplace_back("near");
+  strata.emplace_back("far");
+
+  const auto in_stratum = [&](const RequestRecord& rec,
+                              const std::string& stratum) {
+    const std::uint32_t d = report.node_distance.at(rec.node);
+    if (stratum == "near") return d < options.far_distance;
+    if (stratum == "far") return d >= options.far_distance;
+    return stratum == "d=" + std::to_string(d);
+  };
+
+  Cell far_impact;
+  for (const char* phase : kPhases) {
+    for (const auto& stratum : strata) {
+      Cell cell;
+      for (const auto& rec : load.records) {
+        if (phase_of(rec, options) == std::string_view(phase) &&
+            in_stratum(rec, stratum)) {
+          add_record(cell, rec);
+        }
+      }
+      finish_cell(cell);
+      if (stratum == "far" && std::string_view(phase) == "impact") {
+        far_impact = cell;
+      }
+      report.slices.push_back(PhaseSlice{phase, stratum, cell.stats});
+    }
+  }
+
+  // The theorem-as-SLO: far clients never notice the crash. Their impact
+  // p99 stays within budget and none of their requests fail outright.
+  // Vacuous truth is not allowed — an impact window with no far traffic
+  // proves nothing, so it fails the check.
+  report.far_impact_p99_ok = far_impact.stats.granted > 0 &&
+                             far_impact.stats.p99_ms <= options.p99_budget_ms;
+  report.far_impact_clean =
+      far_impact.stats.timeouts == 0 && far_impact.stats.errors == 0;
+  return report;
+}
+
+void write_slo_json(std::ostream& os, const SloReport& report) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "diners-slo/v1");
+  w.field("victim", static_cast<std::uint64_t>(report.victim));
+  w.field("far_distance", static_cast<std::uint64_t>(report.far_distance));
+  w.field("p99_budget_ms", report.p99_budget_ms);
+  w.field("crash_at_ms", report.crash_at_ms);
+  w.field("recovered_at_ms", report.recovered_at_ms);
+  w.key("node_distance").begin_array();
+  for (const std::uint32_t d : report.node_distance) {
+    w.value(static_cast<std::uint64_t>(d));
+  }
+  w.end_array();
+  w.key("slices").begin_array();
+  for (const auto& slice : report.slices) {
+    w.begin_object();
+    w.field("phase", slice.phase);
+    w.field("stratum", slice.stratum);
+    w.field("requests", slice.stats.requests);
+    w.field("granted", slice.stats.granted);
+    w.field("timeouts", slice.stats.timeouts);
+    w.field("revoked", slice.stats.revoked);
+    w.field("errors", slice.stats.errors);
+    w.field("p50_ms", slice.stats.p50_ms);
+    w.field("p99_ms", slice.stats.p99_ms);
+    w.field("p999_ms", slice.stats.p999_ms);
+    w.field("max_ms", slice.stats.max_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("reconnects", report.reconnects);
+  w.key("verdict").begin_object();
+  w.field("far_impact_p99_ok", report.far_impact_p99_ok);
+  w.field("far_impact_clean", report.far_impact_clean);
+  w.field("recovered", report.recovered);
+  w.field("recovery_steps", report.recovery_steps);
+  w.field("recovery_failure", report.recovery_failure);
+  w.field("slo_ok", report.slo_ok());
+  w.end_object();
+  w.finish();
+}
+
+}  // namespace diners::service

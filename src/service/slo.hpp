@@ -1,0 +1,93 @@
+// SLO-grade failure locality: turning load records into the paper's claim.
+//
+// Theorem 2 promises failure locality 2 — a crash starves only processes
+// within graph distance 2 of the victim. For a *service*, that proof
+// obligation becomes a service-level objective: during a crash's impact
+// window, clients attached to arbiters at distance >= 3 from the victim
+// must keep their p99 grant latency inside budget with zero timeouts,
+// while closer clients are allowed to degrade and must recover once the
+// convergence watchdog signs off.
+//
+// This module slices a LoadReport three ways — by phase (before the
+// crash, during the crash's impact window, after the restart), by exact
+// graph distance from the victim, and by the near (<= 2) / far (>= 3)
+// rollup the theorem speaks about — and renders the verdict plus all the
+// evidence as a JSON document (schema `diners-slo/v1`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/watchdog.hpp"
+#include "graph/graph.hpp"
+#include "service/load.hpp"
+
+namespace diners::service {
+
+struct SloOptions {
+  graph::NodeId victim = 0;
+  /// Impact window boundaries, in load-relative milliseconds: requests
+  /// scheduled in [crash_at_ms, recovered_at_ms) are the "impact" phase.
+  double crash_at_ms = 0.0;
+  double recovered_at_ms = 0.0;
+  /// The far stratum's p99 grant-latency budget during impact.
+  double p99_budget_ms = 250.0;
+  /// Distance at and beyond which a client counts as "far" (the theorem
+  /// says 3 = locality bound + 1).
+  std::uint32_t far_distance = 3;
+};
+
+/// Latency/outcome summary of one (phase, stratum) cell. Latency quantiles
+/// are over granted requests only; the failure modes get counted, not
+/// averaged away.
+struct StratumStats {
+  std::uint64_t requests = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t revoked = 0;
+  std::uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct PhaseSlice {
+  std::string phase;          ///< "pre" | "impact" | "post"
+  std::string stratum;        ///< "d=K" exact, or "near" (<=2) / "far" (>=3)
+  StratumStats stats;
+};
+
+struct SloReport {
+  graph::NodeId victim = 0;
+  std::uint32_t far_distance = 3;
+  double p99_budget_ms = 0.0;
+  double crash_at_ms = 0.0;
+  double recovered_at_ms = 0.0;
+  std::vector<std::uint32_t> node_distance;  ///< BFS distance from victim
+  std::vector<PhaseSlice> slices;
+  std::uint64_t reconnects = 0;
+
+  // The verdict, component by component:
+  bool far_impact_p99_ok = false;   ///< far stratum p99 within budget
+  bool far_impact_clean = false;    ///< far stratum: zero timeouts/errors
+  bool recovered = false;           ///< convergence watchdog signed off
+  std::uint64_t recovery_steps = 0;
+  std::string recovery_failure;     ///< watchdog failure detail, if any
+
+  [[nodiscard]] bool slo_ok() const noexcept {
+    return far_impact_p99_ok && far_impact_clean && recovered;
+  }
+};
+
+/// Builds the stratified report from raw load records. `g` must be the
+/// service topology the load ran against.
+[[nodiscard]] SloReport build_slo_report(
+    const graph::Graph& g, const LoadReport& load,
+    const chaos::WatchdogVerdict& recovery, const SloOptions& options);
+
+/// Renders the report as `diners-slo/v1` JSON into `os`.
+void write_slo_json(std::ostream& os, const SloReport& report);
+
+}  // namespace diners::service

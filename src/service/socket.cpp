@@ -1,0 +1,142 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace diners::service {
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Fd::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+namespace {
+
+sockaddr_un uds_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd uds_listen(const std::string& path) {
+  const sockaddr_un addr = uds_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  }
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("bind(" + path +
+                             "): " + std::string(std::strerror(errno)));
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    throw std::runtime_error("listen(" + path +
+                             "): " + std::string(std::strerror(errno)));
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd uds_connect(const std::string& path) {
+  sockaddr_un addr{};
+  try {
+    addr = uds_address(path);
+  } catch (const std::runtime_error&) {
+    return Fd();
+  }
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Fd();
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Fd();
+  return fd;
+}
+
+Fd accept_connection(int listen_fd) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  return Fd(fd);  // invalid on EAGAIN/EWOULDBLOCK and real errors alike
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Transient backpressure: wait for writability, bounded so a wedged
+        // peer cannot hang the arbiter loop.
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, /*timeout_ms=*/100) > 0) continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::ptrdiff_t recv_some(int fd, std::uint8_t* data, std::size_t size) {
+  ssize_t n;
+  do {
+    n = ::recv(fd, data, size, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) return n;
+  if (n == 0) return 0;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  return -2;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+}  // namespace diners::service

@@ -1,0 +1,63 @@
+// Thin POSIX socket layer for the diners service: RAII fds, Unix-domain
+// listen/connect, and EINTR-safe send/recv helpers. Everything here is
+// transport plumbing with no protocol knowledge; the framing in
+// protocol.hpp works unchanged over TCP when a TCP listener is added.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace diners::service {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+  [[nodiscard]] int release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain stream socket at `path` (unlinking a
+/// stale socket file first) in non-blocking mode. Throws std::runtime_error
+/// on failure (path too long for sockaddr_un, permission, ...).
+[[nodiscard]] Fd uds_listen(const std::string& path);
+
+/// Connects (blocking) to the Unix-domain socket at `path`. Returns an
+/// invalid Fd on failure (no such file, refused) — connection failure is an
+/// expected runtime event for clients of a crashable service, not an error.
+[[nodiscard]] Fd uds_connect(const std::string& path);
+
+/// accept() on a listening fd; invalid Fd when no connection is pending.
+/// The accepted socket is left in blocking mode; callers choose.
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+void set_nonblocking(int fd);
+
+/// Sends the whole buffer (EINTR-safe, MSG_NOSIGNAL). Returns false if the
+/// peer vanished (EPIPE/ECONNRESET) or another error ended the connection.
+[[nodiscard]] bool send_all(int fd, const std::uint8_t* data,
+                            std::size_t size);
+
+/// One recv() of up to `size` bytes. Returns the byte count, 0 on orderly
+/// EOF, -1 if the read would block (EAGAIN), and -2 on connection error.
+[[nodiscard]] std::ptrdiff_t recv_some(int fd, std::uint8_t* data,
+                                       std::size_t size);
+
+/// Waits until `fd` is readable, up to `timeout_ms`. True iff readable.
+[[nodiscard]] bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace diners::service

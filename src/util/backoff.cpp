@@ -1,0 +1,44 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace diners::util {
+
+Backoff::Backoff(const BackoffOptions& options, std::uint64_t seed,
+                 std::uint64_t stream)
+    : options_(options),
+      rng_(derive_seed(seed, stream)),
+      current_us_(static_cast<double>(options.base_us)) {
+  if (options_.multiplier < 1.0) {
+    throw std::invalid_argument("Backoff: multiplier must be >= 1");
+  }
+  if (options_.jitter < 0.0 || options_.jitter > 1.0) {
+    throw std::invalid_argument("Backoff: jitter must be in [0, 1]");
+  }
+  if (options_.cap_us < options_.base_us) {
+    throw std::invalid_argument("Backoff: cap_us must be >= base_us");
+  }
+}
+
+std::optional<std::uint64_t> Backoff::next_delay_us() {
+  if (retries_ >= options_.max_retries) return std::nullopt;
+  ++retries_;
+  const double full = std::min(current_us_,
+                               static_cast<double>(options_.cap_us));
+  current_us_ = std::min(current_us_ * options_.multiplier,
+                         static_cast<double>(options_.cap_us));
+  // Jitter removes up to `jitter` of the delay: uniform in
+  // [full * (1 - jitter), full]. The rng draw happens even at jitter 0 so
+  // the stream position depends only on the retry count.
+  const double slack = full * options_.jitter * rng_.unit();
+  return static_cast<std::uint64_t>(std::llround(full - slack));
+}
+
+void Backoff::reset() noexcept {
+  current_us_ = static_cast<double>(options_.base_us);
+  retries_ = 0;
+}
+
+}  // namespace diners::util

@@ -1,0 +1,59 @@
+// Bounded exponential backoff with jitter, deterministic given a seed.
+//
+// One policy object shared by every retry loop in the repo (the service
+// client library's reconnect-on-crash path today; the master/worker
+// dispatcher tomorrow): delays grow geometrically from `base_us` to
+// `cap_us`, each draw jittered downward by up to `jitter` of itself, and
+// the sequence ends after `max_retries` draws. All randomness comes from a
+// private Xoshiro256 stream seeded through util::derive_seed, so a retry
+// schedule is reproducible bit-for-bit from (options, seed) — load
+// generators replaying the same seed reconnect at the same offsets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace diners::util {
+
+struct BackoffOptions {
+  std::uint64_t base_us = 500;     ///< first (un-jittered) delay
+  std::uint64_t cap_us = 100000;   ///< delays saturate here
+  double multiplier = 2.0;         ///< geometric growth factor (>= 1)
+  /// Fraction of each delay that jitter may remove: the draw is uniform in
+  /// [delay * (1 - jitter), delay]. 0 disables jitter; 1 allows full
+  /// decorrelation down to zero.
+  double jitter = 0.5;
+  /// Draws before the sequence reports exhaustion. 0 means "never retry".
+  std::uint32_t max_retries = 32;
+};
+
+/// One retry sequence. Not thread-safe; give each retry loop its own.
+class Backoff {
+ public:
+  /// The RNG stream derives from (seed, stream) so several Backoff
+  /// instances can share one user-facing seed without correlation.
+  Backoff(const BackoffOptions& options, std::uint64_t seed,
+          std::uint64_t stream = 0x5b0f);
+
+  /// The next delay in microseconds, or std::nullopt once `max_retries`
+  /// draws have been handed out (the caller should give up).
+  [[nodiscard]] std::optional<std::uint64_t> next_delay_us();
+
+  /// Draws handed out since construction or the last reset().
+  [[nodiscard]] std::uint32_t retries() const noexcept { return retries_; }
+
+  /// Restarts the schedule (after a successful attempt). The RNG stream is
+  /// NOT rewound: reset() forgets the growth, not the randomness, so a
+  /// reconnect storm does not replay identical jitter.
+  void reset() noexcept;
+
+ private:
+  BackoffOptions options_;
+  Xoshiro256 rng_;
+  double current_us_;
+  std::uint32_t retries_ = 0;
+};
+
+}  // namespace diners::util

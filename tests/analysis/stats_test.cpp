@@ -208,5 +208,50 @@ TEST(Histogram, MergeRejectsLayoutMismatch) {
   EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 5)), std::invalid_argument);
 }
 
+// --- quantiles (the SLO tail estimators) ------------------------------------
+
+TEST(Quantile, NearestRankOnKnownData) {
+  const std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);  // rank ceil(0.5*5) = 3
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, P99IsTheSecondLargestOfTwoHundred) {
+  // Nearest rank, not interpolation: ceil(0.99 * 200) = 198, so with 200
+  // samples the p99 is the 198th smallest — tail outliers beyond it do not
+  // leak into the estimate.
+  std::vector<double> xs;
+  for (int i = 1; i <= 200; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.99), 198.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.995), 199.0);
+}
+
+TEST(Quantile, EmptyYieldsZeroAndBadQThrows) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.99), 0.0);
+  EXPECT_THROW((void)quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(HistogramQuantile, UpperBinEdgeIsConservative) {
+  Histogram h(0.0, 10.0, 10);  // unit bins: [0,1), [1,2), ...
+  for (int i = 0; i < 99; ++i) h.add(0.5);
+  h.add(7.5);
+  // 99% of mass sits in the first bin; the estimate is that bin's UPPER
+  // edge (never below the true quantile).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // The last sample pushes the p100 into the eighth bin.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(HistogramQuantile, OverflowClampsToHiAndEmptyIsZero) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);  // empty
+  h.add(50.0);  // pure overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);  // cannot see past its range
+  EXPECT_THROW((void)h.quantile(2.0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace diners::analysis

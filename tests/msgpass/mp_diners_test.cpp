@@ -219,6 +219,55 @@ TEST(MpDiners, UnreliableRunConservesMessages) {
             net.total_delivered() + net.total_dropped() + net.pending());
 }
 
+TEST(MpDiners, HoldEatingPinsTheMealUntilCleared) {
+  // The lease primitive under the service layer: a pinned process that
+  // reaches eating STAYS eating (its voluntary exit is deferred), its
+  // neighbors stay excluded the whole time, and clearing the pin lets the
+  // ordinary exit land.
+  MpOptions options;
+  options.seed = 31;
+  MessagePassingDiners s(graph::make_path(3), {}, options);
+  for (P p = 0; p < 3; ++p) s.set_needs(p, false);
+  s.set_needs(1, true);
+  s.set_hold_eating(1, true);
+  EXPECT_TRUE(s.hold_eating(1));
+  int guard = 0;
+  while (s.state(1) != core::DinerState::kEating && guard++ < 100000) s.step();
+  ASSERT_EQ(s.state(1), core::DinerState::kEating);
+  const auto meals = s.meals(1);
+  for (int i = 0; i < 20000; ++i) {
+    s.step();
+    ASSERT_EQ(s.state(1), core::DinerState::kEating) << "step " << i;
+    ASSERT_EQ(s.eating_violations(), 0u);
+  }
+  EXPECT_EQ(s.meals(1), meals);  // one pinned meal, not thousands
+  // Dropping the pin (and the appetite) releases the section.
+  s.set_needs(1, false);
+  s.set_hold_eating(1, false);
+  guard = 0;
+  while (s.state(1) == core::DinerState::kEating && guard++ < 100000) s.step();
+  EXPECT_NE(s.state(1), core::DinerState::kEating);
+}
+
+TEST(MpDiners, RestartClearsTheEatingPin) {
+  // A crashed holder must not come back still wedged in the critical
+  // section: restart() clears the pin along with the protocol state.
+  MpOptions options;
+  options.seed = 32;
+  MessagePassingDiners s(graph::make_path(2), {}, options);
+  s.set_needs(1, false);
+  s.set_hold_eating(0, true);
+  int guard = 0;
+  while (s.state(0) != core::DinerState::kEating && guard++ < 100000) s.step();
+  ASSERT_EQ(s.state(0), core::DinerState::kEating);
+  s.crash(0);
+  s.restart(0);
+  EXPECT_FALSE(s.hold_eating(0));
+  s.set_needs(1, true);
+  s.run(50000);
+  EXPECT_GT(s.meals(1), 0u);  // the neighbor is not starved by a stale pin
+}
+
 TEST(MpDiners, TotalLossFreezesProgressButNothingBreaks) {
   MpOptions options;
   options.loss_probability = 1.0;

@@ -206,6 +206,40 @@ TEST(NetworkFaults, CorruptionStaysInsideToleratedDomains) {
   expect_conserved(net);
 }
 
+TEST(NetworkFaults, SimultaneousDelayAndDuplicateConserveExactly) {
+  // Both faults fire on EVERY send: the original and its duplicate each owe
+  // `delay_deliveries` deferrals. The duplicate must count as a second send
+  // (conservation's sent side) and the deferred copies must neither vanish
+  // nor double-count while they bounce around the channel.
+  FaultModel model;
+  model.duplicate = 1.0;
+  model.delay = 1.0;
+  model.delay_deliveries = 3;
+  Network net(graph::make_path(2), model, 11);
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.counter = static_cast<std::uint8_t>(i % 4);
+    net.send(0, 0, m);
+    expect_conserved(net);
+  }
+  EXPECT_EQ(net.total_sent(), 20u);
+  EXPECT_EQ(net.total_duplicated(), 10u);
+  EXPECT_EQ(net.pending(), 20u);
+  EXPECT_EQ(net.total_dropped(), 0u);
+  // Draining must terminate (each deferral consumes one delay unit) and
+  // deliver every copy exactly once, conserving at every step.
+  util::Xoshiro256 rng(11);
+  graph::EdgeId e;
+  int dir;
+  for (int i = 0; i < 20; ++i) {
+    (void)net.deliver_random(rng, e, dir);
+    expect_conserved(net);
+  }
+  EXPECT_FALSE(net.has_pending());
+  EXPECT_EQ(net.total_delivered(), 20u);
+  expect_conserved(net);
+}
+
 TEST(NetworkFaults, MixedFaultsConserveExactly) {
   FaultModel model;
   model.drop = 0.2;

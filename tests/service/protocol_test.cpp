@@ -1,0 +1,163 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace diners::service {
+namespace {
+
+std::vector<Frame> all_frames() {
+  return {
+      make_hello(7),
+      make_acquire(1),
+      make_grant(0xdeadbeefcafe01ULL),
+      make_release(2),
+      make_released(2),
+      make_cancel(3),
+      make_revoked(4),
+      make_reject(5, RejectReason::kBadFrame),
+  };
+}
+
+TEST(Protocol, EncodeDecodeRoundTripsEveryFrameType) {
+  for (const Frame& f : all_frames()) {
+    std::vector<std::uint8_t> wire;
+    encode_frame(f, wire);
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    const auto got = dec.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, f);
+    EXPECT_FALSE(dec.next().has_value());  // exactly one frame
+    EXPECT_FALSE(dec.poisoned());
+  }
+}
+
+TEST(Protocol, HelloCarriesNodeAndVersion) {
+  const Frame f = make_hello(123);
+  EXPECT_EQ(f.node, 123u);
+  EXPECT_EQ(f.version, kProtocolVersion);
+}
+
+TEST(Protocol, DecodesByteAtATime) {
+  // TCP-grade reassembly: frames split at every possible byte boundary
+  // must decode identically.
+  std::vector<std::uint8_t> wire;
+  for (const Frame& f : all_frames()) encode_frame(f, wire);
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  for (const std::uint8_t byte : wire) {
+    dec.feed(&byte, 1);
+    while (auto f = dec.next()) got.push_back(*f);
+  }
+  const auto expected = all_frames();
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
+TEST(Protocol, DecodesCoalescedFrames) {
+  // ... and arbitrarily coalesced (one feed, many frames).
+  std::vector<std::uint8_t> wire;
+  for (const Frame& f : all_frames()) encode_frame(f, wire);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  std::size_t count = 0;
+  while (dec.next().has_value()) ++count;
+  EXPECT_EQ(count, all_frames().size());
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(Protocol, OversizedLengthPoisons) {
+  const std::uint32_t huge = kMaxFrameBody + 1;
+  std::uint8_t wire[4] = {
+      static_cast<std::uint8_t>(huge & 0xff),
+      static_cast<std::uint8_t>((huge >> 8) & 0xff),
+      static_cast<std::uint8_t>((huge >> 16) & 0xff),
+      static_cast<std::uint8_t>((huge >> 24) & 0xff),
+  };
+  FrameDecoder dec;
+  dec.feed(wire, sizeof(wire));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_NE(dec.error().find("length"), std::string::npos);
+}
+
+TEST(Protocol, ZeroLengthPoisons) {
+  const std::uint8_t wire[4] = {0, 0, 0, 0};
+  FrameDecoder dec;
+  dec.feed(wire, sizeof(wire));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Protocol, UnknownTypePoisons) {
+  // Body of 9 bytes (the id-frame length) but a type byte nothing maps to.
+  std::vector<std::uint8_t> wire = {9, 0, 0, 0, 0x7f};
+  wire.resize(4 + 9, 0);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Protocol, WrongBodyLengthForTypePoisons) {
+  // An ACQUIRE (needs 9 body bytes) framed with the HELLO length of 7.
+  std::vector<std::uint8_t> wire = {
+      7, 0, 0, 0, static_cast<std::uint8_t>(FrameType::kAcquire)};
+  wire.resize(4 + 7, 0);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Protocol, PoisonIsSticky) {
+  FrameDecoder dec;
+  const std::uint8_t bad[4] = {0, 0, 0, 0};
+  dec.feed(bad, sizeof(bad));
+  EXPECT_FALSE(dec.next().has_value());
+  ASSERT_TRUE(dec.poisoned());
+  // A perfectly valid frame after the poison must NOT resurrect the
+  // stream: framing cannot resynchronize after a grammar violation.
+  std::vector<std::uint8_t> good;
+  encode_frame(make_acquire(1), good);
+  dec.feed(good.data(), good.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Protocol, PartialFrameIsNotAFrameYet) {
+  std::vector<std::uint8_t> wire;
+  encode_frame(make_grant(42), wire);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size() - 1);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.poisoned());  // incomplete, not invalid
+  dec.feed(wire.data() + wire.size() - 1, 1);
+  const auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 42u);
+}
+
+TEST(Protocol, LongStreamRecyclesBufferSpace) {
+  // Push enough frames through one decoder to force the lazy compaction
+  // path several times over; every frame must still decode in order.
+  FrameDecoder dec;
+  std::vector<std::uint8_t> wire;
+  std::uint64_t next_expected = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    wire.clear();
+    encode_frame(make_acquire(i), wire);
+    dec.feed(wire.data(), wire.size());
+    while (auto f = dec.next()) {
+      EXPECT_EQ(f->id, next_expected);
+      ++next_expected;
+    }
+  }
+  EXPECT_EQ(next_expected, 10000u);
+  EXPECT_FALSE(dec.poisoned());
+}
+
+}  // namespace
+}  // namespace diners::service

@@ -1,0 +1,104 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace diners::util {
+namespace {
+
+TEST(Backoff, GrowsGeometricallyWithinBounds) {
+  BackoffOptions options;
+  options.base_us = 100;
+  options.cap_us = 1000;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;  // exact schedule: 100, 200, 400, 800, 1000, 1000...
+  options.max_retries = 6;
+  Backoff b(options, 1);
+  const std::vector<std::uint64_t> expected = {100, 200, 400, 800, 1000, 1000};
+  for (const std::uint64_t want : expected) {
+    const auto got = b.next_delay_us();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want);
+  }
+  EXPECT_FALSE(b.next_delay_us().has_value());  // retries exhausted
+  EXPECT_EQ(b.retries(), 6u);
+}
+
+TEST(Backoff, JitterOnlyShrinksAndStaysPositive) {
+  BackoffOptions options;
+  options.base_us = 1000;
+  options.cap_us = 100000;
+  options.jitter = 0.5;
+  options.max_retries = 32;
+  Backoff b(options, 7);
+  std::uint64_t full = 1000;
+  while (const auto d = b.next_delay_us()) {
+    // Uniform in [full/2, full]: jitter removes at most half, never adds.
+    EXPECT_LE(*d, full);
+    EXPECT_GE(*d, full / 2);
+    full = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(full) *
+                                   options.multiplier),
+        options.cap_us);
+  }
+}
+
+TEST(Backoff, DeterministicForSeedAndDecorrelatedAcrossStreams) {
+  const BackoffOptions options;
+  Backoff a(options, 42, 1);
+  Backoff b(options, 42, 1);
+  Backoff c(options, 42, 2);
+  bool streams_differ = false;
+  for (int i = 0; i < 10; ++i) {
+    const auto da = a.next_delay_us();
+    const auto db = b.next_delay_us();
+    const auto dc = c.next_delay_us();
+    ASSERT_TRUE(da && db && dc);
+    EXPECT_EQ(*da, *db);  // same (seed, stream): identical schedule
+    streams_differ |= (*da != *dc);
+  }
+  EXPECT_TRUE(streams_differ);  // different stream: different jitter
+}
+
+TEST(Backoff, ResetForgetsGrowthButNotRandomness) {
+  BackoffOptions options;
+  options.base_us = 100;
+  options.cap_us = 100000;
+  options.jitter = 0.0;
+  Backoff b(options, 3);
+  (void)b.next_delay_us();
+  (void)b.next_delay_us();
+  const auto grown = b.next_delay_us();
+  ASSERT_TRUE(grown.has_value());
+  EXPECT_EQ(*grown, 400u);
+  b.reset();
+  EXPECT_EQ(b.retries(), 0u);
+  const auto after = b.next_delay_us();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, 100u);  // growth restarted from base
+}
+
+TEST(Backoff, ZeroMaxRetriesMeansNeverRetry) {
+  BackoffOptions options;
+  options.max_retries = 0;
+  Backoff b(options, 1);
+  EXPECT_FALSE(b.next_delay_us().has_value());
+}
+
+TEST(Backoff, RejectsInvalidOptions) {
+  BackoffOptions shrink;
+  shrink.multiplier = 0.5;
+  EXPECT_THROW(Backoff(shrink, 1), std::invalid_argument);
+  BackoffOptions jitter;
+  jitter.jitter = 1.5;
+  EXPECT_THROW(Backoff(jitter, 1), std::invalid_argument);
+  BackoffOptions cap;
+  cap.base_us = 1000;
+  cap.cap_us = 10;
+  EXPECT_THROW(Backoff(cap, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace diners::util

@@ -13,6 +13,9 @@
 //   batch     BM_BatchTrials n=64 jobs=1/4 (bench_batch_runner)
 //                                               -> trials/sec, speedup
 //   chaos     diners_chaos ring-8 soak          -> mean recovery steps
+//   service   diners_service --campaign ring-64 (live crash + restart
+//             under socket load)                -> far-stratum impact p99
+//                                                  ms + recovery steps
 //
 // Comparator mode (`--compare=BASELINE`) loads two records, prints the
 // per-metric deltas, and exits 3 when any metric is worse than the
@@ -27,9 +30,9 @@
 //
 // Examples:
 //   diners_bench --quick --git-rev=$(git rev-parse --short HEAD)
-//   diners_bench --compare=BENCH_7.json --out=BENCH_8.json
-//   diners_bench --compare=BENCH_8.json --out=BENCH_ci.json \
-//                --soft-match=engine.step.
+//   diners_bench --compare=BENCH_8.json --out=BENCH_9.json
+//   diners_bench --compare=BENCH_9.json --out=BENCH_ci.json \
+//                --soft-match=engine.step.,service.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -294,6 +297,55 @@ void collect_chaos(BenchReport& report, const fs::path& tools_dir) {
   report.metrics.push_back(std::move(m));
 }
 
+/// Service SLO sample: one live chaos campaign on ring-64 (crash + restart
+/// of arbiter 0 under open-loop load through real sockets). Records the far
+/// stratum's impact-window p99 grant latency — the number the SLO gates on —
+/// and the watchdog's steps-to-reconvergence. Wall-clock, so noisier than
+/// the simulated metrics; the campaign must still MEET the SLO to count as
+/// a perf sample at all (run_checked enforces exit 0).
+void collect_service(BenchReport& report, const fs::path& tools_dir,
+                     const fs::path& workdir) {
+  // sockaddr_un caps paths at ~107 bytes; keep the socket dir shallow.
+  const fs::path socket_dir = workdir / "svc";
+  fs::create_directories(socket_dir);
+  const fs::path out = workdir / "service_slo.json";
+  run_checked(shq((tools_dir / "diners_service").string()) +
+              " --campaign --topology=ring --n=64 --victim=0"
+              " --crash-at-ms=300 --restart-at-ms=900 --duration-ms=1500"
+              " --clients=16 --rps=200 --deadline-ms=400 --hold-us=200"
+              " --p99-budget-ms=400 --seed=1 --socket-dir=" +
+              shq(socket_dir.string()) + " --out=" + shq(out.string()) +
+              " >&2");
+  const JsonValue doc = diners::util::parse_json(read_file(out));
+  const JsonValue* far_impact = nullptr;
+  for (const auto& slice : doc.at("slices").as_array()) {
+    if (slice.at("phase").as_string() == "impact" &&
+        slice.at("stratum").as_string() == "far") {
+      far_impact = &slice;
+    }
+  }
+  if (far_impact == nullptr || far_impact->at("granted").as_number() == 0) {
+    throw DriverError("campaign SLO report has no far-stratum impact grants");
+  }
+  BenchMetric p99;
+  p99.name = "service.p99_ttE.n64";
+  p99.value = far_impact->at("p99_ms").as_number();
+  p99.unit = "ms";
+  p99.higher_is_better = false;
+  p99.params = {{"topology", "ring"}, {"n", "64"}, {"phase", "impact"},
+                {"stratum", "far"}, {"rps", "200"}, {"seed", "1"}};
+  report.metrics.push_back(std::move(p99));
+
+  BenchMetric recovery;
+  recovery.name = "service.recovery.steps";
+  recovery.value = doc.at("verdict").at("recovery_steps").as_number();
+  recovery.unit = "steps";
+  recovery.higher_is_better = false;
+  recovery.params = {{"topology", "ring"}, {"n", "64"}, {"victim", "0"},
+                     {"seed", "1"}};
+  report.metrics.push_back(std::move(recovery));
+}
+
 // --- modes -----------------------------------------------------------------
 
 void print_metrics(const BenchReport& report) {
@@ -342,6 +394,7 @@ int run_suite(const diners::util::Flags& flags, const char* argv0) {
   collect_explorer(report, tools_dir, workdir);
   collect_batch(report, bench_dir, workdir);
   collect_chaos(report, tools_dir);
+  collect_service(report, tools_dir, workdir);
 
   const std::string out_path = flags.str("out");
   std::ofstream out(out_path);
@@ -432,9 +485,9 @@ int main(int argc, char** argv) {
   diners::util::Flags flags;
   flags
       .define("quick", "true",
-              "run the quick suite (engine, explorer, batch, chaos); "
-              "currently the only suite")
-      .define("out", "BENCH_8.json",
+              "run the quick suite (engine, explorer, batch, chaos, "
+              "service); currently the only suite")
+      .define("out", "BENCH_9.json",
               "record path: written in run mode, the 'current' side in "
               "--compare mode")
       .define("compare", "",

@@ -17,6 +17,7 @@
 //   diners_chaos --backend=msgpass-unreliable --drop=0.01 --reorder=0.05
 //   diners_chaos --backend=threaded --rounds=50 --trials=2
 //   diners_chaos --mutate=no-fixdepth --corrupt-prob=1   # must exit 1
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -63,6 +64,22 @@ void print_summary(const diners::chaos::CampaignOptions& options,
               << result.recovery_steps.mean();
   }
   std::cerr << "\n";
+}
+
+/// Validates that the incident path is writable *before* the campaign runs:
+/// discovering an unwritable path only after hours of soaking would throw
+/// the incident evidence away. Leaves no trace if the file did not already
+/// exist. Throws UsageError (exit 2) on failure.
+void require_incident_path_writable(const std::string& path) {
+  if (path.empty()) return;
+  const bool existed = static_cast<bool>(std::ifstream(path));
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw UsageError("cannot write incident report to --incident path: " +
+                     path);
+  }
+  probe.close();
+  if (!existed) std::remove(path.c_str());
 }
 
 int run(const diners::util::Flags& flags) {
@@ -116,6 +133,7 @@ int run(const diners::util::Flags& flags) {
   batch.trials = flags.u64("trials", 1);
   batch.jobs = flags.u32("jobs", 1);
   batch.master_seed = flags.u64("seed");
+  require_incident_path_writable(flags.str("incident"));
 
   const auto result = diners::chaos::run_campaign_batch(options, batch);
   print_summary(options, result);
