@@ -104,7 +104,10 @@ struct ScenarioOptions {
   sim::EngineKind engine_kind = sim::EngineKind::kObject;
   /// Rebuild shard count inside the flat engine (per trial, on top of the
   /// batch-level `jobs` fan-out). Results identical at every value.
-  unsigned engine_jobs = 1;
+  unsigned rebuild_jobs = 1;
+  /// Wide in-step refresh shard count inside the flat engine (per trial).
+  /// Results identical at every value.
+  unsigned step_jobs = 1;
 
   /// Start from a uniformly corrupted state (Theorem 1 experiments).
   bool corrupt = false;

@@ -32,7 +32,10 @@ struct HarnessOptions {
   sim::EngineKind engine_kind = sim::EngineKind::kObject;
   /// Worker count for the flat engine's sharded full rebuilds. Results are
   /// identical at every value; ignored by the object engine.
-  unsigned engine_jobs = 1;
+  unsigned rebuild_jobs = 1;
+  /// Shard count for the flat engine's wide in-step dirty refreshes.
+  /// Results are identical at every value; ignored by the object engine.
+  unsigned step_jobs = 1;
 };
 
 class ExperimentHarness {

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/guard_sweep.hpp"
 #include "util/thread_pool.hpp"
 
 namespace diners::core {
@@ -18,16 +19,23 @@ constexpr std::uint64_t mask_above(std::uint32_t b) {
   return b == 63 ? 0 : ~0ULL << (b + 1);
 }
 
+/// Dirty sets below this take the per-process refresh path; at or above
+/// it (and with step_jobs > 1) whole 64-process blocks re-sweep in
+/// parallel. Three full blocks is where the block sweep's redundant
+/// recomputes amortize.
+constexpr std::size_t kWideRefreshMinDirty = 192;
+
 }  // namespace
 
 FlatEngine::FlatEngine(DinersSystem& system, const std::string& daemon,
                        std::uint64_t daemon_seed, std::uint64_t fairness_bound,
-                       unsigned rebuild_jobs)
+                       unsigned rebuild_jobs, unsigned step_jobs)
     : system_(system),
       daemon_name_(daemon),
       rng_(daemon_seed),
       fairness_bound_(fairness_bound),
-      rebuild_jobs_(rebuild_jobs) {
+      rebuild_jobs_(rebuild_jobs),
+      step_jobs_(step_jobs) {
   if (daemon == "round-robin") {
     kind_ = DaemonKind::kRoundRobin;
   } else if (daemon == "random") {
@@ -45,6 +53,10 @@ FlatEngine::FlatEngine(DinersSystem& system, const std::string& daemon,
   if (rebuild_jobs_ == 0) {
     throw std::invalid_argument("FlatEngine: rebuild jobs must be positive");
   }
+  if (step_jobs_ == 0) {
+    throw std::invalid_argument("FlatEngine: step jobs must be positive");
+  }
+  track_select_ = kind_ == DaemonKind::kRandom;
   n_ = system_.topology().num_nodes();
   slots_ = n_ * kActions;
   words_ = (slots_ + 63) / 64;
@@ -63,6 +75,9 @@ FlatEngine::FlatEngine(DinersSystem& system, const std::string& daemon,
 }
 
 void FlatEngine::fenwick_add(std::uint32_t word, std::int64_t delta) const {
+  // Rank selection — the only Fenwick consumer — exists only under the
+  // random daemon; everyone else skips the O(log W) scattered update.
+  if (!track_select_) return;
   for (std::uint32_t i = word + 1; i <= words_; i += i & (~i + 1)) {
     fen_[i] += delta;
   }
@@ -188,11 +203,21 @@ void FlatEngine::refresh_process(sim::ProcessId p) const {
   const std::uint32_t mask =
       system_.alive(p) ? system_.guard_mask(p) : 0;
   const Slot base = p * kActions;
-  for (std::uint32_t a = 0; a < kActions; ++a) {
+  // Read all five current bits in one (possibly straddling) group load and
+  // diff against the fresh mask: the common no-change refresh touches no
+  // bit, summary, or list state at all. The straddle read of word w + 1 is
+  // in bounds: slot base + 4 < slots_ <= 64 * words_.
+  const std::uint32_t w = base >> 6;
+  const std::uint32_t off = base & 63;
+  std::uint64_t cur = enabled_[w] >> off;
+  if (off > 64 - kActions) cur |= enabled_[w + 1] << (64 - off);
+  std::uint32_t changed =
+      (static_cast<std::uint32_t>(cur) ^ mask) & ((1u << kActions) - 1);
+  while (changed != 0) {
+    const auto a = static_cast<std::uint32_t>(std::countr_zero(changed));
+    changed &= changed - 1;
     const Slot s = base + a;
-    const bool now = (mask >> a) & 1u;
-    if (now == test(s)) continue;
-    if (now) {
+    if ((mask >> a) & 1u) {
       set_bit(s);
       enabled_since_[s] = steps_;
       list_insert_max_stamp(s);
@@ -203,33 +228,44 @@ void FlatEngine::refresh_process(sim::ProcessId p) const {
   }
 }
 
+void FlatEngine::sweep_block_words(std::uint32_t block,
+                                   std::uint64_t* out) const {
+  const auto lo = static_cast<sim::ProcessId>(block) << 6;
+  const auto cnt =
+      static_cast<std::uint32_t>(std::min<sim::ProcessId>(64, n_ - lo));
+  GuardBlock gb;
+  system_.guard_block(lo, cnt, gb);
+  std::uint64_t lanes[kActions];
+  for (std::uint32_t a = 0; a < kActions; ++a) {
+    lanes[a] = gb.lane[a] & gb.alive;  // dead processes execute nothing
+  }
+  spread_guard_lanes(lanes, out);
+}
+
 void FlatEngine::rebuild(bool keep_ages) const {
   // Parallel phase: 64-process blocks (5 * 64 = 320 slots = exactly five
-  // words) evaluate guards and write their disjoint enabled words and
-  // stamps. Output is a pure function of program state, so it is
-  // bit-identical for every jobs count and partition.
+  // words) sweep guards via guard_block and write their disjoint enabled
+  // words and stamps. Output is a pure function of program state, so it
+  // is bit-identical for every jobs count and partition.
   const auto eval_block = [&](std::size_t block) {
-    const sim::ProcessId lo = static_cast<sim::ProcessId>(block) * 64;
-    const sim::ProcessId hi =
-        std::min<sim::ProcessId>(lo + 64, n_);
-    for (sim::ProcessId p = lo; p < hi; ++p) {
-      const std::uint32_t mask =
-          system_.alive(p) ? system_.guard_mask(p) : 0;
-      const Slot base = p * kActions;
-      for (std::uint32_t a = 0; a < kActions; ++a) {
-        const Slot s = base + a;
-        const bool now = (mask >> a) & 1u;
-        const std::uint32_t w = s >> 6;
-        const std::uint64_t bit = 1ULL << (s & 63);
-        if (now) {
-          if (!keep_ages || (enabled_[w] & bit) == 0) {
-            enabled_since_[s] = steps_;
-          }
-          enabled_[w] |= bit;
-        } else {
-          enabled_[w] &= ~bit;
-        }
+    std::uint64_t w5[kActions];
+    sweep_block_words(static_cast<std::uint32_t>(block), w5);
+    const auto wbase = static_cast<std::uint32_t>(block) * kActions;
+    const std::uint32_t wcnt = std::min(kActions, words_ - wbase);
+    for (std::uint32_t k = 0; k < wcnt; ++k) {
+      const std::uint32_t w = wbase + k;
+      const std::uint64_t neww = w5[k];
+      // A zero-ages rebuild stamps every now-enabled slot; keep-ages
+      // stamps only newly enabled ones. Disabled slots keep stale stamps
+      // (dead values), exactly like the per-process path.
+      std::uint64_t to_stamp = keep_ages ? (neww & ~enabled_[w]) : neww;
+      while (to_stamp != 0) {
+        const Slot s =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(to_stamp));
+        enabled_since_[s] = steps_;
+        to_stamp &= to_stamp - 1;
       }
+      enabled_[w] = neww;
     }
   };
   const std::size_t blocks = (static_cast<std::size_t>(n_) + 63) / 64;
@@ -247,7 +283,7 @@ void FlatEngine::rebuild(bool keep_ages) const {
   order_.clear();
   for (std::uint32_t w = 0; w < words_; ++w) {
     std::uint64_t word = enabled_[w];
-    fen_[w + 1] = std::popcount(word);
+    if (track_select_) fen_[w + 1] = std::popcount(word);
     if (word == 0) continue;
     sum1_[w >> 6] |= 1ULL << (w & 63);
     total_ += static_cast<std::uint64_t>(std::popcount(word));
@@ -260,9 +296,11 @@ void FlatEngine::rebuild(bool keep_ages) const {
   for (std::uint32_t s1 = 0; s1 < sum1_words_; ++s1) {
     if (sum1_[s1] != 0) sum2_[s1 >> 6] |= 1ULL << (s1 & 63);
   }
-  for (std::uint32_t i = 1; i <= words_; ++i) {
-    const std::uint32_t j = i + (i & (~i + 1));
-    if (j <= words_) fen_[j] += fen_[i];
+  if (track_select_) {
+    for (std::uint32_t i = 1; i <= words_; ++i) {
+      const std::uint32_t j = i + (i & (~i + 1));
+      if (j <= words_) fen_[j] += fen_[i];
+    }
   }
   // order_ is slot-ascending; a stable sort by stamp yields (stamp, slot)
   // order. After a zero-ages rebuild all stamps are equal — skip the sort.
@@ -276,13 +314,87 @@ void FlatEngine::rebuild(bool keep_ages) const {
   for (const Slot s : order_) list_append_tail(s);
 }
 
+void FlatEngine::apply_word_diff(std::uint32_t w, std::uint64_t neww) const {
+  const std::uint64_t old = enabled_[w];
+  std::uint64_t add = neww & ~old;
+  std::uint64_t rem = old & ~neww;
+  if (add == 0 && rem == 0) return;
+  enabled_[w] = neww;
+  const std::uint32_t s1 = w >> 6;
+  if (old == 0) {
+    if (sum1_[s1] == 0) sum2_[s1 >> 6] |= 1ULL << (s1 & 63);
+    sum1_[s1] |= 1ULL << (w & 63);
+  } else if (neww == 0) {
+    sum1_[s1] &= ~(1ULL << (w & 63));
+    if (sum1_[s1] == 0) sum2_[s1 >> 6] &= ~(1ULL << (s1 & 63));
+  }
+  const auto delta = static_cast<std::int64_t>(std::popcount(neww)) -
+                     static_cast<std::int64_t>(std::popcount(old));
+  if (delta != 0) {
+    fenwick_add(w, delta);
+    total_ += static_cast<std::uint64_t>(delta);
+  }
+  while (rem != 0) {
+    const Slot s =
+        (w << 6) + static_cast<std::uint32_t>(std::countr_zero(rem));
+    rem &= rem - 1;
+    list_unlink(s);
+  }
+  while (add != 0) {
+    const Slot s =
+        (w << 6) + static_cast<std::uint32_t>(std::countr_zero(add));
+    add &= add - 1;
+    enabled_since_[s] = steps_;
+    list_insert_max_stamp(s);
+  }
+}
+
+void FlatEngine::wide_refresh() const {
+  // Parallel phase: the dirty processes' 64-process blocks re-sweep into
+  // per-block scratch words (a pure function of program state — any
+  // partition yields the same words; re-sweeping a clean process in a
+  // dirty block recomputes its unchanged guards, a no-op in the fold).
+  dirty_blocks_.clear();
+  for (const sim::ProcessId q : dirty_) {
+    dirty_blocks_.push_back(static_cast<std::uint32_t>(q) >> 6);
+  }
+  std::sort(dirty_blocks_.begin(), dirty_blocks_.end());
+  dirty_blocks_.erase(
+      std::unique(dirty_blocks_.begin(), dirty_blocks_.end()),
+      dirty_blocks_.end());
+  block_words_.resize(dirty_blocks_.size() * kActions);
+  const auto sweep = [&](std::size_t i) {
+    sweep_block_words(dirty_blocks_[i], &block_words_[i * kActions]);
+  };
+  if (dirty_blocks_.size() == 1) {
+    sweep(0);
+  } else {
+    util::TrialPool pool(step_jobs_);
+    pool.run(dirty_blocks_.size(), sweep);
+  }
+  // Serial fold, block-ascending. Every slot this fold enables carries
+  // the same stamp (steps_) and the age list is (stamp, slot)-ordered, so
+  // the result is byte-identical to the per-process refresh path.
+  for (std::size_t i = 0; i < dirty_blocks_.size(); ++i) {
+    const std::uint32_t wbase = dirty_blocks_[i] * kActions;
+    const std::uint32_t wcnt = std::min(kActions, words_ - wbase);
+    for (std::uint32_t k = 0; k < wcnt; ++k) {
+      apply_word_diff(wbase + k, block_words_[i * kActions + k]);
+    }
+  }
+}
+
 void FlatEngine::ensure_fresh() const {
   if (pending_ != Refresh::kNone) {
     rebuild(/*keep_ages=*/pending_ == Refresh::kKeepAges);
     dirty_.clear();
     pending_ = Refresh::kNone;
   } else if (!dirty_.empty()) {
-    for (const sim::ProcessId q : dirty_) refresh_process(q);
+    if (step_jobs_ > 1 && dirty_.size() >= kWideRefreshMinDirty) {
+      wide_refresh();
+    } else {
+      for (const sim::ProcessId q : dirty_) refresh_process(q);
+    }
     dirty_.clear();
   }
 }

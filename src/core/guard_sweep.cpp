@@ -1,0 +1,429 @@
+// Guard-sweep backends for DinersSystem::guard_block (see guard_sweep.hpp).
+//
+// All backends share the same structure: the per-edge neighborhood
+// aggregates (some-ancestor-not-thinking, some-descendant-eating,
+// has-descendant, depth <= max-descendant-depth) come from one scalar CSR
+// pass — gather-heavy, degree-irregular, not worth vectorizing at
+// ring/grid/gnp degrees — while the per-process own-state flags (phase
+// compares, needs, alive, depth > D) and the final guard combine run as
+// whole 64-bit lanes. The SIMD backends only accelerate the own-state
+// flag extraction: 64 byte-compares collapse to two 32-byte compare +
+// movemask pairs (AVX2) or four 16-byte compare + bit-pack reductions
+// (NEON). A backend processes a full 64-process block; partial tail
+// blocks always take the portable path, which masks lanes to `count`.
+#include "core/guard_sweep.hpp"
+
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "core/state.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define DINERS_SWEEP_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define DINERS_SWEEP_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace diners::core {
+namespace {
+
+constexpr std::uint32_t kActions = DinersSystem::kNumActions;
+
+/// Raw-pointer view of the system state a sweep reads; built once per
+/// guard_block call so backends are free functions, not members.
+struct SweepInput {
+  const std::uint32_t* offsets;
+  const graph::NodeId* nbrs;
+  const graph::EdgeId* eids;
+  const DinerState* states;
+  const std::int64_t* depths;
+  const std::uint8_t* needs;
+  const std::uint8_t* alive;
+  const sim::ProcessId* priority;
+  std::int64_t d;
+  bool dynamic_threshold;
+  bool cycle_breaking;
+};
+
+using SweepFn = void (*)(const SweepInput&, sim::ProcessId, std::uint32_t,
+                         GuardBlock&);
+
+/// Per-edge aggregates of processes [base, base + count), one bit per
+/// process. `dle` is "depth(p) <= max descendant depth" (the overflow-free
+/// fixdepth comparison guard_mask uses); false when p has no descendant.
+struct EdgeLanes {
+  std::uint64_t anc_not_thinking = 0;
+  std::uint64_t desc_eating = 0;
+  std::uint64_t has_desc = 0;
+  std::uint64_t depth_le_maxd = 0;
+};
+
+EdgeLanes edge_aggregates(const SweepInput& in, sim::ProcessId base,
+                          std::uint32_t count) {
+  EdgeLanes out;
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const sim::ProcessId p = base + j;
+    bool anc_nt = false;
+    bool desc_eat = false;
+    bool has_desc = false;
+    std::int64_t maxd = std::numeric_limits<std::int64_t>::min();
+    for (std::uint32_t i = in.offsets[p], end = in.offsets[p + 1]; i != end;
+         ++i) {
+      const sim::ProcessId q = in.nbrs[i];
+      const bool desc = in.priority[in.eids[i]] == p;
+      const DinerState sq = in.states[q];
+      anc_nt |= !desc && sq != DinerState::kThinking;
+      desc_eat |= desc && sq == DinerState::kEating;
+      has_desc |= desc;
+      if (desc && in.depths[q] > maxd) maxd = in.depths[q];
+    }
+    const std::uint64_t bit = 1ULL << j;
+    if (anc_nt) out.anc_not_thinking |= bit;
+    if (desc_eat) out.desc_eating |= bit;
+    if (has_desc) {
+      out.has_desc |= bit;
+      if (in.depths[p] <= maxd) out.depth_le_maxd |= bit;
+    }
+  }
+  return out;
+}
+
+/// Combines own-state and edge lanes into the five guard lanes, mirroring
+/// guard_mask()'s final expression word-wide. `tail` masks bits >= count.
+void combine_lanes(const SweepInput& in, const EdgeLanes& e, std::uint64_t th,
+                   std::uint64_t hu, std::uint64_t ea, std::uint64_t nd,
+                   std::uint64_t alv, std::uint64_t dgt, std::uint64_t tail,
+                   GuardBlock& out) {
+  const std::uint64_t all_anc_th = ~e.anc_not_thinking;
+  out.lane[DinersSystem::kJoin] = (nd & th & all_anc_th) & tail;
+  out.lane[DinersSystem::kLeave] =
+      in.dynamic_threshold ? (hu & e.anc_not_thinking) & tail : 0;
+  out.lane[DinersSystem::kEnter] = (hu & all_anc_th & ~e.desc_eating) & tail;
+  out.lane[DinersSystem::kExit] =
+      (in.cycle_breaking ? (ea | dgt) : ea) & tail;
+  out.lane[DinersSystem::kFixDepth] =
+      in.cycle_breaking ? (e.has_desc & e.depth_le_maxd) & tail : 0;
+  out.alive = alv & tail;
+}
+
+void sweep_portable(const SweepInput& in, sim::ProcessId base,
+                    std::uint32_t count, GuardBlock& out) {
+  std::uint64_t th = 0, hu = 0, ea = 0, nd = 0, alv = 0, dgt = 0;
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const sim::ProcessId p = base + j;
+    const std::uint64_t bit = 1ULL << j;
+    const DinerState s = in.states[p];
+    if (s == DinerState::kThinking) th |= bit;
+    if (s == DinerState::kHungry) hu |= bit;
+    if (s == DinerState::kEating) ea |= bit;
+    if (in.needs[p] != 0) nd |= bit;
+    if (in.alive[p] != 0) alv |= bit;
+    if (in.depths[p] > in.d) dgt |= bit;
+  }
+  const std::uint64_t tail =
+      count == 64 ? ~0ULL : (1ULL << count) - 1;
+  combine_lanes(in, edge_aggregates(in, base, count), th, hu, ea, nd, alv,
+                dgt, tail, out);
+}
+
+#if DINERS_SWEEP_X86
+
+/// 64 byte-lanes == value, as a bitmask (two 32-byte compares + movemask).
+__attribute__((target("avx2"))) inline std::uint64_t avx2_byte_eq(
+    const std::uint8_t* bytes, std::uint8_t value) {
+  const __m256i needle = _mm256_set1_epi8(static_cast<char>(value));
+  const __m256i lo = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(bytes));
+  const __m256i hi = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(bytes + 32));
+  const auto mlo = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)));
+  const auto mhi = static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)));
+  return static_cast<std::uint64_t>(mhi) << 32 | mlo;
+}
+
+__attribute__((target("avx2"))) void sweep_avx2(const SweepInput& in,
+                                                sim::ProcessId base,
+                                                std::uint32_t count,
+                                                GuardBlock& out) {
+  if (count < 64) {  // partial tail block: lanes must mask to count
+    sweep_portable(in, base, count, out);
+    return;
+  }
+  const auto* state_bytes =
+      reinterpret_cast<const std::uint8_t*>(in.states + base);
+  const std::uint64_t th = avx2_byte_eq(state_bytes, 0);  // kThinking
+  const std::uint64_t hu = avx2_byte_eq(state_bytes, 1);  // kHungry
+  const std::uint64_t ea = avx2_byte_eq(state_bytes, 2);  // kEating
+  const std::uint64_t nd = ~avx2_byte_eq(in.needs + base, 0);
+  const std::uint64_t alv = ~avx2_byte_eq(in.alive + base, 0);
+  // depth > D: sixteen 4-wide signed 64-bit compares.
+  const __m256i dvec = _mm256_set1_epi64x(in.d);
+  std::uint64_t dgt = 0;
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    const __m256i dep = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(in.depths + base + 4 * k));
+    const __m256i gt = _mm256_cmpgt_epi64(dep, dvec);
+    dgt |= static_cast<std::uint64_t>(
+               _mm256_movemask_pd(_mm256_castsi256_pd(gt)))
+           << (4 * k);
+  }
+  combine_lanes(in, edge_aggregates(in, base, 64), th, hu, ea, nd, alv, dgt,
+                ~0ULL, out);
+}
+
+#endif  // DINERS_SWEEP_X86
+
+#if DINERS_SWEEP_NEON
+
+/// 16 byte-lanes == value, as a 16-bit mask (mask-and-pairwise-add idiom).
+inline std::uint16_t neon_byte_eq16(const std::uint8_t* bytes,
+                                    std::uint8_t value) {
+  static const uint8x16_t kPowers = {1, 2, 4, 8, 16, 32, 64, 128,
+                                     1, 2, 4, 8, 16, 32, 64, 128};
+  const uint8x16_t eq = vceqq_u8(vld1q_u8(bytes), vdupq_n_u8(value));
+  const uint8x16_t bits = vandq_u8(eq, kPowers);
+  uint8x8_t sum = vpadd_u8(vget_low_u8(bits), vget_high_u8(bits));
+  sum = vpadd_u8(sum, sum);
+  sum = vpadd_u8(sum, sum);
+  return vget_lane_u16(vreinterpret_u16_u8(sum), 0);
+}
+
+inline std::uint64_t neon_byte_eq(const std::uint8_t* bytes,
+                                  std::uint8_t value) {
+  std::uint64_t mask = 0;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    mask |= static_cast<std::uint64_t>(neon_byte_eq16(bytes + 16 * k, value))
+            << (16 * k);
+  }
+  return mask;
+}
+
+void sweep_neon(const SweepInput& in, sim::ProcessId base,
+                std::uint32_t count, GuardBlock& out) {
+  if (count < 64) {
+    sweep_portable(in, base, count, out);
+    return;
+  }
+  const auto* state_bytes =
+      reinterpret_cast<const std::uint8_t*>(in.states + base);
+  const std::uint64_t th = neon_byte_eq(state_bytes, 0);
+  const std::uint64_t hu = neon_byte_eq(state_bytes, 1);
+  const std::uint64_t ea = neon_byte_eq(state_bytes, 2);
+  const std::uint64_t nd = ~neon_byte_eq(in.needs + base, 0);
+  const std::uint64_t alv = ~neon_byte_eq(in.alive + base, 0);
+  std::uint64_t dgt = 0;  // depths stay scalar: no NEON movemask for i64x2
+  for (std::uint32_t j = 0; j < 64; ++j) {
+    if (in.depths[base + j] > in.d) dgt |= 1ULL << j;
+  }
+  combine_lanes(in, edge_aggregates(in, base, 64), th, hu, ea, nd, alv, dgt,
+                ~0ULL, out);
+}
+
+#endif  // DINERS_SWEEP_NEON
+
+bool backend_supported(SweepBackend backend) {
+  switch (backend) {
+    case SweepBackend::kAuto:
+    case SweepBackend::kPortable:
+      return true;
+    case SweepBackend::kAvx2:
+#if DINERS_SWEEP_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SweepBackend::kNeon:
+#if DINERS_SWEEP_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SweepBackend detect_backend() {
+#if DINERS_SWEEP_X86
+  if (__builtin_cpu_supports("avx2")) return SweepBackend::kAvx2;
+#endif
+#if DINERS_SWEEP_NEON
+  return SweepBackend::kNeon;
+#endif
+  return SweepBackend::kPortable;
+}
+
+SweepFn backend_fn(SweepBackend backend) {
+  switch (backend) {
+    case SweepBackend::kAvx2:
+#if DINERS_SWEEP_X86
+      return &sweep_avx2;
+#else
+      break;
+#endif
+    case SweepBackend::kNeon:
+#if DINERS_SWEEP_NEON
+      return &sweep_neon;
+#else
+      break;
+#endif
+    default:
+      break;
+  }
+  return &sweep_portable;
+}
+
+std::atomic<SweepBackend> g_backend{SweepBackend::kAuto};
+std::atomic<SweepFn> g_sweep{nullptr};
+
+SweepFn resolve_sweep() {
+  SweepFn fn = g_sweep.load(std::memory_order_acquire);
+  if (fn == nullptr) {
+    const SweepBackend detected = detect_backend();
+    g_backend.store(detected, std::memory_order_relaxed);
+    fn = backend_fn(detected);
+    g_sweep.store(fn, std::memory_order_release);
+  }
+  return fn;
+}
+
+// --- lane spread (action-major -> slot-major) ----------------------------
+
+#if DINERS_SWEEP_X86
+
+/// For output word w and action a: the deposit mask (bit positions
+/// 5j + a - 64w that land in word w) and the first contributing j.
+struct SpreadTable {
+  std::uint64_t mask[kActions][kActions] = {};
+  std::uint32_t shift[kActions][kActions] = {};
+};
+
+constexpr SpreadTable make_spread_table() {
+  SpreadTable t;
+  for (std::uint32_t w = 0; w < kActions; ++w) {
+    for (std::uint32_t a = 0; a < kActions; ++a) {
+      bool first = true;
+      for (std::uint32_t j = 0; j < 64; ++j) {
+        const std::uint32_t pos = kActions * j + a;
+        if (pos < 64 * w || pos >= 64 * (w + 1)) continue;
+        if (first) {
+          t.shift[w][a] = j;
+          first = false;
+        }
+        t.mask[w][a] |= 1ULL << (pos - 64 * w);
+      }
+    }
+  }
+  return t;
+}
+
+constexpr SpreadTable kSpread = make_spread_table();
+
+/// pdep deposits the low bits of lanes[a] >> shift into the mask positions
+/// low-to-high — exactly the j-ascending order the mask was built in.
+__attribute__((target("bmi2"))) void spread_bmi2(
+    const std::uint64_t lanes[kActions], std::uint64_t out[kActions]) {
+  for (std::uint32_t w = 0; w < kActions; ++w) {
+    std::uint64_t acc = 0;
+    for (std::uint32_t a = 0; a < kActions; ++a) {
+      acc |= _pdep_u64(lanes[a] >> kSpread.shift[w][a], kSpread.mask[w][a]);
+    }
+    out[w] = acc;
+  }
+}
+
+#endif  // DINERS_SWEEP_X86
+
+using SpreadFn = void (*)(const std::uint64_t[kActions],
+                          std::uint64_t[kActions]);
+
+std::atomic<SpreadFn> g_spread{nullptr};
+
+SpreadFn resolve_spread() {
+  SpreadFn fn = g_spread.load(std::memory_order_acquire);
+  if (fn == nullptr) {
+    fn = &spread_guard_lanes_portable;
+#if DINERS_SWEEP_X86
+    if (__builtin_cpu_supports("bmi2")) fn = &spread_bmi2;
+#endif
+    g_spread.store(fn, std::memory_order_release);
+  }
+  return fn;
+}
+
+}  // namespace
+
+void DinersSystem::guard_block(ProcessId base, std::uint32_t count,
+                               GuardBlock& out) const noexcept {
+  const SweepInput in{csr_.offsets(),
+                      csr_.neighbors(),
+                      csr_.edge_ids(),
+                      states_.data(),
+                      depths_.data(),
+                      needs_.data(),
+                      alive_.data(),
+                      priority_.data(),
+                      static_cast<std::int64_t>(d_),
+                      config_.enable_dynamic_threshold,
+                      config_.enable_cycle_breaking};
+  resolve_sweep()(in, base, count, out);
+}
+
+std::string_view to_string(SweepBackend backend) noexcept {
+  switch (backend) {
+    case SweepBackend::kAuto: return "auto";
+    case SweepBackend::kPortable: return "portable";
+    case SweepBackend::kAvx2: return "avx2";
+    case SweepBackend::kNeon: return "neon";
+  }
+  return "?";
+}
+
+SweepBackend active_sweep_backend() {
+  resolve_sweep();
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void set_sweep_backend(SweepBackend backend) {
+  if (!backend_supported(backend)) {
+    throw std::invalid_argument(
+        "set_sweep_backend: backend not supported on this machine: " +
+        std::string(to_string(backend)));
+  }
+  if (backend == SweepBackend::kAuto) {
+    g_sweep.store(nullptr, std::memory_order_release);
+    g_backend.store(SweepBackend::kAuto, std::memory_order_relaxed);
+    return;
+  }
+  g_backend.store(backend, std::memory_order_relaxed);
+  g_sweep.store(backend_fn(backend), std::memory_order_release);
+}
+
+void spread_guard_lanes(const std::uint64_t lanes[kActions],
+                        std::uint64_t out[kActions]) {
+  resolve_spread()(lanes, out);
+}
+
+void spread_guard_lanes_portable(const std::uint64_t lanes[kActions],
+                                 std::uint64_t out[kActions]) {
+  for (std::uint32_t w = 0; w < kActions; ++w) out[w] = 0;
+  for (std::uint32_t j = 0; j < 64; ++j) {
+    std::uint64_t five = 0;
+    for (std::uint32_t a = 0; a < kActions; ++a) {
+      five |= ((lanes[a] >> j) & 1u) << a;
+    }
+    const std::uint32_t bit = kActions * j;
+    out[bit >> 6] |= five << (bit & 63);
+    if ((bit & 63) > 64 - kActions) {
+      out[(bit >> 6) + 1] |= five >> (64 - (bit & 63));
+    }
+  }
+}
+
+}  // namespace diners::core

@@ -1,0 +1,72 @@
+// Wide guard evaluation: all five Figure 1 guards of up to 64 consecutive
+// processes in one call, as action-major 64-bit lanes.
+//
+// `DinersSystem::guard_block(base, count, out)` is the block counterpart of
+// the scalar `guard_mask(p)`: bit j of `out.lane[a]` equals
+// `enabled(base + j, a)` for every j < count (higher bits are zero), and
+// bit j of `out.alive` equals `alive(base + j)`. The block form is what the
+// flat engine's rebuild and wide-refresh sweeps iterate: five word-sized
+// lanes combine with ~15 bitwise ops instead of 64 separate 5-bit mask
+// assemblies, and the per-process state flags (phase, appetite, liveness,
+// depth-vs-D) vectorize across the block.
+//
+// Three implementations sit behind one runtime dispatch:
+//
+//  * kPortable — plain C++, the semantics reference; compiled everywhere.
+//  * kAvx2     — x86-64 AVX2: the own-state lanes (T/H/E compares, needs,
+//                alive, depth > D) come from 32-byte compares + movemask;
+//                the per-edge neighborhood aggregates stay scalar (CSR
+//                gathers do not vectorize profitably at ring/grid degrees).
+//  * kNeon     — aarch64 NEON: same split, byte compares packed to bit
+//                lanes with the mask-and-pairwise-add idiom.
+//
+// All backends are pinned bit-identical to scalar `guard_mask()` (and so to
+// the per-action `enabled()` oracle) by the differential fuzz battery in
+// tests/runtime/wide_step_test.cpp; the dispatch picks the widest supported
+// backend once per process and can be forced (tests, A/B benches) with
+// `set_sweep_backend()`.
+//
+// `spread_guard_lanes()` is the layout shim between the two packings: it
+// interleaves five action-major lanes into the five slot-major
+// (slot = p*5 + a) words of a 64-process block, using BMI2 pdep when the
+// CPU has it and a portable 5-bit insertion loop otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/diners_system.hpp"
+
+namespace diners::core {
+
+/// Which guard-sweep implementation `guard_block` dispatches to.
+enum class SweepBackend : std::uint8_t {
+  kAuto,      ///< resolve once at first use: widest supported backend
+  kPortable,  ///< plain C++ reference implementation
+  kAvx2,      ///< x86-64 AVX2 (+ BMI2 lane spread when available)
+  kNeon,      ///< aarch64 NEON
+};
+
+[[nodiscard]] std::string_view to_string(SweepBackend backend) noexcept;
+
+/// The backend `guard_block` currently dispatches to (kAuto resolved).
+[[nodiscard]] SweepBackend active_sweep_backend();
+
+/// Forces the dispatch (kAuto restores autodetection). Throws
+/// std::invalid_argument if this machine does not support `backend`.
+/// Not thread-safe against concurrent sweeps; call between runs.
+void set_sweep_backend(SweepBackend backend);
+
+/// Interleaves five action-major lanes (bit j = process j of the block)
+/// into the five slot-major enabled words of a 64-process block
+/// (bit 5j + a of the 320-bit range = action a of process j).
+void spread_guard_lanes(const std::uint64_t lanes[DinersSystem::kNumActions],
+                        std::uint64_t out[DinersSystem::kNumActions]);
+
+/// The plain-C++ reference interleave (always available); the differential
+/// tests pin the dispatched spread_guard_lanes bit-identical to it.
+void spread_guard_lanes_portable(
+    const std::uint64_t lanes[DinersSystem::kNumActions],
+    std::uint64_t out[DinersSystem::kNumActions]);
+
+}  // namespace diners::core

@@ -55,6 +55,7 @@ bool Flags::parse(int argc, const char* const* argv) {
       std::cerr << "flag --" << body << " expects a value\n";
       return false;
     }
+    provided_.insert(body);
   }
   return true;
 }

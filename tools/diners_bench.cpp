@@ -4,9 +4,13 @@
 // and aggregates the results into one stable-schema BENCH_*.json record
 // (analysis/perf_trajectory.hpp documents the schema):
 //
-//   engine    BM_EngineStep[FullScan] n=64/192 and BM_FlatEngineStep
-//             n=192/1k/10k/100k (bench_figure1_actions,
-//             --benchmark_format json)           -> ns/step
+//   engine    BM_EngineStep[FullScan] n=64/192, BM_FlatEngineStep
+//             n=192/1k/10k/100k/1M and the BM_FlatEngineSweep SIMD
+//             guard-sweep rows (bench_figure1_actions,
+//             --benchmark_format json)           -> ns/step, peak RSS
+//   campaign  diners_sim --engine=flat ring n=10^6 corrupted start
+//             to invariant I (the E1 protocol at full scale)
+//                                               -> wall seconds
 //   explorer  diners_mc --exhaustive --json on ring-4 and K4 at
 //             jobs=1/4, plus --reduce=sym,por rows (ring-4 box,
 //             ring-6 instance seeds)             -> states/sec
@@ -30,9 +34,9 @@
 //
 // Examples:
 //   diners_bench --quick --git-rev=$(git rev-parse --short HEAD)
-//   diners_bench --compare=BENCH_8.json --out=BENCH_9.json
-//   diners_bench --compare=BENCH_9.json --out=BENCH_ci.json \
-//                --soft-match=engine.step.,service.
+//   diners_bench --compare=BENCH_9.json --out=BENCH_10.json
+//   diners_bench --compare=BENCH_10.json --out=BENCH_ci.json \
+//                --soft-match=engine.step.,engine.e1.,service.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -135,14 +139,18 @@ const JsonValue& gbench_entry(const JsonValue& doc, const std::string& name) {
 // --- metric collectors -----------------------------------------------------
 
 /// Engine ns/step: the object engine at n=64/192 (incremental vs the
-/// pinned full-scan reference) and the flat SoA substrate from n=192 up to
-/// n=100k, where only it remains measurable in bench time.
+/// pinned full-scan reference), the flat SoA substrate from n=192 up to
+/// n=10^6, and the guard_block sweep in isolation (portable vs SIMD).
+/// Sweep rows report ns per process (gbench times one full-system sweep);
+/// large-n flat rows carry the measured peak RSS as a param so memory
+/// growth is visible in the trajectory even though only time gates.
 void collect_engine(BenchReport& report, const fs::path& bench_dir,
                     const fs::path& workdir) {
   const fs::path out = workdir / "engine.json";
   run_checked(shq((bench_dir / "bench_figure1_actions").string()) +
               " --benchmark_filter='^(BM_EngineStep(FullScan)?/n:(64|192)"
-              "|BM_FlatEngineStep/n:(192|1024|10240|102400))$'"
+              "|BM_FlatEngineStep/n:(192|1024|10240|102400|1048576)"
+              "|BM_FlatEngineSweep/simd:(0|1))$'"
               " --benchmark_out_format=json --benchmark_out=" +
               shq(out.string()) + " >&2");
   const JsonValue doc = diners::util::parse_json(read_file(out));
@@ -151,20 +159,31 @@ void collect_engine(BenchReport& report, const fs::path& bench_dir,
     const char* metric;
     const char* n;
     const char* scan;
+    double per_items;  // divide real_time by this (1 = already per step)
+    bool rss;          // attach the max_rss_bytes counter as a param
   } rows[] = {
       {"BM_EngineStep/n:64", "engine.step.n64.incremental", "64",
-       "incremental"},
+       "incremental", 1, false},
       {"BM_EngineStep/n:192", "engine.step.n192.incremental", "192",
-       "incremental"},
+       "incremental", 1, false},
       {"BM_EngineStepFullScan/n:64", "engine.step.n64.fullscan", "64",
-       "fullscan"},
+       "fullscan", 1, false},
       {"BM_EngineStepFullScan/n:192", "engine.step.n192.fullscan", "192",
-       "fullscan"},
-      {"BM_FlatEngineStep/n:192", "engine.step.n192.flat", "192", "flat"},
-      {"BM_FlatEngineStep/n:1024", "engine.step.n1k.flat", "1024", "flat"},
-      {"BM_FlatEngineStep/n:10240", "engine.step.n10k.flat", "10240", "flat"},
+       "fullscan", 1, false},
+      {"BM_FlatEngineStep/n:192", "engine.step.n192.flat", "192", "flat", 1,
+       false},
+      {"BM_FlatEngineStep/n:1024", "engine.step.n1k.flat", "1024", "flat", 1,
+       false},
+      {"BM_FlatEngineStep/n:10240", "engine.step.n10k.flat", "10240", "flat",
+       1, false},
       {"BM_FlatEngineStep/n:102400", "engine.step.n100k.flat", "102400",
-       "flat"},
+       "flat", 1, true},
+      {"BM_FlatEngineStep/n:1048576", "engine.step.n1M.flat", "1048576",
+       "flat", 1, true},
+      {"BM_FlatEngineSweep/simd:0", "engine.step.n100k.flat.sweep", "102400",
+       "sweep-portable", 102400, false},
+      {"BM_FlatEngineSweep/simd:1", "engine.step.n100k.flat.simd", "102400",
+       "sweep-simd", 102400, false},
   };
   for (const auto& row : rows) {
     const JsonValue& entry = gbench_entry(doc, row.bench);
@@ -173,10 +192,19 @@ void collect_engine(BenchReport& report, const fs::path& bench_dir,
     }
     BenchMetric m;
     m.name = row.metric;
-    m.value = entry.at("real_time").as_number();
-    m.unit = "ns/step";
+    m.value = entry.at("real_time").as_number() / row.per_items;
+    m.unit = row.per_items == 1 ? "ns/step" : "ns/process";
     m.higher_is_better = false;
     m.params = {{"n", row.n}, {"scan", row.scan}, {"topology", "ring"}};
+    if (row.rss) {
+      const JsonValue* rss = entry.find("max_rss_bytes");
+      if (rss == nullptr || !rss->is_number()) {
+        throw DriverError(std::string(row.bench) + ": no max_rss_bytes");
+      }
+      m.params.emplace("max_rss_bytes",
+                       std::to_string(static_cast<std::uint64_t>(
+                           rss->as_number())));
+    }
     report.metrics.push_back(std::move(m));
   }
 }
@@ -346,6 +374,47 @@ void collect_service(BenchReport& report, const fs::path& tools_dir,
   report.metrics.push_back(std::move(recovery));
 }
 
+/// E1 at full ROADMAP scale: one corrupted ring-10^6 trial driven to
+/// invariant I through the flat engine (the E16 protocol, fixed seed).
+/// Records wall seconds for the whole trial — construction, stepping, and
+/// the periodic invariant checks — because that is the number a user of
+/// `diners_sim` at n=10^6 actually waits for. steps-to-I and peak RSS ride
+/// along as params; the trial must CONVERGE to count as a perf sample.
+void collect_campaign(BenchReport& report, const fs::path& tools_dir,
+                      const fs::path& workdir) {
+  const fs::path out = workdir / "e1_n1m.json";
+  run_checked(shq((tools_dir / "diners_sim").string()) +
+              " --engine=flat --topology=ring --n=1048576"
+              " --threshold=524288 --corrupt --trials=1 --jobs=1"
+              " --steps=8000000 --check-every=65536 --seed=1 --json=" +
+              shq(out.string()) + " >&2");
+  const JsonValue doc = diners::util::parse_json(read_file(out));
+  if (doc.at("schema").as_string() != "diners-sim-batch/v1") {
+    throw DriverError("e1 campaign: unexpected diners_sim JSON schema");
+  }
+  if (doc.at("converged").as_number() != doc.at("trials").as_number()) {
+    throw DriverError("e1 campaign did not converge; not a perf sample");
+  }
+  BenchMetric m;
+  m.name = "engine.e1.n1M.seconds";
+  m.value = doc.at("wall_seconds").as_number();
+  m.unit = "s";
+  m.higher_is_better = false;
+  const auto u64_param = [&doc](const char* key) {
+    return std::to_string(
+        static_cast<std::uint64_t>(doc.at(key).as_number()));
+  };
+  m.params = {{"topology", "ring"},
+              {"n", "1048576"},
+              {"threshold", "524288"},
+              {"check_every", "65536"},
+              {"seed", "1"},
+              {"steps_to_i", std::to_string(static_cast<std::uint64_t>(
+                                 doc.at("steps_to_i").at("mean").as_number()))},
+              {"max_rss_bytes", u64_param("max_rss_bytes")}};
+  report.metrics.push_back(std::move(m));
+}
+
 // --- modes -----------------------------------------------------------------
 
 void print_metrics(const BenchReport& report) {
@@ -391,6 +460,7 @@ int run_suite(const diners::util::Flags& flags, const char* argv0) {
   report.label = flags.str("label");
 
   collect_engine(report, bench_dir, workdir);
+  collect_campaign(report, tools_dir, workdir);
   collect_explorer(report, tools_dir, workdir);
   collect_batch(report, bench_dir, workdir);
   collect_chaos(report, tools_dir);
@@ -485,9 +555,9 @@ int main(int argc, char** argv) {
   diners::util::Flags flags;
   flags
       .define("quick", "true",
-              "run the quick suite (engine, explorer, batch, chaos, "
-              "service); currently the only suite")
-      .define("out", "BENCH_9.json",
+              "run the quick suite (engine, campaign, explorer, batch, "
+              "chaos, service); currently the only suite")
+      .define("out", "BENCH_10.json",
               "record path: written in run mode, the 'current' side in "
               "--compare mode")
       .define("compare", "",

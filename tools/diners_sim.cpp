@@ -33,8 +33,11 @@
 #include "runtime/engine.hpp"
 #include "util/flags.hpp"
 #include "verify/counterexample.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+
+#include <sys/resource.h>
 
 namespace {
 
@@ -71,6 +74,35 @@ diners::sim::EngineKind parse_engine(const std::string& name) {
   if (name == "object") return diners::sim::EngineKind::kObject;
   if (name == "flat") return diners::sim::EngineKind::kFlat;
   throw UsageError("unknown engine: " + name + " (object | flat)");
+}
+
+struct EngineJobs {
+  unsigned rebuild = 1;
+  unsigned step = 1;
+};
+
+/// Resolves --rebuild-jobs / --step-jobs, honoring the deprecated
+/// --engine-jobs alias (it historically named the rebuild shards; an
+/// explicit --rebuild-jobs wins over the alias).
+EngineJobs parse_engine_jobs(const diners::util::Flags& flags) {
+  EngineJobs jobs;
+  jobs.rebuild = flags.u32("rebuild-jobs", 1);
+  jobs.step = flags.u32("step-jobs", 1);
+  if (flags.provided("engine-jobs")) {
+    std::cerr << "warning: --engine-jobs is deprecated; use --rebuild-jobs "
+                 "(full-rebuild shards) and --step-jobs (in-step shards)\n";
+    if (!flags.provided("rebuild-jobs")) {
+      jobs.rebuild = flags.u32("engine-jobs", 1);
+    }
+  }
+  return jobs;
+}
+
+/// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
 }
 
 int run_diners(const diners::util::Flags& flags) {
@@ -112,7 +144,9 @@ int run_diners(const diners::util::Flags& flags) {
   options.daemon = flags.str("daemon");
   options.seed = seed;
   options.engine_kind = parse_engine(flags.str("engine"));
-  options.engine_jobs = flags.u32("engine-jobs", 1);
+  const EngineJobs engine_jobs = parse_engine_jobs(flags);
+  options.rebuild_jobs = engine_jobs.rebuild;
+  options.step_jobs = engine_jobs.step;
   std::unique_ptr<diners::fault::Workload> workload;
   if (flags.str("workload") != "none") {
     workload = diners::fault::make_workload(flags.str("workload"), seed);
@@ -190,7 +224,9 @@ int run_batch_mode(const diners::util::Flags& flags) {
   scenario.window_steps = flags.u64("window");
   scenario.check_every = flags.u64("check-every", 1);
   scenario.engine_kind = parse_engine(flags.str("engine"));
-  scenario.engine_jobs = flags.u32("engine-jobs", 1);
+  const EngineJobs engine_jobs = parse_engine_jobs(flags);
+  scenario.rebuild_jobs = engine_jobs.rebuild;
+  scenario.step_jobs = engine_jobs.step;
 
   // Validate user input against a probe topology (seeded families resample
   // per trial, but the node count is seed-independent for every family).
@@ -245,6 +281,57 @@ int run_batch_mode(const diners::util::Flags& flags) {
   }
   std::cout << "\nwall: " << fmt(result.wall_seconds) << " s ("
             << fmt(result.trials_per_sec) << " trials/sec)\n";
+
+  // Machine-readable report (diners_bench's campaign rows parse this).
+  if (const std::string json_path = flags.str("json"); !json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    diners::util::JsonWriter w(out);
+    w.begin_object()
+        .field("schema", "diners-sim-batch/v1")
+        .key("scenario")
+        .begin_object()
+        .field("topology", scenario.topology)
+        .field("n", static_cast<std::uint64_t>(scenario.n))
+        .field("daemon", scenario.daemon)
+        .field("engine", flags.str("engine"))
+        .field("corrupt", scenario.corrupt)
+        .field("workload", scenario.workload)
+        .field("max_steps", scenario.max_steps)
+        .field("window_steps", scenario.window_steps)
+        .field("check_every", scenario.check_every)
+        .field("rebuild_jobs", scenario.rebuild_jobs)
+        .field("step_jobs", scenario.step_jobs)
+        .field("seed", seed)
+        .end_object();
+    const auto stats_object = [&w](std::string_view name,
+                                   const analysis::Accumulator& s) {
+      w.key(name)
+          .begin_object()
+          .field("mean", s.mean())
+          .field("stddev", s.stddev())
+          .field("min", s.min())
+          .field("max", s.max())
+          .end_object();
+    };
+    stats_object("steps_to_i", result.primary);
+    stats_object("meals", result.meals);
+    if (scenario.window_steps > 0) {
+      stats_object("starved", result.starved);
+      w.field("max_locality_radius",
+              static_cast<std::uint64_t>(result.max_locality_radius));
+    }
+    w.field("trials", result.trials)
+        .field("converged", result.converged)
+        .field("jobs", static_cast<std::uint64_t>(batch.jobs))
+        .field("wall_seconds", result.wall_seconds)
+        .field("trials_per_sec", result.trials_per_sec)
+        .field("max_rss_bytes", peak_rss_bytes());
+    w.finish();
+  }
   return 0;
 }
 
@@ -332,8 +419,17 @@ int main(int argc, char** argv) {
       .define("window", "0", "sweep starvation window steps (0 = none)")
       .define("engine", "object",
               "engine implementation: object | flat (SoA substrate)")
+      .define("rebuild-jobs", "1",
+              "flat-engine full-rebuild shards (results identical at any "
+              "value)")
+      .define("step-jobs", "1",
+              "flat-engine wide in-step refresh shards (results identical "
+              "at any value)")
       .define("engine-jobs", "1",
-              "flat-engine rebuild shards (results identical at any value)")
+              "DEPRECATED alias for --rebuild-jobs")
+      .define("json", "",
+              "sweep mode: also write a diners-sim-batch/v1 JSON report "
+              "to this path")
       .define("check-every", "16",
               "sweep invariant-check interval in steps (raise for large n)")
       .define("replay", "",
